@@ -1,0 +1,197 @@
+// Benchmarks regenerating the paper's evaluation artifacts, one per
+// figure/table (see DESIGN.md §3 and EXPERIMENTS.md). Run with
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark reports the headline metric of its experiment as custom
+// units next to the usual ns/op.
+package disco
+
+import (
+	"testing"
+
+	"disco/internal/experiments"
+	"disco/internal/oo7"
+)
+
+// benchScale keeps the page/object geometry of the paper (70 objects per
+// page) at a size that iterates quickly; cmd/experiments runs the full
+// 70000-object layout.
+func benchScale() oo7.Scale {
+	s := oo7.PaperScale()
+	s.AtomicParts = 14000
+	return s
+}
+
+// BenchmarkFigure12 regenerates the E1 figure: measured index-scan
+// response time vs. the calibrated and Yao estimates. Reported metrics:
+// RMS relative error of each estimator (%).
+func BenchmarkFigure12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure12(benchScale(), nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(100*res.RMSCalib, "calibRMS%")
+			b.ReportMetric(100*res.RMSYao, "yaoRMS%")
+		}
+	}
+}
+
+// BenchmarkFigure12Error regenerates the E2 error table standalone (the
+// worst-case estimator error).
+func BenchmarkFigure12Error(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure12(benchScale(), nil, []float64{0.05, 0.2, 0.5, 0.7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(100*res.MaxCalib, "calibMax%")
+			b.ReportMetric(100*res.MaxYao, "yaoMax%")
+		}
+	}
+}
+
+// BenchmarkPlanQuality regenerates E3: the workload optimized and
+// executed under the generic and blended models. Reported metric: total
+// actual seconds of the chosen plans per model.
+func BenchmarkPlanQuality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.PlanQuality(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			var gen, ble float64
+			for _, row := range res.Rows {
+				if row.Model == "generic" {
+					gen += row.ActualS
+				} else {
+					ble += row.ActualS
+				}
+			}
+			b.ReportMetric(gen, "genericActualS")
+			b.ReportMetric(ble, "blendedActualS")
+		}
+	}
+}
+
+// BenchmarkRuleMatching regenerates the E4 matching-overhead table.
+// Reported metric: microseconds per plan estimation with 1000 registered
+// rules.
+func BenchmarkRuleMatching(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RuleOverhead([]int{0, 1000}, 50)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(res.Rows[1].EstimateMicros, "µs/estimate@1000rules")
+		}
+	}
+}
+
+// BenchmarkBytecodeVsInterp regenerates the E4 evaluation comparison.
+// Reported metric: interpreter-to-bytecode slowdown factor.
+func BenchmarkBytecodeVsInterp(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RuleOverhead([]int{0}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(res.InterpNS/res.BytecodeNS, "interp/bytecode")
+		}
+	}
+}
+
+// BenchmarkHistory regenerates E5: estimate error before and after the
+// query-scope rule is recorded. Reported metrics: mean error (%).
+func BenchmarkHistory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.History(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			var first, repeat float64
+			for _, row := range res.Rows {
+				first += row.FirstErrPct
+				repeat += row.RepeatErrPct
+			}
+			n := float64(len(res.Rows))
+			b.ReportMetric(first/n, "firstErr%")
+			b.ReportMetric(repeat/n, "repeatErr%")
+		}
+	}
+}
+
+// BenchmarkPruning regenerates E6: formula evaluations saved by the
+// required-variable optimization and the traversal cut.
+func BenchmarkPruning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Pruning()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(res.Rows[0].FormulaEvals), "fullEvals")
+			b.ReportMetric(float64(res.Rows[1].FormulaEvals), "requiredEvals")
+		}
+	}
+}
+
+// BenchmarkJoinCrossover regenerates E7: the generic model's join-method
+// crossover. Reported metric: inner cardinality where the index join
+// first wins.
+func BenchmarkJoinCrossover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.JoinCrossover(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			cross := float64(0)
+			for _, row := range res.Rows {
+				if row.Winner == "index" {
+					cross = float64(row.InnerCard)
+					break
+				}
+			}
+			b.ReportMetric(cross, "indexWinsAtInner")
+		}
+	}
+}
+
+// BenchmarkClustering regenerates E8: the clustering-aware wrapper rule
+// against the calibrated line on clustered placement. Reported metrics:
+// RMS error (%) of each estimator vs. the clustered measurement.
+func BenchmarkClustering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Clustering(benchScale(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(100*res.RMSCalibOnClustered, "calibRMS%")
+			b.ReportMetric(100*res.RMSBlendedClustered, "blendedRMS%")
+		}
+	}
+}
+
+// BenchmarkOO7Suite regenerates E9: the OO7 validation suite under the
+// blended model. Reported metrics: mean and max estimate error (%).
+func BenchmarkOO7Suite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.OO7Suite(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(res.MeanPct, "meanErr%")
+			b.ReportMetric(res.MaxPct, "maxErr%")
+		}
+	}
+}

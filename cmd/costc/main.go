@@ -1,0 +1,113 @@
+// Command costc is the cost-communication-language compiler: it checks a
+// rule file (the language of paper §3, Figure 9), reports what each rule
+// provides, and optionally disassembles the compiled bytecode that would
+// be shipped to the mediator at registration time.
+//
+// Usage:
+//
+//	costc [-S] [file.cdl ...]
+//
+// With no files, costc reads standard input. -S prints the bytecode of
+// every formula.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"disco/internal/costlang"
+	"disco/internal/costvm"
+)
+
+func main() {
+	disasm := flag.Bool("S", false, "disassemble compiled formulas")
+	flag.Parse()
+
+	exit := 0
+	args := flag.Args()
+	if len(args) == 0 {
+		src, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "costc:", err)
+			os.Exit(1)
+		}
+		if !check("<stdin>", string(src), *disasm) {
+			exit = 1
+		}
+	}
+	for _, path := range args {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "costc:", err)
+			exit = 1
+			continue
+		}
+		if !check(path, string(src), *disasm) {
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+func check(name, src string, disasm bool) bool {
+	file, err := costlang.Parse(src)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+		return false
+	}
+	fmt.Printf("%s: %d global lets, %d functions, %d rules\n",
+		name, len(file.Lets), len(file.Funcs), len(file.Rules))
+
+	ok := true
+	compile := func(what string, e costlang.Expr) *costvm.Program {
+		prog, err := costvm.Compile(e)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %s: %v\n", name, what, err)
+			ok = false
+			return nil
+		}
+		return prog
+	}
+	for _, let := range file.Lets {
+		if p := compile("let "+let.Name, let.Expr); p != nil && disasm {
+			fmt.Printf("let %s:\n%s", let.Name, indent(p.Disassemble()))
+		}
+	}
+	for _, def := range file.Funcs {
+		if p := compile("def "+def.Name, def.Body); p != nil && disasm {
+			fmt.Printf("def %s/%d:\n%s", def.Name, len(def.Params), indent(p.Disassemble()))
+		}
+	}
+	for i, rule := range file.Rules {
+		vars := make([]string, 0, len(rule.Assigns))
+		for _, a := range rule.Assigns {
+			vars = append(vars, a.Name)
+		}
+		head := rule.Op + "("
+		for j, t := range rule.Args {
+			if j > 0 {
+				head += ", "
+			}
+			head += t.String()
+		}
+		head += ")"
+		fmt.Printf("rule %d (line %d): %s -> {%s}\n", i+1, rule.Line, head, strings.Join(vars, ", "))
+		for _, a := range append(append([]costlang.Assign(nil), rule.Lets...), rule.Assigns...) {
+			if p := compile(a.Name, a.Expr); p != nil && disasm {
+				fmt.Printf("  %s:\n%s", a.Name, indent(p.Disassemble()))
+			}
+		}
+	}
+	return ok
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = "    " + l
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

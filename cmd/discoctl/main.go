@@ -1,0 +1,136 @@
+// Command discoctl is the interactive client for a discod mediator
+// server: a small SQL shell over the JSON line protocol.
+//
+// Usage:
+//
+//	discoctl [-connect localhost:4077] [query]
+//
+// With a query argument it runs once and exits; otherwise it reads
+// queries from standard input. Shell commands:
+//
+//	\explain <sql>   show the chosen plan with cost annotations
+//	\catalog         dump the mediator catalog
+//	\history         dump the recorded cost-vector database
+//	\quit            exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+
+	"disco/internal/proto"
+)
+
+func main() {
+	addr := flag.String("connect", "localhost:4077", "mediator address")
+	flag.Parse()
+
+	conn, err := net.Dial("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "discoctl:", err)
+		os.Exit(1)
+	}
+	defer conn.Close()
+	r := proto.NewReader(conn)
+
+	if q := strings.Join(flag.Args(), " "); strings.TrimSpace(q) != "" {
+		if !roundtrip(conn, r, parseLine(q)) {
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Println("connected to", *addr, "— \\quit to exit")
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("disco> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			fmt.Print("disco> ")
+			continue
+		}
+		if line == `\quit` || line == `\q` {
+			return
+		}
+		roundtrip(conn, r, parseLine(line))
+		fmt.Print("disco> ")
+	}
+}
+
+func parseLine(line string) *proto.Request {
+	switch {
+	case strings.HasPrefix(line, `\explain `):
+		return &proto.Request{Op: "explain", SQL: strings.TrimPrefix(line, `\explain `)}
+	case line == `\catalog`:
+		return &proto.Request{Op: "catalog"}
+	case line == `\history`:
+		return &proto.Request{Op: "history"}
+	default:
+		return &proto.Request{Op: "query", SQL: line}
+	}
+}
+
+func roundtrip(conn net.Conn, r *proto.Reader, req *proto.Request) bool {
+	if err := proto.Write(conn, req); err != nil {
+		fmt.Fprintln(os.Stderr, "discoctl:", err)
+		return false
+	}
+	resp, err := r.ReadResponse()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "discoctl:", err)
+		return false
+	}
+	if !resp.OK {
+		fmt.Println("error:", resp.Error)
+		return false
+	}
+	if resp.Text != "" {
+		fmt.Println(resp.Text)
+	}
+	if len(resp.Columns) > 0 {
+		printTable(resp)
+	}
+	return true
+}
+
+func printTable(resp *proto.Response) {
+	widths := make([]int, len(resp.Columns))
+	for i, c := range resp.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(resp.Rows))
+	for ri, row := range resp.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := fmt.Sprint(v)
+			cells[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	for i, c := range resp.Columns {
+		fmt.Printf("%-*s  ", widths[i], c)
+	}
+	fmt.Println()
+	for i := range resp.Columns {
+		fmt.Print(strings.Repeat("-", widths[i]), "  ")
+	}
+	fmt.Println()
+	const maxRows = 40
+	for ri, row := range cells {
+		if ri == maxRows {
+			fmt.Printf("... (%d more rows)\n", len(cells)-maxRows)
+			break
+		}
+		for ci, s := range row {
+			fmt.Printf("%-*s  ", widths[ci], s)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("(%d rows, %.1f virtual ms)\n", len(resp.Rows), resp.ElapsedMS)
+}

@@ -1,0 +1,184 @@
+// Command discod runs a DISCO mediator as a TCP server speaking the JSON
+// line protocol of internal/proto. It assembles the demo federation —
+// the OO7 object database, a relational catalog of suppliers, and a flat
+// file of inspection notes — registers the wrappers, and serves queries
+// (one session at a time per connection; the mediator pipeline itself is
+// serial, like the paper's prototype).
+//
+// Usage:
+//
+//	discod [-listen :4077] [-parts 14000]
+//
+// Try it with cmd/discoctl.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"sync"
+
+	"disco"
+	"disco/internal/oo7"
+	"disco/internal/proto"
+)
+
+func main() {
+	listen := flag.String("listen", ":4077", "address to listen on")
+	parts := flag.Int("parts", 14000, "OO7 AtomicParts cardinality")
+	flag.Parse()
+
+	srv, err := newServer(*parts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("discod: serving the demo federation on %s", ln.Addr())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "discod:", err)
+			continue
+		}
+		go srv.serve(conn)
+	}
+}
+
+// server wraps the mediator with a connection handler. Queries are
+// serialized through a mutex: the virtual clock and stores are
+// single-session state.
+type server struct {
+	mu  sync.Mutex
+	med *disco.Mediator
+}
+
+func newServer(parts int) (*server, error) {
+	m, err := disco.NewMediator(disco.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+
+	// OO7 object database.
+	scfg := disco.DefaultObjectStoreConfig()
+	scfg.BufferPages = parts/70 + 64
+	ostore := disco.OpenObjectStore(m, scfg)
+	scale := oo7.PaperScale()
+	scale.AtomicParts = parts
+	if err := oo7.Generate(ostore, scale, 1); err != nil {
+		return nil, err
+	}
+	if err := m.Register(disco.NewObjectWrapper("oo7", ostore)); err != nil {
+		return nil, err
+	}
+
+	// Relational suppliers.
+	rstore := disco.OpenRelationalStore(m, disco.DefaultRelationalStoreConfig())
+	sup, err := rstore.CreateTable("Suppliers", disco.NewSchema(
+		disco.Field("Suppliers", "sid", disco.KindInt),
+		disco.Field("Suppliers", "sname", disco.KindString),
+		disco.Field("Suppliers", "region", disco.KindInt),
+	), 64)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < 500; i++ {
+		if err := sup.Insert(disco.Row{
+			disco.Int(int64(i)),
+			disco.Str(fmt.Sprintf("supplier-%03d", i)),
+			disco.Int(int64(i % 12)),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if err := sup.CreateHashIndex("sid"); err != nil {
+		return nil, err
+	}
+	if err := m.Register(disco.NewRelationalWrapper("suppliers", rstore)); err != nil {
+		return nil, err
+	}
+
+	// Flat-file inspection notes.
+	fstore := disco.OpenFileStore(m, disco.DefaultFileStoreConfig())
+	notes, err := fstore.CreateFile("Inspections", disco.NewSchema(
+		disco.Field("Inspections", "part", disco.KindInt),
+		disco.Field("Inspections", "passed", disco.KindBool),
+	))
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < 1000; i++ {
+		if err := notes.Append(disco.Row{
+			disco.Int(int64(i * 17 % parts)),
+			disco.Bool(i%7 != 0),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if err := m.Register(disco.NewFileWrapper("inspections", fstore)); err != nil {
+		return nil, err
+	}
+
+	return &server{med: m}, nil
+}
+
+func (s *server) serve(conn net.Conn) {
+	defer conn.Close()
+	r := proto.NewReader(conn)
+	for {
+		req, err := r.ReadRequest()
+		if err != nil {
+			return
+		}
+		resp := s.handle(req)
+		if err := proto.Write(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *server) handle(req *proto.Request) *proto.Response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch req.Op {
+	case "ping":
+		return &proto.Response{OK: true, Text: "pong"}
+
+	case "query":
+		res, err := s.med.Query(req.SQL)
+		if err != nil {
+			return &proto.Response{Error: err.Error()}
+		}
+		resp := &proto.Response{OK: true, ElapsedMS: res.ElapsedMS}
+		for i := 0; i < res.Schema.Len(); i++ {
+			resp.Columns = append(resp.Columns, res.Schema.Field(i).QualifiedName())
+		}
+		for _, row := range res.Rows {
+			resp.Rows = append(resp.Rows, proto.EncodeRow(row))
+		}
+		return resp
+
+	case "explain":
+		out, err := s.med.Explain(req.SQL)
+		if err != nil {
+			return &proto.Response{Error: err.Error()}
+		}
+		return &proto.Response{OK: true, Text: out}
+
+	case "catalog":
+		return &proto.Response{OK: true, Text: s.med.Catalog.String()}
+
+	case "history":
+		if s.med.History == nil {
+			return &proto.Response{Error: "history recording is disabled"}
+		}
+		return &proto.Response{OK: true, Text: s.med.History.Summary()}
+
+	default:
+		return &proto.Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}

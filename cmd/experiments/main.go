@@ -1,0 +1,101 @@
+// Command experiments regenerates the paper's evaluation artifacts: the
+// Figure 12 index-scan study (E1), its error summary (E2), and the
+// ablation tables E3-E7 of DESIGN.md. Every run is deterministic.
+//
+// Usage:
+//
+//	experiments [-exp all|fig12|planquality|ruleoverhead|history|pruning|joincross] [-scale N]
+//
+// -scale sets the AtomicParts cardinality (default: the paper's 70000;
+// use a smaller value like 14000 for quick runs).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"disco/internal/experiments"
+	"disco/internal/oo7"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, fig12, planquality, ruleoverhead, history, pruning, joincross, clustering, oo7suite")
+	scaleN := flag.Int("scale", 70000, "AtomicParts cardinality (70000 = paper scale)")
+	csv := flag.Bool("csv", false, "emit fig12 as CSV instead of a table (for plotting)")
+	flag.Parse()
+
+	scale := oo7.PaperScale()
+	scale.AtomicParts = *scaleN
+
+	run := func(name string, fn func() (fmt.Stringer, error)) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		out, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+
+	run("fig12", func() (fmt.Stringer, error) {
+		r, err := experiments.Figure12(scale, nil, nil)
+		if err == nil && *csv {
+			return csvFig12{r}, nil
+		}
+		return tbl{r}, err
+	})
+	run("planquality", func() (fmt.Stringer, error) {
+		r, err := experiments.PlanQuality(scale)
+		return tbl{r}, err
+	})
+	run("ruleoverhead", func() (fmt.Stringer, error) {
+		r, err := experiments.RuleOverhead(nil, 0)
+		return tbl{r}, err
+	})
+	run("history", func() (fmt.Stringer, error) {
+		r, err := experiments.History(scale)
+		return tbl{r}, err
+	})
+	run("pruning", func() (fmt.Stringer, error) {
+		r, err := experiments.Pruning()
+		return tbl{r}, err
+	})
+	run("joincross", func() (fmt.Stringer, error) {
+		r, err := experiments.JoinCrossover(nil)
+		return tbl{r}, err
+	})
+	run("clustering", func() (fmt.Stringer, error) {
+		r, err := experiments.Clustering(scale, nil)
+		return tbl{r}, err
+	})
+	run("oo7suite", func() (fmt.Stringer, error) {
+		r, err := experiments.OO7Suite(scale)
+		return tbl{r}, err
+	})
+}
+
+// csvFig12 renders the figure's series as CSV for external plotting.
+type csvFig12 struct {
+	r *experiments.Figure12Result
+}
+
+func (c csvFig12) String() string {
+	var b strings.Builder
+	b.WriteString("selectivity,objects,experiment_s,calibration_s,yao_s\n")
+	for _, row := range c.r.Rows {
+		fmt.Fprintf(&b, "%.3f,%d,%.3f,%.3f,%.3f\n",
+			row.Selectivity, row.K, row.ExperimentS, row.CalibrationS, row.YaoS)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// tbl adapts the experiment results' Table method to fmt.Stringer.
+type tbl struct {
+	t interface{ Table() string }
+}
+
+func (t tbl) String() string { return t.t.Table() }

@@ -1,0 +1,51 @@
+package disco_test
+
+import (
+	"fmt"
+	"log"
+
+	"disco"
+)
+
+// Example builds the smallest complete deployment: one object-database
+// source registered with a mediator, one declarative query. Virtual time
+// is deterministic, so the measured response time is stable.
+func Example() {
+	m, err := disco.NewMediator(disco.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	store := disco.OpenObjectStore(m, disco.DefaultObjectStoreConfig())
+	emp, err := store.CreateCollection("Employee", disco.NewSchema(
+		disco.Field("Employee", "id", disco.KindInt),
+		disco.Field("Employee", "name", disco.KindString),
+	), 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := []string{"Adiba", "Gardarin", "Naacke", "Tomasic", "Valduriez"}
+	for i, n := range names {
+		if err := emp.Insert(disco.Row{disco.Int(int64(i)), disco.Str(n)}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := emp.CreateIndex("id", true); err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Register(disco.NewObjectWrapper("hr", store)); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := m.Query(`SELECT name FROM Employee WHERE id < 2 ORDER BY name`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Println(row[0].AsString())
+	}
+	fmt.Printf("%d rows in %.2f virtual ms\n", len(res.Rows), res.ElapsedMS)
+	// Output:
+	// Adiba
+	// Gardarin
+	// 2 rows in 53.04 virtual ms
+}

@@ -1,0 +1,113 @@
+// Costrules: exporting wrapper cost rules changes the mediator's
+// estimates — the paper's core mechanism, shown side by side.
+//
+// The same OO7-style range query is estimated twice: once against a
+// mediator that ignores wrapper rules (its generic, calibrated-linear
+// model is all it has) and once against a mediator that integrated the
+// object wrapper's exported Yao-based rules at registration time. The
+// query is then actually executed, so both estimates can be compared with
+// the measured virtual time.
+//
+// Run with: go run ./examples/costrules
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"disco"
+	"disco/internal/oo7"
+)
+
+func buildDeployment(useRules bool) (*disco.Mediator, *disco.ObjectStore, error) {
+	cfg := disco.DefaultConfig()
+	cfg.UseWrapperRules = useRules
+	cfg.RecordHistory = false
+	m, err := disco.NewMediator(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	scfg := disco.DefaultObjectStoreConfig()
+	scfg.BufferPages = 1200 // hold the 1000-page AtomicParts extent
+	store := disco.OpenObjectStore(m, scfg)
+	scale := oo7.PaperScale()
+	scale.AtomicParts = 28000 // 400 pages: quick but Yao-shaped
+	if err := oo7.Generate(store, scale, 1); err != nil {
+		return nil, nil, err
+	}
+	if err := m.Register(disco.NewObjectWrapper("oo7", store)); err != nil {
+		return nil, nil, err
+	}
+	return m, store, nil
+}
+
+func main() {
+	sql := `SELECT x FROM AtomicParts WHERE AtomicParts.id < 2800` // 10% of the ids
+
+	for _, useRules := range []bool{false, true} {
+		m, store, err := buildDeployment(useRules)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := "generic model only"
+		if useRules {
+			label = "blended with wrapper rules"
+		}
+		fmt.Printf("=== %s ===\n", label)
+
+		p, err := m.Prepare(sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		store.ResetBuffer()
+		res, err := m.ExecutePlan(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		est := p.Cost.TotalTime()
+		act := res.ElapsedMS
+		fmt.Printf("estimated %8.1f ms | measured %8.1f ms | error %5.1f%%\n\n",
+			est, act, 100*abs(est-act)/act)
+	}
+
+	// Show the actual rules the wrapper ships at registration time.
+	m, store, err := buildDeployment(true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = m
+	w := disco.NewObjectWrapper("oo7-preview", store)
+	rules := w.CostRules()
+	fmt.Println("excerpt of the wrapper's exported cost rules:")
+	printed := 0
+	for _, line := range splitLines(rules) {
+		fmt.Println("  " + line)
+		printed++
+		if printed > 22 {
+			fmt.Println("  ...")
+			break
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+// Quickstart: one mediator, one object-database source, one query.
+//
+// It creates an Employee collection in a simulated object store, registers
+// the store's wrapper with the mediator (which uploads its schema,
+// statistics and cost rules), and runs a declarative query. The response
+// time is virtual: a deterministic function of pages read, objects
+// processed and bytes shipped.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"disco"
+)
+
+func main() {
+	m, err := disco.NewMediator(disco.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A data source: an ObjectStore-like simulated database.
+	store := disco.OpenObjectStore(m, disco.DefaultObjectStoreConfig())
+	employees, err := store.CreateCollection("Employee", disco.NewSchema(
+		disco.Field("Employee", "id", disco.KindInt),
+		disco.Field("Employee", "name", disco.KindString),
+		disco.Field("Employee", "salary", disco.KindInt),
+	), 120)
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := []string{"Adiba", "Gardarin", "Naacke", "Tomasic", "Valduriez"}
+	for i := 0; i < 10000; i++ {
+		err := employees.Insert(disco.Row{
+			disco.Int(int64(i)),
+			disco.Str(names[i%len(names)]),
+			disco.Int(int64(1000 + i%29000)),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := employees.CreateIndex("id", true); err != nil {
+		log.Fatal(err)
+	}
+
+	// Registration phase: the mediator uploads the wrapper's schema,
+	// statistics (10000 objects, salary in [1000, 29999], ...) and its
+	// exported cost rules.
+	if err := m.Register(disco.NewObjectWrapper("hr", store)); err != nil {
+		log.Fatal(err)
+	}
+
+	// Query phase.
+	res, err := m.Query(`SELECT name, salary FROM Employee WHERE id < 5`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d rows in %.1f virtual ms:\n", len(res.Rows), res.ElapsedMS)
+	for _, row := range res.Rows {
+		fmt.Printf("  %-10s %6d\n", row[0].AsString(), row[1].AsInt())
+	}
+
+	// The optimizer explains its cost estimates on request.
+	plan, err := m.Explain(`SELECT name FROM Employee WHERE salary > 28000`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n" + plan)
+}

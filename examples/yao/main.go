@@ -1,0 +1,46 @@
+// Yao: Figure 12 in miniature. Sweeps the selectivity of an unclustered
+// index scan over an OO7-style collection and prints the measured
+// response time next to the calibrated linear estimate and the Yao
+// estimate — the paper's validation experiment at one tenth the scale.
+//
+// Run with: go run ./examples/yao
+// (The full 70000-object figure: go run ./cmd/experiments -exp fig12)
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"disco/internal/experiments"
+	"disco/internal/oo7"
+)
+
+func main() {
+	scale := oo7.PaperScale()
+	scale.AtomicParts = 7000 // 100 pages
+
+	res, err := experiments.Figure12(scale, nil,
+		[]float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Table())
+
+	fmt.Println("\nASCII sketch (experiment #, calibration .):")
+	maxS := res.Rows[len(res.Rows)-1].ExperimentS
+	for _, row := range res.Rows {
+		bar := func(v float64) int { return int(v / maxS * 60) }
+		e, c := bar(row.ExperimentS), bar(row.CalibrationS)
+		line := make([]byte, 62)
+		for i := range line {
+			line[i] = ' '
+		}
+		if c >= 0 && c < len(line) {
+			line[c] = '.'
+		}
+		if e >= 0 && e < len(line) {
+			line[e] = '#'
+		}
+		fmt.Printf("%4.2f |%s\n", row.Selectivity, string(line))
+	}
+}

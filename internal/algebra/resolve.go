@@ -1,0 +1,153 @@
+package algebra
+
+import (
+	"fmt"
+
+	"disco/internal/types"
+)
+
+// SchemaSource supplies base-collection schemas during plan resolution;
+// the mediator catalog implements it.
+type SchemaSource interface {
+	// CollectionSchema returns the row schema of a collection at a
+	// wrapper.
+	CollectionSchema(wrapper, collection string) (*types.Schema, error)
+}
+
+// Resolve computes and stores the output schema of every node in the plan,
+// bottom-up, validating attribute references along the way. It must be run
+// before execution and before cost estimation (estimation uses attribute
+// positions for statistics lookups).
+func Resolve(n *Node, src SchemaSource) error {
+	if n == nil {
+		return fmt.Errorf("algebra: resolve of nil plan")
+	}
+	for _, c := range n.Children {
+		if err := Resolve(c, src); err != nil {
+			return err
+		}
+	}
+	switch n.Kind {
+	case OpScan:
+		s, err := src.CollectionSchema(n.Wrapper, n.Collection)
+		if err != nil {
+			return fmt.Errorf("algebra: scan %s@%s: %w", n.Collection, n.Wrapper, err)
+		}
+		n.OutSchema = s
+
+	case OpSelect:
+		child := n.Children[0].OutSchema
+		for _, c := range n.Pred.SelectionComparisons() {
+			if !lookupRef(child, c.Left) {
+				return fmt.Errorf("algebra: select references unknown attribute %s in %s", c.Left, child)
+			}
+		}
+		for _, c := range n.Pred.JoinComparisons() {
+			if !lookupRef(child, c.Left) || !lookupRef(child, *c.RightAttr) {
+				return fmt.Errorf("algebra: select references unknown attribute in %s", c)
+			}
+		}
+		n.OutSchema = child
+
+	case OpProject:
+		s, err := n.Children[0].OutSchema.Project(n.Cols)
+		if err != nil {
+			return fmt.Errorf("algebra: %w", err)
+		}
+		n.OutSchema = s
+
+	case OpSort:
+		child := n.Children[0].OutSchema
+		for _, k := range n.Keys {
+			if !lookupRef(child, k.Attr) {
+				return fmt.Errorf("algebra: sort key %s not in %s", k.Attr, child)
+			}
+		}
+		n.OutSchema = child
+
+	case OpJoin:
+		joined := n.Children[0].OutSchema.Concat(n.Children[1].OutSchema)
+		for _, c := range n.Pred.JoinComparisons() {
+			if !lookupRef(joined, c.Left) || !lookupRef(joined, *c.RightAttr) {
+				return fmt.Errorf("algebra: join predicate %s not resolvable in %s", c, joined)
+			}
+		}
+		n.OutSchema = joined
+
+	case OpUnion:
+		l, r := n.Children[0].OutSchema, n.Children[1].OutSchema
+		if l.Len() != r.Len() {
+			return fmt.Errorf("algebra: union arity mismatch: %d vs %d", l.Len(), r.Len())
+		}
+		n.OutSchema = l
+
+	case OpDupElim, OpSubmit:
+		n.OutSchema = n.Children[0].OutSchema
+
+	case OpAggregate:
+		child := n.Children[0].OutSchema
+		fields := make([]types.Field, 0, len(n.GroupBy)+len(n.Aggs))
+		for _, g := range n.GroupBy {
+			i, ok := lookupRefIdx(child, g)
+			if !ok {
+				return fmt.Errorf("algebra: group-by attribute %s not in %s", g, child)
+			}
+			fields = append(fields, child.Field(i))
+		}
+		for _, a := range n.Aggs {
+			name := a.As
+			if name == "" {
+				name = a.String()
+			}
+			ty := types.KindFloat
+			if a.Func == AggCount {
+				ty = types.KindInt
+			}
+			if (a.Func == AggMin || a.Func == AggMax) && !a.Star {
+				if i, ok := lookupRefIdx(child, a.Attr); ok {
+					ty = child.Field(i).Type
+				}
+			}
+			if !a.Star {
+				if _, ok := lookupRefIdx(child, a.Attr); !ok {
+					return fmt.Errorf("algebra: aggregate attribute %s not in %s", a.Attr, child)
+				}
+			}
+			fields = append(fields, types.Field{Name: name, Type: ty})
+		}
+		n.OutSchema = types.NewSchema(fields...)
+
+	default:
+		return fmt.Errorf("algebra: cannot resolve operator %s", n.Kind)
+	}
+	return nil
+}
+
+func lookupRef(s *types.Schema, r Ref) bool {
+	_, ok := lookupRefIdx(s, r)
+	return ok
+}
+
+func lookupRefIdx(s *types.Schema, r Ref) (int, bool) {
+	if i, ok := s.Lookup(r.String()); ok {
+		return i, true
+	}
+	return s.Lookup(r.Attr)
+}
+
+// RefIndex resolves an attribute reference to its position in a schema,
+// trying the qualified name first. The executor uses it after Resolve has
+// validated the plan.
+func RefIndex(s *types.Schema, r Ref) (int, bool) { return lookupRefIdx(s, r) }
+
+// FixedSchemas is a SchemaSource backed by a map keyed "wrapper/collection";
+// tests and single-wrapper tools use it.
+type FixedSchemas map[string]*types.Schema
+
+// CollectionSchema implements SchemaSource.
+func (f FixedSchemas) CollectionSchema(wrapper, collection string) (*types.Schema, error) {
+	if s, ok := f[wrapper+"/"+collection]; ok {
+		return s, nil
+	}
+	return nil, fmt.Errorf("unknown collection %s@%s", collection, wrapper)
+}

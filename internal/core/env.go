@@ -1,0 +1,393 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"disco/internal/algebra"
+	"disco/internal/stats"
+	"disco/internal/types"
+)
+
+// evalEnv implements costvm.Env for one (node, rule, match) combination.
+// It realizes the paper's Figure 7 naming scheme:
+//
+//	C.CountObject        extent statistic or child result variable
+//	C.A.Indexed          attribute statistic (A may be a bound variable)
+//	CountObject          this node's already-computed result variable
+//	PageSize             rule/wrapper/mediator global
+//	Net.Latency          communication parameters of the executing wrapper
+//	Arity, C.Arity       schema widths (extension)
+type evalEnv struct {
+	est    *Estimator
+	ctx    *nodeCtx
+	rule   *Rule
+	match  *matchResult
+	locals map[string]types.Constant // the owning rule's evaluated lets
+}
+
+// Lookup resolves a dotted path. Resolution order for the first segment:
+// rule lets, self result variables, head bindings, wrapper globals,
+// mediator globals, collection names of the executing wrapper, Net.
+func (e *evalEnv) Lookup(path []string) (types.Constant, bool) {
+	head := path[0]
+
+	// Rule-local lets (per node, per rule).
+	if v, ok := e.locals[head]; ok && len(path) == 1 {
+		return v, true
+	}
+	// Self result variables, computed earlier in canonical order.
+	if len(path) == 1 && isVarName(head) {
+		if v, ok := e.ctx.vars[canonVar(head)]; ok {
+			return types.Float(v), true
+		}
+		return types.Null, false
+	}
+	// Self arity.
+	if len(path) == 1 && strings.EqualFold(head, "Arity") {
+		if s := e.ctx.node.OutSchema; s != nil {
+			return types.Int(int64(s.Len())), true
+		}
+		return types.Null, false
+	}
+	// Head bindings.
+	if b, ok := e.match.lookup(head); ok {
+		return e.resolveBinding(b, path[1:])
+	}
+	// Wrapper globals, then mediator globals.
+	if len(path) == 1 {
+		if v, ok := e.rule.Globals[head]; ok {
+			return v, true
+		}
+		if v, ok := e.est.Globals[head]; ok {
+			return v, true
+		}
+	}
+	// Net parameters of the executing site.
+	if strings.EqualFold(head, "Net") && len(path) == 2 {
+		switch strings.ToLower(path[1]) {
+		case "latency":
+			return types.Float(e.est.Net.LatencyMS(e.ctx.wrapper)), true
+		case "perbyte":
+			return types.Float(e.est.Net.PerByteMS(e.ctx.wrapper)), true
+		}
+		return types.Null, false
+	}
+	// A collection name of the rule's wrapper (Figure 8's scan rule
+	// references Employee.TotalSize directly).
+	wrapper := e.rule.Wrapper
+	if wrapper == "" {
+		wrapper = e.ctx.wrapper
+	}
+	if len(path) >= 2 && wrapper != "" && e.est.View.HasCollection(wrapper, head) {
+		return e.resolveBinding(binding{kind: bindColl, coll: head, wrapper: wrapper}, path[1:])
+	}
+	return types.Null, false
+}
+
+// resolveBinding resolves the tail of a path against a head binding.
+func (e *evalEnv) resolveBinding(b binding, tail []string) (types.Constant, bool) {
+	switch b.kind {
+	case bindAttr:
+		if len(tail) == 0 {
+			return types.Str(b.str), true
+		}
+		return types.Null, false
+	case bindValue:
+		if len(tail) == 0 {
+			return b.val, true
+		}
+		return types.Null, false
+	case bindPred:
+		return types.Null, false // predicates are only usable via predsel()
+	case bindColl:
+		return e.resolveCollPath(b, tail)
+	default:
+		return types.Null, false
+	}
+}
+
+// resolveCollPath resolves C.<var-or-stat> and C.<attr>.<stat>.
+func (e *evalEnv) resolveCollPath(b binding, tail []string) (types.Constant, bool) {
+	switch len(tail) {
+	case 0:
+		return types.Null, false
+	case 1:
+		name := tail[0]
+		// Child result variable (TotalTime of the input, etc.).
+		if b.ctx != nil && isVarName(name) {
+			if v, ok := b.ctx.vars[canonVar(name)]; ok {
+				return types.Float(v), true
+			}
+			// Fall through: an unestimated child (leaf collection
+			// target) may still answer from base statistics.
+		}
+		if strings.EqualFold(name, "Arity") {
+			if b.ctx != nil && b.ctx.node.OutSchema != nil {
+				return types.Int(int64(b.ctx.node.OutSchema.Len())), true
+			}
+		}
+		// Base collection statistics.
+		ext, ok := e.extentOf(b)
+		if !ok {
+			return types.Null, false
+		}
+		switch strings.ToLower(name) {
+		case "countobject":
+			return types.Int(ext.CountObject), true
+		case "totalsize":
+			return types.Int(ext.TotalSize), true
+		case "objectsize":
+			return types.Int(ext.ObjectSize), true
+		case "countpage":
+			return types.Int(ext.CountPage(e.pageSize())), true
+		default:
+			return types.Null, false
+		}
+	case 2:
+		attr := tail[0]
+		// The attribute segment may itself be a bound head variable (the
+		// C.A.Indexed indirection).
+		if ab, ok := e.match.lookup(attr); ok && ab.kind == bindAttr {
+			attr = ab.str
+		}
+		ast, ok := e.attrStats(b, attr)
+		if !ok {
+			return types.Null, false
+		}
+		switch strings.ToLower(tail[1]) {
+		case "indexed":
+			return types.Bool(ast.Indexed), true
+		case "clustered":
+			return types.Bool(ast.Clustered), true
+		case "countdistinct":
+			return types.Int(ast.CountDistinct), true
+		case "min":
+			if ast.Min.IsNull() {
+				return types.Null, false
+			}
+			return ast.Min, true
+		case "max":
+			if ast.Max.IsNull() {
+				return types.Null, false
+			}
+			return ast.Max, true
+		default:
+			return types.Null, false
+		}
+	default:
+		return types.Null, false
+	}
+}
+
+func (e *evalEnv) pageSize() int64 {
+	if v, ok := e.rule.Globals["PageSize"]; ok {
+		return v.AsInt()
+	}
+	if v, ok := e.est.Globals["PageSize"]; ok {
+		return v.AsInt()
+	}
+	return 4096
+}
+
+// extentOf returns extent statistics for a collection binding: the base
+// collection's exported stats, or the default fallback.
+func (e *evalEnv) extentOf(b binding) (stats.ExtentStats, bool) {
+	if b.coll != "" && b.wrapper != "" {
+		if ext, ok := e.est.View.Extent(b.wrapper, b.coll); ok {
+			return ext, true
+		}
+		return DefaultExtent, true
+	}
+	// Intermediate result: answer from the child's computed variables.
+	if b.ctx != nil && b.ctx.vars != nil {
+		ext := stats.ExtentStats{}
+		co, ok1 := b.ctx.vars["CountObject"]
+		ts, ok2 := b.ctx.vars["TotalSize"]
+		os, ok3 := b.ctx.vars["ObjectSize"]
+		if !ok1 && !ok2 {
+			return ext, false
+		}
+		ext.CountObject = int64(co)
+		ext.TotalSize = int64(ts)
+		ext.ObjectSize = int64(os)
+		if !ok3 && ok1 && ok2 && co > 0 {
+			ext.ObjectSize = int64(ts / co)
+		}
+		return ext, true
+	}
+	return stats.ExtentStats{}, false
+}
+
+// attrStats resolves attribute statistics for a collection binding,
+// searching the bound subtree's base collections when the binding is an
+// intermediate result.
+func (e *evalEnv) attrStats(b binding, attr string) (stats.AttributeStats, bool) {
+	if b.coll != "" && b.wrapper != "" {
+		if st, ok := e.est.View.Attribute(b.wrapper, b.coll, attr); ok {
+			return st, true
+		}
+		return stats.AttributeStats{}, false
+	}
+	if b.ctx != nil {
+		return attrStatsUnder(e.est.View, b.ctx.node, attr)
+	}
+	return stats.AttributeStats{}, false
+}
+
+// attrStatsUnder searches the scans under a node for one exporting
+// statistics for the attribute.
+func attrStatsUnder(view CatalogView, n *algebra.Node, attr string) (stats.AttributeStats, bool) {
+	for _, scan := range n.Scans() {
+		if st, ok := view.Attribute(scan.Wrapper, scan.Collection, attr); ok {
+			return st, true
+		}
+	}
+	return stats.AttributeStats{}, false
+}
+
+// Call resolves function invocations: the rule's registry (stdlib plus
+// wrapper defs) first, then the contextual cost-model functions.
+func (e *evalEnv) Call(name string, args []types.Constant) (types.Constant, error) {
+	if e.rule.Funcs != nil && e.rule.Funcs.Has(name) {
+		return e.rule.Funcs.Call(name, args)
+	}
+	switch strings.ToLower(name) {
+	case "selectivity":
+		return e.callSelectivity(args)
+	case "predsel":
+		return types.Float(e.predSelectivity(e.ctx.node.Pred)), nil
+	case "joinsel":
+		return types.Float(e.joinSelectivity()), nil
+	case "groups":
+		return types.Float(e.groupEstimate()), nil
+	}
+	return types.Null, fmt.Errorf("unknown function %q", name)
+}
+
+// callSelectivity implements the contextual selectivity(A, V) function:
+// the fraction of the node's input satisfying the matched comparison. The
+// comparison operator comes from the matched predicate (the head pattern
+// constrains it).
+func (e *evalEnv) callSelectivity(args []types.Constant) (types.Constant, error) {
+	if len(args) != 2 {
+		return types.Null, fmt.Errorf("selectivity expects 2 args (attribute, value)")
+	}
+	attr := args[0].AsString()
+	value := args[1]
+	op := stats.CmpEQ
+	if e.match.hasSel {
+		op = e.match.selOp
+	}
+	st, ok := e.inputAttrStats(attr)
+	if !ok {
+		st = DefaultAttribute
+	}
+	return types.Float(st.Selectivity(op, value)), nil
+}
+
+// inputAttrStats finds statistics for an attribute of the node's input(s).
+func (e *evalEnv) inputAttrStats(attr string) (stats.AttributeStats, bool) {
+	for _, child := range e.ctx.children {
+		if st, ok := attrStatsUnder(e.est.View, child.node, attr); ok {
+			return st, true
+		}
+	}
+	if e.ctx.node.Kind == algebra.OpScan {
+		return e.est.View.Attribute(e.ctx.node.Wrapper, e.ctx.node.Collection, attr)
+	}
+	return stats.AttributeStats{}, false
+}
+
+// predSelectivity estimates the selectivity of a whole predicate as the
+// product of its conjuncts' selectivities (independence assumption).
+func (e *evalEnv) predSelectivity(p *algebra.Predicate) float64 {
+	if p == nil || len(p.Conjuncts) == 0 {
+		return 1
+	}
+	sel := 1.0
+	for _, c := range p.Conjuncts {
+		if c.IsJoin() {
+			l, okL := e.inputAttrStats(c.Left.Attr)
+			r, okR := e.inputAttrStats(c.RightAttr.Attr)
+			if !okL {
+				l = DefaultAttribute
+			}
+			if !okR {
+				r = DefaultAttribute
+			}
+			sel *= stats.JoinSelectivity(l, r)
+			continue
+		}
+		st, ok := e.inputAttrStats(c.Left.Attr)
+		if !ok {
+			st = DefaultAttribute
+		}
+		sel *= st.Selectivity(c.Op, c.RightConst)
+	}
+	return sel
+}
+
+// joinSelectivity estimates the node's join predicate selectivity relative
+// to the cross product.
+func (e *evalEnv) joinSelectivity() float64 {
+	p := e.ctx.node.Pred
+	if p == nil {
+		return 1 // cross product
+	}
+	sel := 1.0
+	matched := false
+	for _, c := range p.JoinComparisons() {
+		l, okL := e.inputAttrStats(c.Left.Attr)
+		r, okR := e.inputAttrStats(c.RightAttr.Attr)
+		if !okL {
+			l = DefaultAttribute
+		}
+		if !okR {
+			r = DefaultAttribute
+		}
+		sel *= stats.JoinSelectivity(l, r)
+		matched = true
+	}
+	for _, c := range p.SelectionComparisons() {
+		st, ok := e.inputAttrStats(c.Left.Attr)
+		if !ok {
+			st = DefaultAttribute
+		}
+		sel *= st.Selectivity(c.Op, c.RightConst)
+		matched = true
+	}
+	if !matched {
+		return 0.01
+	}
+	return sel
+}
+
+// groupEstimate estimates the number of groups an aggregate produces.
+func (e *evalEnv) groupEstimate() float64 {
+	n := e.ctx.node
+	if n.Kind != algebra.OpAggregate || len(n.GroupBy) == 0 {
+		return 1
+	}
+	childCount := 1e9
+	if len(e.ctx.children) > 0 {
+		if v, ok := e.ctx.children[0].vars["CountObject"]; ok {
+			childCount = v
+		}
+	}
+	groups := 1.0
+	for _, g := range n.GroupBy {
+		if st, ok := e.inputAttrStats(g.Attr); ok && st.CountDistinct > 0 {
+			groups *= float64(st.CountDistinct)
+		} else {
+			groups *= 10 // default distinct factor
+		}
+	}
+	if groups > childCount {
+		groups = childCount
+	}
+	if groups < 1 {
+		groups = 1
+	}
+	return groups
+}

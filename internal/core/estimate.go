@@ -1,0 +1,613 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"disco/internal/algebra"
+	"disco/internal/types"
+)
+
+// The canonical result variables, in evaluation order. Size statistics are
+// computed before times so that time formulas may reference them; TimeNext
+// comes last so the generic model can derive it from TotalTime and
+// TimeFirst. Formulas referencing a self variable that appears later in
+// this order fail and fall back, which keeps evaluation well-founded.
+var varOrder = []string{"CountObject", "ObjectSize", "TotalSize", "TimeFirst", "TotalTime", "TimeNext"}
+
+// AllVars returns the canonical result variables in evaluation order.
+func AllVars() []string { return append([]string(nil), varOrder...) }
+
+// ErrOverBudget is returned by Estimate when branch-and-bound pruning
+// aborted the estimation because a subplan already costs more than the
+// best complete plan seen so far (paper §4.3.2).
+var ErrOverBudget = errors.New("core: plan cost exceeds budget, estimation aborted")
+
+// NetProvider supplies per-wrapper communication parameters for the
+// submit operator's cost (paper assumes uniform communication costs; the
+// netsim package provides non-uniform ones as an extension).
+type NetProvider interface {
+	// LatencyMS is the per-message overhead in milliseconds.
+	LatencyMS(wrapper string) float64
+	// PerByteMS is the transfer cost per byte in milliseconds.
+	PerByteMS(wrapper string) float64
+}
+
+// UniformNet is the paper's uniform communication model.
+type UniformNet struct {
+	Latency float64
+	PerByte float64
+}
+
+// LatencyMS implements NetProvider.
+func (u UniformNet) LatencyMS(string) float64 { return u.Latency }
+
+// PerByteMS implements NetProvider.
+func (u UniformNet) PerByteMS(string) float64 { return u.PerByte }
+
+// Options control the estimation algorithm's optional behaviours; the E6
+// ablation toggles them.
+type Options struct {
+	// RequiredVarsOnly enables the paper's phase-1 optimization: only
+	// formulas computing variables some ancestor consumes are selected,
+	// and recursion into a child that owes nothing is cut (§4.2).
+	RequiredVarsOnly bool
+	// Budget, when positive, aborts estimation with ErrOverBudget as soon
+	// as any node's TotalTime exceeds it (§4.3.2).
+	Budget float64
+	// RootVars restricts which variables the caller needs at the plan
+	// root (nil means all). Only meaningful with RequiredVarsOnly.
+	RootVars []string
+	// Trace records which rule supplied each variable, for Explain.
+	Trace bool
+}
+
+// NodeCost is the estimate computed for one plan node.
+type NodeCost struct {
+	// Vars holds the computed result variables (milliseconds for times,
+	// objects and bytes for sizes). Only required variables are present
+	// when RequiredVarsOnly is set.
+	Vars map[string]float64
+	// ChosenRules maps variable -> description of the rule that supplied
+	// it (only with Options.Trace).
+	ChosenRules map[string]string
+}
+
+// Var returns a computed variable, or def when it was not computed.
+func (n *NodeCost) Var(name string, def float64) float64 {
+	if v, ok := n.Vars[name]; ok {
+		return v
+	}
+	return def
+}
+
+// TotalTime returns the node's TotalTime estimate in milliseconds.
+func (n *NodeCost) TotalTime() float64 { return n.Var("TotalTime", 0) }
+
+// PlanCost is the result of estimating a whole plan.
+type PlanCost struct {
+	Root   *NodeCost
+	ByNode map[*algebra.Node]*NodeCost
+	// Metrics of the estimation run (the E6 ablation reports them).
+	NodesVisited int
+	FormulaEvals int
+	RulesMatched int
+}
+
+// TotalTime returns the root TotalTime in milliseconds.
+func (p *PlanCost) TotalTime() float64 { return p.Root.TotalTime() }
+
+// Estimator evaluates plan costs against the integrated rule hierarchy.
+// An Estimator is cheap to construct and safe for sequential reuse; use
+// one per goroutine.
+type Estimator struct {
+	Registry *Registry
+	View     CatalogView
+	Net      NetProvider
+	// Globals are mediator-level coefficients resolvable from any formula
+	// (PageSize, the generic model's calibrated constants, ...). Wrapper
+	// globals shadow them.
+	Globals map[string]types.Constant
+	Options Options
+}
+
+// NewEstimator builds an estimator with the generic-model default
+// coefficients.
+func NewEstimator(reg *Registry, view CatalogView, net NetProvider) *Estimator {
+	if net == nil {
+		net = UniformNet{Latency: 10, PerByte: 0.0005}
+	}
+	return &Estimator{
+		Registry: reg,
+		View:     view,
+		Net:      net,
+		Globals:  DefaultCoefficients(),
+	}
+}
+
+// nodeCtx is the per-node working state of one estimation pass.
+type nodeCtx struct {
+	node     *algebra.Node
+	wrapper  string // executing site: "" = mediator
+	children []*nodeCtx
+	// derivedColl/-Wrapper identify the single base collection the node's
+	// result derives from, when there is one (select/project/... chains
+	// over one scan); joins and unions have none.
+	derivedColl    string
+	derivedWrapper string
+
+	vars     map[string]float64 // computed result variables
+	trace    map[string]string  // variable -> chosen rule (Options.Trace)
+	letCache map[*Rule]map[string]types.Constant
+	levels   []matchLevel // phase-1 association result
+	need     map[string]bool
+}
+
+// matchLevel groups the matched rules of one (scope, specificity) level.
+type matchLevel struct {
+	scope       Scope
+	specificity int
+	rules       []*Rule
+	matches     []*matchResult
+}
+
+// Estimate runs the two-phase algorithm of Figure 11 over a resolved plan
+// and returns per-node costs. The plan must have been resolved
+// (algebra.Resolve) so schemas are available.
+func (e *Estimator) Estimate(plan *algebra.Node) (*PlanCost, error) {
+	pc := &PlanCost{ByNode: make(map[*algebra.Node]*NodeCost)}
+	root, err := e.buildCtx(plan, "")
+	if err != nil {
+		return nil, err
+	}
+	need := map[string]bool{}
+	if e.Options.RequiredVarsOnly && len(e.Options.RootVars) > 0 {
+		for _, v := range e.Options.RootVars {
+			need[v] = true
+		}
+	} else {
+		for _, v := range varOrder {
+			need[v] = true
+		}
+	}
+	if err := e.estimateNode(root, need, pc); err != nil {
+		return nil, err
+	}
+	collect(root, pc)
+	pc.Root = pc.ByNode[plan]
+	return pc, nil
+}
+
+func collect(ctx *nodeCtx, pc *PlanCost) {
+	nc := &NodeCost{Vars: ctx.vars, ChosenRules: ctx.trace}
+	if nc.Vars == nil {
+		nc.Vars = map[string]float64{}
+	}
+	pc.ByNode[ctx.node] = nc
+	for _, c := range ctx.children {
+		collect(c, pc)
+	}
+}
+
+// buildCtx computes the static per-node context: executing wrapper and
+// derived collection.
+func (e *Estimator) buildCtx(n *algebra.Node, wrapper string) (*nodeCtx, error) {
+	ctx := &nodeCtx{node: n, wrapper: wrapper}
+	// A scan always executes at the wrapper that owns its collection,
+	// whether or not a submit boundary has been placed above it yet; and
+	// a submit node models the target wrapper's boundary (delivery and
+	// shipping), so the target's rules — exported submit rules and
+	// query-scope history rules — apply to it.
+	if (n.Kind == algebra.OpScan || n.Kind == algebra.OpSubmit) && wrapper == "" {
+		ctx.wrapper = n.Wrapper
+	}
+	childWrapper := wrapper
+	if n.Kind == algebra.OpSubmit {
+		childWrapper = n.Wrapper
+	}
+	for _, c := range n.Children {
+		cc, err := e.buildCtx(c, childWrapper)
+		if err != nil {
+			return nil, err
+		}
+		ctx.children = append(ctx.children, cc)
+	}
+	// Site inference: an operator with no submit boundary above it
+	// executes where its inputs live — if every child runs at the same
+	// wrapper (and none is a submit, whose output is mediator-side), the
+	// operator is co-located with them. Plans produced by the optimizer
+	// carry explicit submits; inference covers hand-built access paths.
+	if ctx.wrapper == "" && n.Kind != algebra.OpSubmit && len(ctx.children) > 0 {
+		site := ctx.children[0].wrapper
+		ok := site != "" && ctx.children[0].node.Kind != algebra.OpSubmit
+		for _, c := range ctx.children[1:] {
+			if c.wrapper != site || c.node.Kind == algebra.OpSubmit {
+				ok = false
+			}
+		}
+		if ok {
+			ctx.wrapper = site
+		}
+	}
+	switch n.Kind {
+	case algebra.OpScan:
+		ctx.derivedColl = n.Collection
+		ctx.derivedWrapper = n.Wrapper
+	case algebra.OpSelect, algebra.OpProject, algebra.OpSort,
+		algebra.OpDupElim, algebra.OpSubmit:
+		ctx.derivedColl = ctx.children[0].derivedColl
+		ctx.derivedWrapper = ctx.children[0].derivedWrapper
+	default:
+		// joins, unions, aggregates derive from no single collection
+	}
+	return ctx, nil
+}
+
+// estimateNode is the recursive step of Figure 11: (1) associate formulas
+// with the node, (2) recurse into children that owe variables, (3) apply
+// the formulas bottom-up.
+func (e *Estimator) estimateNode(ctx *nodeCtx, need map[string]bool, pc *PlanCost) error {
+	pc.NodesVisited++
+	// Step 1: associate cost formulas with node (most specific rules).
+	e.associate(ctx, pc)
+
+	// Close `need` under self-references: a needed variable's candidate
+	// formulas may read earlier self variables.
+	ctx.need = e.closeNeed(ctx, need)
+
+	// Determine what each child must compute for the selected formulas.
+	childNeeds := e.childRequirements(ctx)
+
+	// Step 2: recursive traversal (cut when a child owes nothing).
+	for i, child := range ctx.children {
+		cn := childNeeds[i]
+		if e.Options.RequiredVarsOnly && len(cn) == 0 {
+			continue // traversal cut (§4.2 optimization ii)
+		}
+		if err := e.estimateNode(child, cn, pc); err != nil {
+			return err
+		}
+	}
+
+	// Step 3: apply formulas to node.
+	if err := e.apply(ctx, pc); err != nil {
+		return err
+	}
+	if e.Options.Budget > 0 {
+		if t, ok := ctx.vars["TotalTime"]; ok && t > e.Options.Budget {
+			return ErrOverBudget
+		}
+	}
+	return nil
+}
+
+// associate matches the node against the rule hierarchy and stores the
+// matching levels, most specific first (paper §4.2 Step 1).
+func (e *Estimator) associate(ctx *nodeCtx, pc *PlanCost) {
+	var candidates []*Rule
+	if ctx.wrapper != "" {
+		candidates = e.Registry.WrapperRulesFor(ctx.wrapper, ctx.node.Kind)
+	}
+	ctx.levels = ctx.levels[:0]
+	appendMatches := func(rules []*Rule, skipLocal, skipDefaultSiteMismatch bool) {
+		for _, r := range rules {
+			if skipLocal && r.Scope == ScopeLocal {
+				continue
+			}
+			_ = skipDefaultSiteMismatch
+			m, ok := matchRule(r, ctx)
+			pc.RulesMatched++
+			if !ok {
+				continue
+			}
+			n := len(ctx.levels)
+			if n > 0 && ctx.levels[n-1].scope == r.Scope && ctx.levels[n-1].specificity == r.Specificity {
+				ctx.levels[n-1].rules = append(ctx.levels[n-1].rules, r)
+				ctx.levels[n-1].matches = append(ctx.levels[n-1].matches, m)
+			} else {
+				ctx.levels = append(ctx.levels, matchLevel{
+					scope: r.Scope, specificity: r.Specificity,
+					rules: []*Rule{r}, matches: []*matchResult{m},
+				})
+			}
+		}
+	}
+	// Wrapper-site nodes consult the wrapper's own rules first, then the
+	// defaults; mediator-site nodes consult local-scope then default.
+	appendMatches(candidates, false, false)
+	if ctx.wrapper != "" {
+		appendMatches(e.Registry.DefaultRulesFor(ctx.node.Kind), true, false)
+	} else {
+		appendMatches(e.Registry.DefaultRulesFor(ctx.node.Kind), false, false)
+	}
+}
+
+// closeNeed extends the needed-variable set with self-referenced earlier
+// variables of the candidate formulas.
+func (e *Estimator) closeNeed(ctx *nodeCtx, need map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(need))
+	for v := range need {
+		out[v] = true
+	}
+	if !e.Options.RequiredVarsOnly {
+		for _, v := range varOrder {
+			out[v] = true
+		}
+		return out
+	}
+	// A formula that fails at evaluation time falls through to lower
+	// levels, so the closure must consider every level providing the
+	// variable, not only the most specific one.
+	for changed := true; changed; {
+		changed = false
+		for _, v := range varOrder {
+			if !out[v] {
+				continue
+			}
+			for li := range ctx.levels {
+				for _, r := range ctx.levels[li].rules {
+					if !r.Provides(v) {
+						continue
+					}
+					for _, f := range r.Formulas {
+						if f.Var != v {
+							continue
+						}
+						for _, p := range f.Prog.Paths {
+							if len(p) == 1 && isVarName(p[0]) && !out[canonVar(p[0])] {
+								out[canonVar(p[0])] = true
+								changed = true
+							}
+						}
+					}
+					for _, f := range r.Lets {
+						for _, p := range f.Prog.Paths {
+							if len(p) == 1 && isVarName(p[0]) && !out[canonVar(p[0])] {
+								out[canonVar(p[0])] = true
+								changed = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// childRequirements inspects the selected formulas' parameter paths and
+// computes, for each child, the set of result variables the formulas will
+// read from it (paper §4.2 optimization i).
+func (e *Estimator) childRequirements(ctx *nodeCtx) []map[string]bool {
+	reqs := make([]map[string]bool, len(ctx.children))
+	for i := range reqs {
+		reqs[i] = map[string]bool{}
+	}
+	if len(ctx.children) == 0 {
+		return reqs
+	}
+	if !e.Options.RequiredVarsOnly {
+		for i := range reqs {
+			for _, v := range varOrder {
+				reqs[i][v] = true
+			}
+		}
+		return reqs
+	}
+	addPathReq := func(m *matchResult, p []string) {
+		if len(p) != 2 || !isVarName(p[1]) {
+			return
+		}
+		b, ok := m.lookup(p[0])
+		if !ok || b.kind != bindColl || b.ctx == nil {
+			return
+		}
+		for i, c := range ctx.children {
+			if c == b.ctx {
+				reqs[i][canonVar(p[1])] = true
+			}
+		}
+	}
+	// Union the references of every level a needed variable's evaluation
+	// could fall through to: evaluation tries lower levels when a
+	// formula fails (missing stats, unsatisfied require()), so lower
+	// levels count too — until a level holds an infallible formula,
+	// which is guaranteed to stop the fallback there.
+	for _, v := range varOrder {
+		if !ctx.need[v] {
+			continue
+		}
+	levelLoop:
+		for li := range ctx.levels {
+			level := &ctx.levels[li]
+			settled := false
+			for ri, r := range level.rules {
+				if !r.Provides(v) {
+					continue
+				}
+				m := level.matches[ri]
+				for _, f := range r.Formulas {
+					if f.Var != v {
+						continue
+					}
+					if formulaInfallible(f) && len(r.Lets) == 0 {
+						settled = true
+					}
+					for _, p := range f.Prog.Paths {
+						addPathReq(m, p)
+					}
+				}
+				for _, f := range r.Lets {
+					for _, p := range f.Prog.Paths {
+						addPathReq(m, p)
+					}
+				}
+			}
+			if settled {
+				break levelLoop
+			}
+		}
+	}
+	return reqs
+}
+
+// formulaInfallible reports whether a formula can never fail at
+// evaluation time: it reads no parameters and performs no calls.
+func formulaInfallible(f Formula) bool {
+	return len(f.Prog.Paths) == 0 && len(f.Prog.Names) == 0
+}
+
+// apply evaluates the selected formulas in canonical variable order. For
+// each variable, all formulas of the most specific providing level are
+// evaluated and the lowest value is kept (paper §4.2 Step 3); formulas
+// that fail (missing statistics, arithmetic errors) are skipped, and if a
+// whole level fails the next, less specific level is tried. The default
+// scope guarantees termination with a value for every variable.
+func (e *Estimator) apply(ctx *nodeCtx, pc *PlanCost) error {
+	ctx.vars = make(map[string]float64, len(varOrder))
+	ctx.letCache = nil
+
+	var trace map[string]string
+	if e.Options.Trace {
+		trace = make(map[string]string)
+	}
+	for _, v := range varOrder {
+		if !ctx.need[v] {
+			continue
+		}
+		best := 0.0
+		found := false
+		var src string
+		// Walk levels most-specific-first; the first level where at
+		// least one formula evaluates wins.
+		for li := range ctx.levels {
+			level := &ctx.levels[li]
+			levelHas := false
+			for ri, r := range level.rules {
+				m := level.matches[ri]
+				for _, f := range r.Formulas {
+					if f.Var != v {
+						continue
+					}
+					levelHas = true
+					val, err := e.evalFormula(ctx, r, m, f, pc)
+					if err != nil {
+						continue
+					}
+					if !found || val < best {
+						best = val
+						src = r.String()
+					}
+					found = true
+				}
+			}
+			if levelHas && found {
+				break // more specific level supplied the value
+			}
+		}
+		if found {
+			ctx.vars[v] = best
+			if trace != nil {
+				trace[v] = src
+			}
+		}
+	}
+	ctx.trace = trace
+	return nil
+}
+
+// evalFormula evaluates one formula against the node, lazily evaluating
+// the owning rule's lets first.
+func (e *Estimator) evalFormula(ctx *nodeCtx, r *Rule, m *matchResult, f Formula, pc *PlanCost) (float64, error) {
+	env := &evalEnv{est: e, ctx: ctx, rule: r, match: m}
+	// Per-rule lets, evaluated once per (node, rule) and cached so that
+	// same-named lets of different rules cannot clash.
+	if len(r.Lets) > 0 {
+		if ctx.letCache == nil {
+			ctx.letCache = make(map[*Rule]map[string]types.Constant)
+		}
+		locals, done := ctx.letCache[r]
+		if !done {
+			locals = make(map[string]types.Constant, len(r.Lets))
+			env.locals = locals
+			for _, let := range r.Lets {
+				pc.FormulaEvals++
+				v, err := let.Prog.Eval(env)
+				if err != nil {
+					return 0, err
+				}
+				locals[let.Var] = v
+			}
+			ctx.letCache[r] = locals
+		}
+		env.locals = locals
+	}
+	pc.FormulaEvals++
+	v, err := f.Prog.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	if !v.IsNumeric() {
+		return 0, fmt.Errorf("core: formula for %s returned non-numeric %s", f.Var, v)
+	}
+	x := v.AsFloat()
+	if x < 0 {
+		x = 0
+	}
+	return x, nil
+}
+
+func isVarName(name string) bool {
+	for _, v := range varOrder {
+		if strings.EqualFold(v, name) {
+			return true
+		}
+	}
+	return false
+}
+
+func canonVar(name string) string {
+	for _, v := range varOrder {
+		if strings.EqualFold(v, name) {
+			return v
+		}
+	}
+	return name
+}
+
+// Explain renders a per-node report of the estimate with the chosen rules;
+// requires Options.Trace.
+func (e *Estimator) Explain(plan *algebra.Node, pc *PlanCost) string {
+	var b strings.Builder
+	var visit func(n *algebra.Node, depth int)
+	visit = func(n *algebra.Node, depth int) {
+		nc := pc.ByNode[n]
+		indent := strings.Repeat("  ", depth)
+		fmt.Fprintf(&b, "%s%s", indent, strings.TrimSpace(strings.SplitN(n.String(), "\n", 2)[0]))
+		if nc != nil {
+			keys := make([]string, 0, len(nc.Vars))
+			for k := range nc.Vars {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			parts := make([]string, 0, len(keys))
+			for _, k := range keys {
+				parts = append(parts, fmt.Sprintf("%s=%.4g", k, nc.Vars[k]))
+			}
+			fmt.Fprintf(&b, "  {%s}", strings.Join(parts, " "))
+			if len(nc.ChosenRules) > 0 {
+				if r, ok := nc.ChosenRules["TotalTime"]; ok {
+					fmt.Fprintf(&b, "  via %s", r)
+				}
+			}
+		}
+		b.WriteByte('\n')
+		for _, c := range n.Children {
+			visit(c, depth+1)
+		}
+	}
+	visit(plan, 0)
+	return b.String()
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"strings"
+
+	"disco/internal/algebra"
+	"disco/internal/stats"
+	"disco/internal/types"
+)
+
+// fixtureView is a CatalogView fixture with the paper's Employee example
+// (Figure 6: 10 000 objects of 120 bytes; salary indexed with 10 000
+// distinct values in [1000, 30000]; Name indexed, Adiba..Valduriez) plus a
+// Book collection on a second wrapper and a stats-less flat collection.
+type fixtureView struct {
+	extents map[string]stats.ExtentStats
+	attrs   map[string]stats.AttributeStats
+}
+
+func newFixtureView() *fixtureView {
+	return &fixtureView{
+		extents: map[string]stats.ExtentStats{
+			"src1/Employee": {CountObject: 10000, TotalSize: 1_200_000, ObjectSize: 120},
+			"src1/Manager":  {CountObject: 500, TotalSize: 60_000, ObjectSize: 120},
+			"src2/Book":     {CountObject: 50000, TotalSize: 10_000_000, ObjectSize: 200},
+		},
+		attrs: map[string]stats.AttributeStats{
+			"src1/Employee/id":     {Indexed: true, CountDistinct: 10000, Min: types.Int(1), Max: types.Int(10000)},
+			"src1/Employee/salary": {Indexed: true, CountDistinct: 10000, Min: types.Int(1000), Max: types.Int(30000)},
+			"src1/Employee/name":   {Indexed: true, CountDistinct: 10000, Min: types.Str("Adiba"), Max: types.Str("Valduriez")},
+			"src1/Employee/age":    {Indexed: false, CountDistinct: 50, Min: types.Int(18), Max: types.Int(67)},
+			"src1/Manager/id":      {Indexed: true, CountDistinct: 500, Min: types.Int(1), Max: types.Int(500)},
+			"src1/Manager/dept":    {Indexed: false, CountDistinct: 20, Min: types.Int(1), Max: types.Int(20)},
+			"src2/Book/id":         {Indexed: true, CountDistinct: 50000, Min: types.Int(1), Max: types.Int(50000)},
+			"src2/Book/author":     {Indexed: true, CountDistinct: 9000, Min: types.Int(1), Max: types.Int(10000)},
+			"src2/Book/year":       {Indexed: false, CountDistinct: 100, Min: types.Int(1900), Max: types.Int(1999)},
+		},
+	}
+}
+
+func (f *fixtureView) HasCollection(wrapper, collection string) bool {
+	_, ok := f.extents[wrapper+"/"+collection]
+	return ok
+}
+
+func (f *fixtureView) HasAttribute(wrapper, collection, attr string) bool {
+	if collection != "" {
+		_, ok := f.attrs[wrapper+"/"+collection+"/"+attr]
+		return ok
+	}
+	prefix := wrapper + "/"
+	for k := range f.attrs {
+		if strings.HasPrefix(k, prefix) && strings.EqualFold(k[strings.LastIndexByte(k, '/')+1:], attr) {
+			return true
+		}
+	}
+	return false
+}
+
+func (f *fixtureView) Extent(wrapper, collection string) (stats.ExtentStats, bool) {
+	e, ok := f.extents[wrapper+"/"+collection]
+	return e, ok
+}
+
+func (f *fixtureView) Attribute(wrapper, collection, attr string) (stats.AttributeStats, bool) {
+	a, ok := f.attrs[wrapper+"/"+collection+"/"+strings.ToLower(attr)]
+	if !ok {
+		a, ok = f.attrs[wrapper+"/"+collection+"/"+attr]
+	}
+	return a, ok
+}
+
+// fixtureSchemas supplies row schemas for plan resolution.
+func fixtureSchemas() algebra.FixedSchemas {
+	return algebra.FixedSchemas{
+		"src1/Employee": types.NewSchema(
+			types.Field{Name: "id", Collection: "Employee", Type: types.KindInt},
+			types.Field{Name: "name", Collection: "Employee", Type: types.KindString},
+			types.Field{Name: "salary", Collection: "Employee", Type: types.KindInt},
+			types.Field{Name: "age", Collection: "Employee", Type: types.KindInt},
+		),
+		"src1/Manager": types.NewSchema(
+			types.Field{Name: "id", Collection: "Manager", Type: types.KindInt},
+			types.Field{Name: "dept", Collection: "Manager", Type: types.KindInt},
+		),
+		"src2/Book": types.NewSchema(
+			types.Field{Name: "id", Collection: "Book", Type: types.KindInt},
+			types.Field{Name: "title", Collection: "Book", Type: types.KindString},
+			types.Field{Name: "author", Collection: "Book", Type: types.KindInt},
+			types.Field{Name: "year", Collection: "Book", Type: types.KindInt},
+		),
+	}
+}
+
+func ref(coll, attr string) algebra.Ref { return algebra.Ref{Collection: coll, Attr: attr} }

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"strings"
+
+	"disco/internal/algebra"
+	"disco/internal/stats"
+	"disco/internal/types"
+)
+
+// bindKind classifies what a head variable got bound to.
+type bindKind uint8
+
+const (
+	bindColl  bindKind = iota // a collection term: child node and/or base collection
+	bindAttr                  // an attribute name
+	bindValue                 // a predicate constant
+	bindPred                  // a whole predicate
+)
+
+// binding is the value a head variable unified with.
+type binding struct {
+	kind bindKind
+	// Collection bindings: the child context (nil for scan targets) and
+	// the base collection name the target derives from ("" when the
+	// target is an intermediate result with no single base collection).
+	ctx  *nodeCtx
+	coll string
+	// wrapper owning coll, for statistics lookups.
+	wrapper string
+	// Attribute / value bindings.
+	str string
+	val types.Constant
+	// Predicate binding.
+	pred *algebra.Predicate
+}
+
+// matchResult carries the unified bindings of one successful head match,
+// plus the predicate components the match consumed (used by the contextual
+// selectivity function even when the rule head bound them as constants).
+type matchResult struct {
+	bindings map[string]binding
+	selAttr  string
+	selOp    stats.CmpOp
+	selValue types.Constant
+	hasSel   bool
+}
+
+func (m *matchResult) bind(name string, b binding) {
+	if name == "" {
+		return
+	}
+	if m.bindings == nil {
+		m.bindings = make(map[string]binding, 4)
+	}
+	m.bindings[strings.ToLower(name)] = b
+}
+
+func (m *matchResult) lookup(name string) (binding, bool) {
+	b, ok := m.bindings[strings.ToLower(name)]
+	return b, ok
+}
+
+// collTarget is a position a collection term can unify with.
+type collTarget struct {
+	ctx     *nodeCtx // child context; nil when the target is the scanned base collection itself
+	coll    string   // derived base collection name ("" when none)
+	wrapper string
+}
+
+// matchRule unifies a rule head with a plan node (paper §3.3.2). It
+// returns the bindings and true on success.
+func matchRule(rule *Rule, ctx *nodeCtx) (*matchResult, bool) {
+	if rule.Op != ctx.node.Kind {
+		return nil, false
+	}
+	if rule.Exact != nil {
+		if !ctx.node.Equal(rule.Exact) {
+			return nil, false
+		}
+		if len(rule.Terms) == 0 {
+			// An exact rule's formulas are observed constants; no
+			// bindings are needed.
+			return &matchResult{}, true
+		}
+	}
+	m := &matchResult{}
+	node := ctx.node
+
+	// Lay out the unification targets for this operator shape.
+	var colls []collTarget
+	var pred *algebra.Predicate
+	hasPredPosition := false
+	switch node.Kind {
+	case algebra.OpScan:
+		colls = []collTarget{{coll: node.Collection, wrapper: node.Wrapper}}
+	case algebra.OpSelect:
+		colls = []collTarget{childTarget(ctx, 0)}
+		pred = node.Pred
+		hasPredPosition = true
+	case algebra.OpJoin:
+		colls = []collTarget{childTarget(ctx, 0), childTarget(ctx, 1)}
+		pred = node.Pred
+		hasPredPosition = true
+	case algebra.OpUnion:
+		colls = []collTarget{childTarget(ctx, 0), childTarget(ctx, 1)}
+	case algebra.OpProject, algebra.OpSort, algebra.OpDupElim,
+		algebra.OpAggregate, algebra.OpSubmit:
+		colls = []collTarget{childTarget(ctx, 0)}
+	default:
+		return nil, false
+	}
+
+	terms := rule.Terms
+	// Unify collection positions.
+	for i, target := range colls {
+		if i >= len(terms) {
+			return nil, false // head has fewer args than the operator shape
+		}
+		if !unifyColl(m, terms[i], target) {
+			return nil, false
+		}
+	}
+	rest := terms[len(colls):]
+
+	// Unify the predicate position, if the operator has one and the head
+	// supplies a term for it.
+	if len(rest) > 0 {
+		if !hasPredPosition {
+			return nil, false // e.g. scan(C, X) can never match
+		}
+		if len(rest) > 1 {
+			return nil, false
+		}
+		if !unifyPred(m, rest[0], pred) {
+			return nil, false
+		}
+	}
+	return m, true
+}
+
+func childTarget(ctx *nodeCtx, i int) collTarget {
+	c := ctx.children[i]
+	return collTarget{ctx: c, coll: c.derivedColl, wrapper: c.derivedWrapper}
+}
+
+func unifyColl(m *matchResult, t HeadTerm, target collTarget) bool {
+	switch t.Kind {
+	case TermVar:
+		m.bind(t.Name, binding{kind: bindColl, ctx: target.ctx, coll: target.coll, wrapper: target.wrapper})
+		return true
+	case TermCollection:
+		if !strings.EqualFold(t.Name, target.coll) {
+			return false
+		}
+		m.bind(t.Name, binding{kind: bindColl, ctx: target.ctx, coll: target.coll, wrapper: target.wrapper})
+		return true
+	default:
+		return false // a comparison cannot appear in a collection position
+	}
+}
+
+// unifyPred unifies a head predicate term with a node predicate. A
+// variable term matches any predicate; a comparison term matches a
+// single-conjunct predicate (the optimizer cascades conjunctive selects,
+// so wrapper-visible predicates are single comparisons).
+func unifyPred(m *matchResult, t HeadTerm, pred *algebra.Predicate) bool {
+	if t.Kind == TermVar {
+		m.bind(t.Name, binding{kind: bindPred, pred: pred})
+		if pred != nil && len(pred.Conjuncts) == 1 {
+			recordSel(m, pred.Conjuncts[0])
+		}
+		return true
+	}
+	if t.Kind != TermCmp {
+		return false
+	}
+	if pred == nil || len(pred.Conjuncts) != 1 {
+		return false
+	}
+	c := pred.Conjuncts[0]
+	if matchCmp(m, t, c) {
+		recordSel(m, c)
+		return true
+	}
+	// Equi-comparisons are symmetric: try the flipped conjunct so that a
+	// head `a = b` also matches a node predicate `b = a`.
+	if c.IsJoin() {
+		flipped := algebra.Comparison{
+			Left:      *c.RightAttr,
+			Op:        c.Op.Flip(),
+			RightAttr: &c.Left,
+		}
+		if matchCmp(m, t, flipped) {
+			recordSel(m, c)
+			return true
+		}
+	}
+	return false
+}
+
+func recordSel(m *matchResult, c algebra.Comparison) {
+	if c.IsJoin() {
+		return
+	}
+	m.selAttr = c.Left.Attr
+	m.selOp = c.Op
+	m.selValue = c.RightConst
+	m.hasSel = true
+}
+
+func matchCmp(m *matchResult, t HeadTerm, c algebra.Comparison) bool {
+	if t.Op != c.Op {
+		return false
+	}
+	// Attribute side.
+	if t.Attr != "" {
+		if !strings.EqualFold(t.Attr, c.Left.Attr) {
+			return false
+		}
+	}
+	// Value side.
+	switch {
+	case c.IsJoin():
+		// The right-hand side is an attribute.
+		if t.BoundVal {
+			if !t.ValueIsAttr || !strings.EqualFold(t.Value.AsString(), c.RightAttr.Attr) {
+				return false
+			}
+		}
+	default:
+		// The right-hand side is a constant.
+		if t.BoundVal {
+			if t.ValueIsAttr || !t.Value.Equal(c.RightConst) {
+				return false
+			}
+		}
+	}
+	// All constraints hold; produce bindings (after constraints so a
+	// failed match leaves no partial bindings behind... bindings are
+	// per-call anyway, but partial state would leak through the flipped
+	// retry in unifyPred).
+	if t.AttrVar != "" {
+		m.bind(t.AttrVar, binding{kind: bindAttr, str: c.Left.Attr})
+	}
+	if t.ValueVar != "" {
+		if c.IsJoin() {
+			m.bind(t.ValueVar, binding{kind: bindAttr, str: c.RightAttr.Attr})
+		} else {
+			m.bind(t.ValueVar, binding{kind: bindValue, val: c.RightConst})
+		}
+	}
+	return true
+}

@@ -1,0 +1,604 @@
+// Package core implements the paper's primary contribution: the
+// heterogeneous, extensible cost model of the DISCO mediator. Wrapper cost
+// rules written in the cost communication language (internal/costlang) are
+// integrated at registration time into a specialization hierarchy of
+// scopes (paper Figure 10); during optimization the two-phase estimation
+// algorithm (paper Figure 11) blends the most specific applicable formulas
+// with the mediator's generic cost model, per result variable.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"disco/internal/algebra"
+	"disco/internal/costlang"
+	"disco/internal/costvm"
+	"disco/internal/stats"
+	"disco/internal/types"
+)
+
+// Scope is the applicability domain of a rule in the specialization
+// hierarchy. Higher values are more specific and are matched first
+// (paper §4.1/§4.2: query > predicate > collection > wrapper > local >
+// default).
+type Scope uint8
+
+// The scope lattice of Figure 10 plus the mediator-side scopes.
+const (
+	// ScopeDefault holds the mediator's generic cost model: a rule for
+	// every variable of every operator, guaranteed to match.
+	ScopeDefault Scope = iota
+	// ScopeLocal holds rules for operators executed by the mediator's own
+	// engine (above submit boundaries).
+	ScopeLocal
+	// ScopeWrapper rules apply to any collection and predicate of one
+	// data source.
+	ScopeWrapper
+	// ScopeCollection rules apply to one specific collection of a source.
+	ScopeCollection
+	// ScopePredicate rules apply to a specific collection with a specific
+	// predicate shape (bound attribute and/or bound value).
+	ScopePredicate
+	// ScopeQuery rules record the observed cost of one exact subquery
+	// (the historical extension of §4.3.1).
+	ScopeQuery
+)
+
+// String renders the scope name.
+func (s Scope) String() string {
+	switch s {
+	case ScopeDefault:
+		return "default"
+	case ScopeLocal:
+		return "local"
+	case ScopeWrapper:
+		return "wrapper"
+	case ScopeCollection:
+		return "collection"
+	case ScopePredicate:
+		return "predicate"
+	case ScopeQuery:
+		return "query"
+	default:
+		return fmt.Sprintf("scope(%d)", uint8(s))
+	}
+}
+
+// TermKind classifies one rule-head argument after integration.
+type TermKind uint8
+
+// Head-term kinds.
+const (
+	// TermVar is a free variable that unifies with anything in its
+	// position.
+	TermVar TermKind = iota
+	// TermCollection is a bound collection name.
+	TermCollection
+	// TermCmp is an attribute-comparison pattern.
+	TermCmp
+)
+
+// HeadTerm is one classified rule-head argument.
+type HeadTerm struct {
+	Kind TermKind
+	// Name is the variable name (TermVar) or collection name
+	// (TermCollection).
+	Name string
+	// Comparison pattern (TermCmp).
+	Attr     string // bound attribute name; empty when AttrVar is set
+	AttrVar  string // variable name binding the attribute
+	Op       stats.CmpOp
+	Value    types.Constant // bound value; meaningful when ValueVar is empty
+	ValueVar string         // variable name binding the value
+	BoundVal bool           // whether Value is a bound constant
+	// ValueIsAttr marks a bound value that names an attribute (a
+	// join-style head such as join(E, B, id = author)); it matches the
+	// right-hand attribute of a join conjunct rather than a constant.
+	ValueIsAttr bool
+}
+
+// String renders the classified term.
+func (t HeadTerm) String() string {
+	switch t.Kind {
+	case TermVar:
+		return "?" + t.Name
+	case TermCollection:
+		return t.Name
+	case TermCmp:
+		attr := t.Attr
+		if attr == "" {
+			attr = "?" + t.AttrVar
+		}
+		val := t.Value.String()
+		if !t.BoundVal {
+			val = "?" + t.ValueVar
+		}
+		return attr + " " + t.Op.String() + " " + val
+	default:
+		return "<bad term>"
+	}
+}
+
+// Formula is one compiled assignment of a rule body.
+type Formula struct {
+	Var  string // canonical result-variable name
+	Prog *costvm.Program
+}
+
+// Rule is a compiled, integrated cost rule. Rules are immutable after
+// integration and shared across estimations.
+type Rule struct {
+	// Op is the operator kind the rule head names.
+	Op algebra.OpKind
+	// Terms are the classified head arguments.
+	Terms []HeadTerm
+	// Lets are per-rule local definitions, evaluated in order before the
+	// formulas.
+	Lets []Formula
+	// Formulas are the result assignments, in source order.
+	Formulas []Formula
+	// Scope is the rule's position in the specialization hierarchy.
+	Scope Scope
+	// Wrapper is the owning data source; empty for default/local rules.
+	Wrapper string
+	// Specificity counts bound parameters in the head (collection names,
+	// attribute names, values, operator): the within-scope ordering of
+	// paper §3.3.2.
+	Specificity int
+	// Seq is the registration order; the earlier rule wins ties
+	// ("we select the first one in the order given by the wrapper
+	// implementor").
+	Seq int
+	// Exact, when non-nil, restricts the rule to nodes whose whole
+	// subtree is structurally equal to this plan — the query scope of
+	// §4.3.1, where a rule records the observed cost of one exact
+	// subquery.
+	Exact *algebra.Node
+	// Funcs resolves function calls in this rule's formulas (stdlib plus
+	// the owning wrapper's defs).
+	Funcs *costvm.FuncRegistry
+	// Globals are the owning wrapper's top-level lets, pre-evaluated.
+	Globals map[string]types.Constant
+	// Source describes where the rule came from, for Explain output.
+	Source string
+}
+
+// Provides reports whether the rule has a formula for the named variable.
+func (r *Rule) Provides(varName string) bool {
+	for _, f := range r.Formulas {
+		if f.Var == varName {
+			return true
+		}
+	}
+	return false
+}
+
+// Head renders the rule head for diagnostics.
+func (r *Rule) Head() string {
+	parts := make([]string, len(r.Terms))
+	for i, t := range r.Terms {
+		parts[i] = t.String()
+	}
+	return r.Op.String() + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// String renders scope, head and provided variables.
+func (r *Rule) String() string {
+	vars := make([]string, 0, len(r.Formulas))
+	seen := map[string]bool{}
+	for _, f := range r.Formulas {
+		if !seen[f.Var] {
+			vars = append(vars, f.Var)
+			seen[f.Var] = true
+		}
+	}
+	return fmt.Sprintf("[%s/%d] %s -> {%s}", r.Scope, r.Specificity, r.Head(), strings.Join(vars, ", "))
+}
+
+// CatalogView is what rule integration and estimation need to know about
+// registered sources: schema membership tests for head classification and
+// statistics for formula evaluation. The mediator catalog implements it.
+type CatalogView interface {
+	// HasCollection reports whether the wrapper exports the collection.
+	HasCollection(wrapper, collection string) bool
+	// HasAttribute reports whether the collection (or, when collection is
+	// empty, any collection of the wrapper) has the attribute.
+	HasAttribute(wrapper, collection, attr string) bool
+	// Extent returns extent statistics; ok is false when the wrapper
+	// exported none (the estimator then falls back to DefaultExtent).
+	Extent(wrapper, collection string) (stats.ExtentStats, bool)
+	// Attribute returns attribute statistics; ok is false when unknown.
+	Attribute(wrapper, collection, attr string) (stats.AttributeStats, bool)
+}
+
+// DefaultExtent is the "standard values given, as usual" fallback (paper
+// §6) when a source exports no statistics.
+var DefaultExtent = stats.ExtentStats{CountObject: 1000, TotalSize: 100_000, ObjectSize: 100}
+
+// DefaultAttribute is the fallback attribute statistics.
+var DefaultAttribute = stats.AttributeStats{Indexed: false, CountDistinct: 100}
+
+// Registry holds all integrated rules, bucketed per wrapper, each bucket
+// pre-sorted by (scope desc, specificity desc, seq asc) so that matching
+// walks candidates most-specific-first. Per-operator dispatch tables (the
+// paper's "own efficient [overriding mechanism] based on kind of virtual
+// tables", §3.3.2) keep matching time independent of rules for other
+// operators.
+type Registry struct {
+	defaults     []*Rule // ScopeDefault and ScopeLocal
+	defaultsByOp map[algebra.OpKind][]*Rule
+	byWrapper    map[string][]*Rule
+	byWrapperOp  map[string]map[algebra.OpKind][]*Rule
+	seq          int
+	baseFuncs    *costvm.FuncRegistry
+}
+
+// NewRegistry returns an empty registry whose rules share the given base
+// function registry (nil means a fresh stdlib registry).
+func NewRegistry(base *costvm.FuncRegistry) *Registry {
+	if base == nil {
+		base = costvm.NewFuncRegistry()
+	}
+	return &Registry{
+		byWrapper:    make(map[string][]*Rule),
+		byWrapperOp:  make(map[string]map[algebra.OpKind][]*Rule),
+		defaultsByOp: make(map[algebra.OpKind][]*Rule),
+		baseFuncs:    base,
+	}
+}
+
+// BaseFuncs exposes the shared stdlib registry (for registering extra
+// mediator builtins).
+func (reg *Registry) BaseFuncs() *costvm.FuncRegistry { return reg.baseFuncs }
+
+// RuleCount reports the total number of integrated rules.
+func (reg *Registry) RuleCount() int {
+	n := len(reg.defaults)
+	for _, rs := range reg.byWrapper {
+		n += len(rs)
+	}
+	return n
+}
+
+// WrapperRules returns the integrated rules of one wrapper (sorted
+// most-specific-first); the slice must not be modified.
+func (reg *Registry) WrapperRules(wrapper string) []*Rule { return reg.byWrapper[wrapper] }
+
+// DefaultRules returns the default- and local-scope rules.
+func (reg *Registry) DefaultRules() []*Rule { return reg.defaults }
+
+// IntegrateDefaults compiles a cost-language file into default-scope (or,
+// when local is true, local-scope) rules. Head identifiers are all treated
+// as free variables — the generic model never names collections.
+func (reg *Registry) IntegrateDefaults(file *costlang.File, local bool) error {
+	scope := ScopeDefault
+	if local {
+		scope = ScopeLocal
+	}
+	funcs := reg.baseFuncs.Clone()
+	globals, err := evalGlobals(file, funcs)
+	if err != nil {
+		return err
+	}
+	for _, def := range file.Funcs {
+		if err := funcs.RegisterDef(def); err != nil {
+			return err
+		}
+	}
+	for _, rd := range file.Rules {
+		rule, err := compileRule(rd, "", scope, nil, funcs, globals)
+		if err != nil {
+			return err
+		}
+		rule.Seq = reg.seq
+		reg.seq++
+		rule.Source = fmt.Sprintf("%s-scope line %d", scope, rd.Line)
+		reg.defaults = append(reg.defaults, rule)
+	}
+	sortRules(reg.defaults)
+	reg.defaultsByOp = indexByOp(reg.defaults)
+	return nil
+}
+
+// IntegrateWrapper compiles the cost-language file a wrapper exported at
+// registration time (paper §4.1). Head identifiers are classified against
+// the wrapper's registered schema: known collection names and attribute
+// names become bound constants, everything else a free variable.
+func (reg *Registry) IntegrateWrapper(wrapper string, file *costlang.File, view CatalogView) error {
+	if wrapper == "" {
+		return fmt.Errorf("core: wrapper rules need a wrapper name")
+	}
+	funcs := reg.baseFuncs.Clone()
+	globals, err := evalGlobals(file, funcs)
+	if err != nil {
+		return err
+	}
+	for _, def := range file.Funcs {
+		if err := funcs.RegisterDef(def); err != nil {
+			return err
+		}
+	}
+	for _, rd := range file.Rules {
+		classify := &wrapperClassifier{wrapper: wrapper, view: view}
+		rule, err := compileRule(rd, wrapper, 0, classify, funcs, globals)
+		if err != nil {
+			return err
+		}
+		rule.Scope = classify.scopeOf(rule)
+		rule.Seq = reg.seq
+		reg.seq++
+		rule.Source = fmt.Sprintf("wrapper %s line %d", wrapper, rd.Line)
+		reg.byWrapper[wrapper] = append(reg.byWrapper[wrapper], rule)
+	}
+	sortRules(reg.byWrapper[wrapper])
+	reg.byWrapperOp[wrapper] = indexByOp(reg.byWrapper[wrapper])
+	return nil
+}
+
+// AddQueryRule injects a query-scope rule recording observed costs for an
+// exact subquery shape; the history package uses it (§4.3.1). The head
+// matcher is the provided match function, evaluated against candidate
+// nodes.
+func (reg *Registry) AddQueryRule(wrapper string, rule *Rule) {
+	rule.Scope = ScopeQuery
+	rule.Wrapper = wrapper
+	rule.Seq = reg.seq
+	reg.seq++
+	if rule.Funcs == nil {
+		rule.Funcs = reg.baseFuncs
+	}
+	reg.byWrapper[wrapper] = append(reg.byWrapper[wrapper], rule)
+	sortRules(reg.byWrapper[wrapper])
+	reg.byWrapperOp[wrapper] = indexByOp(reg.byWrapper[wrapper])
+}
+
+// DropWrapper removes every rule of a wrapper (re-registration, paper
+// §2.1's administrative interface).
+func (reg *Registry) DropWrapper(wrapper string) {
+	delete(reg.byWrapper, wrapper)
+	delete(reg.byWrapperOp, wrapper)
+}
+
+// WrapperRulesFor returns a wrapper's rules for one operator kind,
+// most-specific-first (the dispatch-table view the estimator matches
+// against).
+func (reg *Registry) WrapperRulesFor(wrapper string, op algebra.OpKind) []*Rule {
+	m, ok := reg.byWrapperOp[wrapper]
+	if !ok {
+		return nil
+	}
+	return m[op]
+}
+
+// DefaultRulesFor returns the default/local rules for one operator kind.
+func (reg *Registry) DefaultRulesFor(op algebra.OpKind) []*Rule {
+	return reg.defaultsByOp[op]
+}
+
+// indexByOp buckets sorted rules by operator kind, preserving order.
+func indexByOp(rules []*Rule) map[algebra.OpKind][]*Rule {
+	out := make(map[algebra.OpKind][]*Rule)
+	for _, r := range rules {
+		out[r.Op] = append(out[r.Op], r)
+	}
+	return out
+}
+
+func sortRules(rules []*Rule) {
+	sort.SliceStable(rules, func(i, j int) bool {
+		a, b := rules[i], rules[j]
+		if a.Scope != b.Scope {
+			return a.Scope > b.Scope
+		}
+		if a.Specificity != b.Specificity {
+			return a.Specificity > b.Specificity
+		}
+		return a.Seq < b.Seq
+	})
+}
+
+func evalGlobals(file *costlang.File, funcs *costvm.FuncRegistry) (map[string]types.Constant, error) {
+	if len(file.Lets) == 0 {
+		return nil, nil
+	}
+	globals := make(map[string]types.Constant, len(file.Lets))
+	env := &globalEnv{vars: globals, funcs: funcs}
+	for _, let := range file.Lets {
+		prog, err := costvm.Compile(let.Expr)
+		if err != nil {
+			return nil, fmt.Errorf("core: compiling let %s: %w", let.Name, err)
+		}
+		v, err := prog.Eval(env)
+		if err != nil {
+			return nil, fmt.Errorf("core: evaluating let %s: %w", let.Name, err)
+		}
+		globals[let.Name] = v
+	}
+	return globals, nil
+}
+
+// globalEnv resolves top-level lets against earlier lets only.
+type globalEnv struct {
+	vars  map[string]types.Constant
+	funcs *costvm.FuncRegistry
+}
+
+func (e *globalEnv) Lookup(path []string) (types.Constant, bool) {
+	if len(path) == 1 {
+		v, ok := e.vars[path[0]]
+		return v, ok
+	}
+	return types.Null, false
+}
+
+func (e *globalEnv) Call(name string, args []types.Constant) (types.Constant, error) {
+	return e.funcs.Call(name, args)
+}
+
+// wrapperClassifier classifies head identifiers against a wrapper schema.
+type wrapperClassifier struct {
+	wrapper string
+	view    CatalogView
+
+	boundColl bool
+	boundAttr bool
+	boundVal  bool
+}
+
+func (c *wrapperClassifier) collectionTerm(t costlang.HeadTerm) HeadTerm {
+	if !t.Forced && c.view != nil && c.view.HasCollection(c.wrapper, t.Ident) {
+		c.boundColl = true
+		return HeadTerm{Kind: TermCollection, Name: t.Ident}
+	}
+	return HeadTerm{Kind: TermVar, Name: t.Ident}
+}
+
+func (c *wrapperClassifier) cmpTerm(boundColl string, hc *costlang.HeadCmp) HeadTerm {
+	out := HeadTerm{Kind: TermCmp, Op: hc.Op}
+	if !hc.AttrForced && c.view != nil && c.view.HasAttribute(c.wrapper, boundColl, hc.Attr) {
+		out.Attr = hc.Attr
+		c.boundAttr = true
+	} else {
+		out.AttrVar = hc.Attr
+	}
+	switch {
+	case hc.Value.IsIdent() && !hc.Value.Forced && c.view != nil &&
+		c.view.HasAttribute(c.wrapper, "", hc.Value.Ident):
+		// A bare identifier naming a known attribute is a bound
+		// attribute constant (join-style head: id = author).
+		out.Value = types.Str(hc.Value.Ident)
+		out.BoundVal = true
+		out.ValueIsAttr = true
+	case hc.Value.IsIdent():
+		out.ValueVar = hc.Value.Ident
+	default:
+		out.Value = hc.Value.Const
+		out.BoundVal = true
+	}
+	if out.BoundVal {
+		c.boundVal = true
+	}
+	return out
+}
+
+// scopeOf derives the scope from what got bound during classification.
+func (c *wrapperClassifier) scopeOf(*Rule) Scope {
+	switch {
+	case c.boundAttr || c.boundVal:
+		return ScopePredicate
+	case c.boundColl:
+		return ScopeCollection
+	default:
+		return ScopeWrapper
+	}
+}
+
+// compileRule classifies a parsed rule's head and compiles its body.
+// classify is nil for default/local rules (everything is a variable).
+func compileRule(rd *costlang.RuleDef, wrapper string, scope Scope,
+	classify *wrapperClassifier, funcs *costvm.FuncRegistry,
+	globals map[string]types.Constant) (*Rule, error) {
+
+	op, ok := algebra.OpKindByName(rd.Op)
+	if !ok {
+		return nil, fmt.Errorf("core: rule at line %d: unknown operator %q", rd.Line, rd.Op)
+	}
+	rule := &Rule{Op: op, Scope: scope, Wrapper: wrapper, Funcs: funcs, Globals: globals}
+
+	// Classify head terms. The first TermCollection seen gives the
+	// context for attribute classification in later comparison terms.
+	boundColl := ""
+	for _, arg := range rd.Args {
+		var term HeadTerm
+		switch {
+		case arg.Cmp != nil:
+			if classify != nil {
+				term = classify.cmpTerm(boundColl, arg.Cmp)
+			} else {
+				term = HeadTerm{Kind: TermCmp, AttrVar: arg.Cmp.Attr, Op: arg.Cmp.Op}
+				if arg.Cmp.Value.IsIdent() {
+					term.ValueVar = arg.Cmp.Value.Ident
+				} else {
+					term.Value = arg.Cmp.Value.Const
+					term.BoundVal = true
+				}
+			}
+		default:
+			if classify != nil {
+				term = classify.collectionTerm(arg)
+				if term.Kind == TermCollection && boundColl == "" {
+					boundColl = term.Name
+				}
+			} else {
+				term = HeadTerm{Kind: TermVar, Name: arg.Ident}
+			}
+		}
+		rule.Terms = append(rule.Terms, term)
+	}
+	rule.Specificity = specificity(rule.Terms)
+
+	// Duplicate variable names in one head would make bindings ambiguous.
+	seen := map[string]bool{}
+	for _, t := range rule.Terms {
+		for _, name := range boundNames(t) {
+			key := strings.ToLower(name)
+			if seen[key] {
+				return nil, fmt.Errorf("core: rule %s at line %d: duplicate head variable %q", rd.Op, rd.Line, name)
+			}
+			seen[key] = true
+		}
+	}
+
+	for _, let := range rd.Lets {
+		prog, err := costvm.Compile(let.Expr)
+		if err != nil {
+			return nil, fmt.Errorf("core: rule %s line %d: compiling let %s: %w", rd.Op, rd.Line, let.Name, err)
+		}
+		rule.Lets = append(rule.Lets, Formula{Var: let.Name, Prog: prog})
+	}
+	for _, as := range rd.Assigns {
+		prog, err := costvm.Compile(as.Expr)
+		if err != nil {
+			return nil, fmt.Errorf("core: rule %s line %d: compiling %s: %w", rd.Op, rd.Line, as.Name, err)
+		}
+		rule.Formulas = append(rule.Formulas, Formula{Var: as.Name, Prog: prog})
+	}
+	return rule, nil
+}
+
+func boundNames(t HeadTerm) []string {
+	var out []string
+	if t.Kind == TermVar && t.Name != "" {
+		out = append(out, t.Name)
+	}
+	if t.Kind == TermCmp {
+		if t.AttrVar != "" {
+			out = append(out, t.AttrVar)
+		}
+		if t.ValueVar != "" {
+			out = append(out, t.ValueVar)
+		}
+	}
+	return out
+}
+
+func specificity(terms []HeadTerm) int {
+	n := 0
+	for _, t := range terms {
+		switch t.Kind {
+		case TermCollection:
+			n++
+		case TermCmp:
+			n++ // the operator itself is bound
+			if t.Attr != "" {
+				n++
+			}
+			if t.BoundVal {
+				n++
+			}
+		}
+	}
+	return n
+}

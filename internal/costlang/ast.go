@@ -1,0 +1,244 @@
+package costlang
+
+import (
+	"fmt"
+	"strings"
+
+	"disco/internal/stats"
+	"disco/internal/types"
+)
+
+// Expr is a node of a formula expression tree.
+type Expr interface {
+	// String renders the expression in source syntax.
+	String() string
+}
+
+// NumLit is a numeric literal.
+type NumLit float64
+
+// String implements Expr.
+func (n NumLit) String() string { return types.Float(float64(n)).String() }
+
+// StrLit is a string literal.
+type StrLit string
+
+// String implements Expr.
+func (s StrLit) String() string { return types.Str(string(s)).String() }
+
+// PathRef is a dotted parameter reference such as C.CountObject or
+// Employee.salary.Min; a bare name has one segment. Resolution happens at
+// evaluation time against the cost environment (paper Figure 7 naming
+// scheme).
+type PathRef []string
+
+// String implements Expr.
+func (p PathRef) String() string { return strings.Join(p, ".") }
+
+// BinaryOp enumerates arithmetic operators.
+type BinaryOp byte
+
+// Arithmetic operators of the formula grammar.
+const (
+	OpAdd BinaryOp = '+'
+	OpSub BinaryOp = '-'
+	OpMul BinaryOp = '*'
+	OpDiv BinaryOp = '/'
+)
+
+// Binary is L op R.
+type Binary struct {
+	Op   BinaryOp
+	L, R Expr
+}
+
+// String implements Expr.
+func (b *Binary) String() string {
+	return fmt.Sprintf("(%s %c %s)", b.L, b.Op, b.R)
+}
+
+// Neg is unary minus.
+type Neg struct{ X Expr }
+
+// String implements Expr.
+func (n *Neg) String() string { return fmt.Sprintf("(-%s)", n.X) }
+
+// Call invokes a builtin or wrapper-defined function.
+type Call struct {
+	Name string
+	Args []Expr
+}
+
+// String implements Expr.
+func (c *Call) String() string {
+	parts := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		parts[i] = a.String()
+	}
+	return c.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Assign is one `name = expr;` statement in a rule body (or a `let`).
+type Assign struct {
+	Name string
+	Expr Expr
+}
+
+// String renders the assignment.
+func (a Assign) String() string { return a.Name + " = " + a.Expr.String() }
+
+// ValueTerm is the value position of a rule-head comparison: either a
+// constant or an identifier (classified as variable or constant later).
+type ValueTerm struct {
+	Ident  string // non-empty for identifier terms
+	Forced bool   // identifier written as ?name — always a variable
+	Const  types.Constant
+}
+
+// IsIdent reports whether the term is an identifier.
+func (v ValueTerm) IsIdent() bool { return v.Ident != "" }
+
+// String renders the term.
+func (v ValueTerm) String() string {
+	if v.Forced {
+		return "?" + v.Ident
+	}
+	if v.Ident != "" {
+		return v.Ident
+	}
+	return v.Const.String()
+}
+
+// HeadCmp is an attr-op-value comparison in a rule head, e.g.
+// salary = V.
+type HeadCmp struct {
+	Attr       string
+	AttrForced bool // attribute written as ?name
+	Op         stats.CmpOp
+	Value      ValueTerm
+}
+
+// String renders the comparison.
+func (h HeadCmp) String() string {
+	attr := h.Attr
+	if h.AttrForced {
+		attr = "?" + attr
+	}
+	return attr + " " + h.Op.String() + " " + h.Value.String()
+}
+
+// HeadTerm is one argument of a rule head: either a plain identifier
+// (collection name or variable) or a comparison.
+type HeadTerm struct {
+	Ident  string
+	Forced bool // ?name
+	Cmp    *HeadCmp
+}
+
+// String renders the term.
+func (h HeadTerm) String() string {
+	if h.Cmp != nil {
+		return h.Cmp.String()
+	}
+	if h.Forced {
+		return "?" + h.Ident
+	}
+	return h.Ident
+}
+
+// RuleDef is one parsed cost rule: head operator, head arguments, local
+// lets, and result assignments, in source order.
+type RuleDef struct {
+	Op      string // operator name, lower-cased
+	Args    []HeadTerm
+	Lets    []Assign
+	Assigns []Assign
+	Line    int
+}
+
+// String renders the rule in source syntax.
+func (r *RuleDef) String() string {
+	var b strings.Builder
+	b.WriteString(r.Op)
+	b.WriteByte('(')
+	for i, a := range r.Args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.String())
+	}
+	b.WriteString(") {\n")
+	for _, l := range r.Lets {
+		b.WriteString("  let " + l.String() + ";\n")
+	}
+	for _, a := range r.Assigns {
+		b.WriteString("  " + a.String() + ";\n")
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// FuncDef is a wrapper-defined function: def name(p1, p2) = expr;
+type FuncDef struct {
+	Name   string
+	Params []string
+	Body   Expr
+	Line   int
+}
+
+// String renders the definition.
+func (f *FuncDef) String() string {
+	return "def " + f.Name + "(" + strings.Join(f.Params, ", ") + ") = " + f.Body.String() + ";"
+}
+
+// File is a parsed cost-rule source: global lets, function definitions,
+// and rules, each in source order (source order is the tiebreak for rules
+// matching at the same specificity, paper §3.3.2).
+type File struct {
+	Lets  []Assign
+	Funcs []*FuncDef
+	Rules []*RuleDef
+}
+
+// String renders the whole file.
+func (f *File) String() string {
+	var b strings.Builder
+	for _, l := range f.Lets {
+		b.WriteString("let " + l.String() + ";\n")
+	}
+	for _, fn := range f.Funcs {
+		b.WriteString(fn.String() + "\n")
+	}
+	for _, r := range f.Rules {
+		b.WriteString(r.String() + "\n")
+	}
+	return b.String()
+}
+
+// ResultVars lists the assignable result variables of the grammar
+// (Figure 9) plus ObjectSize, which intermediate results carry. Assignments
+// to other names inside a rule body are rejected by the parser unless they
+// were introduced by a let.
+var ResultVars = []string{"TotalTime", "TimeFirst", "TimeNext", "CountObject", "TotalSize", "ObjectSize"}
+
+// IsResultVar reports whether name is one of the assignable results
+// (case-insensitive).
+func IsResultVar(name string) bool {
+	for _, v := range ResultVars {
+		if strings.EqualFold(v, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// CanonicalResultVar normalizes the case of a result variable name;
+// unknown names are returned unchanged.
+func CanonicalResultVar(name string) string {
+	for _, v := range ResultVars {
+		if strings.EqualFold(v, name) {
+			return v
+		}
+	}
+	return name
+}

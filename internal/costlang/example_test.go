@@ -1,0 +1,39 @@
+package costlang_test
+
+import (
+	"fmt"
+
+	"disco/internal/costlang"
+)
+
+// The paper's Figure 8 select rule, parsed and printed back.
+func ExampleParse() {
+	file, err := costlang.Parse(`
+select(C, A = V) {
+  CountObject = C.CountObject * selectivity(A, V);
+  TotalSize   = CountObject * C.ObjectSize;
+  TotalTime   = C.TotalTime + C.TotalSize * 25;
+}`)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Print(file)
+	// Output:
+	// select(C, A = V) {
+	//   CountObject = (C.CountObject * selectivity(A, V));
+	//   TotalSize = (CountObject * C.ObjectSize);
+	//   TotalTime = (C.TotalTime + (C.TotalSize * 25));
+	// }
+}
+
+func ExampleParseExpr() {
+	e, err := costlang.ParseExpr(`IO * CountPage * (1 - exp(-1 * (k / CountPage)))`)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(e)
+	// Output:
+	// ((IO * CountPage) * (1 - exp(((-1) * (k / CountPage)))))
+}

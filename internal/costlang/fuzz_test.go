@@ -1,0 +1,50 @@
+package costlang
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics drives the parser with adversarial random inputs:
+// it must return an error or a file, never panic. Random bytes are mixed
+// with grammar fragments so the generator reaches deep parser states.
+func TestParseNeverPanics(t *testing.T) {
+	fragments := []string{
+		"scan", "select", "(", ")", "{", "}", ";", "=", "<", ">", "<=",
+		"TotalTime", "CountObject", "let", "def", ",", ".", "C", "A", "V",
+		"1", "2.5", `"s"`, "+", "-", "*", "/", "exp", "?", "#c\n", "/*", "*/",
+	}
+	f := func(picks []uint8) bool {
+		var src []byte
+		for _, p := range picks {
+			src = append(src, fragments[int(p)%len(fragments)]...)
+			src = append(src, ' ')
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on %q: %v", src, r)
+			}
+		}()
+		_, _ = Parse(string(src)) // error or success both fine
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLexNeverPanics feeds raw random bytes to the lexer.
+func TestLexNeverPanics(t *testing.T) {
+	f := func(src []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on %q: %v", src, r)
+			}
+		}()
+		_, _ = Lex(string(src))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

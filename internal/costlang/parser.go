@@ -1,0 +1,441 @@
+package costlang
+
+import (
+	"fmt"
+	"strings"
+
+	"disco/internal/stats"
+	"disco/internal/types"
+)
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	lex *lexer
+	tok Token // current token
+}
+
+// Parse parses a cost-rule source file.
+func Parse(src string) (*File, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	file := &File{}
+	for p.tok.Kind != TokEOF {
+		switch p.tok.Kind {
+		case TokLet:
+			a, err := p.parseLet()
+			if err != nil {
+				return nil, err
+			}
+			file.Lets = append(file.Lets, a)
+		case TokDef:
+			f, err := p.parseDef()
+			if err != nil {
+				return nil, err
+			}
+			file.Funcs = append(file.Funcs, f)
+		case TokIdent:
+			r, err := p.parseRule()
+			if err != nil {
+				return nil, err
+			}
+			file.Rules = append(file.Rules, r)
+		default:
+			return nil, p.errf("expected rule, 'let', or 'def', got %s", p.tok.Kind)
+		}
+	}
+	return file, nil
+}
+
+// ParseExpr parses a standalone expression; used by tests and the costc
+// tool.
+func ParseExpr(src string) (Expr, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != TokEOF {
+		return nil, p.errf("trailing input after expression")
+	}
+	return e, nil
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("costlang: %s: %s", p.tok.Pos(), fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(k TokKind) (Token, error) {
+	if p.tok.Kind != k {
+		return p.tok, p.errf("expected %s, got %s", k, p.tok.Kind)
+	}
+	t := p.tok
+	return t, p.advance()
+}
+
+// parseLet parses `let name = expr ;`.
+func (p *parser) parseLet() (Assign, error) {
+	if _, err := p.expect(TokLet); err != nil {
+		return Assign{}, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return Assign{}, err
+	}
+	if _, err := p.expect(TokAssign); err != nil {
+		return Assign{}, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return Assign{}, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return Assign{}, err
+	}
+	return Assign{Name: name.Text, Expr: e}, nil
+}
+
+// parseDef parses `def name(p1, p2) = expr ;`.
+func (p *parser) parseDef() (*FuncDef, error) {
+	line := p.tok.Line
+	if _, err := p.expect(TokDef); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	var params []string
+	for p.tok.Kind != TokRParen {
+		id, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		params = append(params, id.Text)
+		if p.tok.Kind == TokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokAssign); err != nil {
+		return nil, err
+	}
+	body, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return &FuncDef{Name: name.Text, Params: params, Body: body, Line: line}, nil
+}
+
+// parseRule parses `op(args) { body }`.
+func (p *parser) parseRule() (*RuleDef, error) {
+	line := p.tok.Line
+	op, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	rule := &RuleDef{Op: strings.ToLower(op.Text), Line: line}
+	for p.tok.Kind != TokRParen {
+		term, err := p.parseHeadTerm()
+		if err != nil {
+			return nil, err
+		}
+		rule.Args = append(rule.Args, term)
+		if p.tok.Kind == TokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	for p.tok.Kind != TokRBrace {
+		if p.tok.Kind == TokLet {
+			a, err := p.parseLet()
+			if err != nil {
+				return nil, err
+			}
+			rule.Lets = append(rule.Lets, a)
+			continue
+		}
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if !IsResultVar(name.Text) {
+			return nil, fmt.Errorf("costlang: %d:%d: %q is not an assignable result (want one of %s; use 'let' for locals)",
+				name.Line, name.Col, name.Text, strings.Join(ResultVars, ", "))
+		}
+		if _, err := p.expect(TokAssign); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		rule.Assigns = append(rule.Assigns, Assign{Name: CanonicalResultVar(name.Text), Expr: e})
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return nil, err
+	}
+	if len(rule.Assigns) == 0 {
+		return nil, fmt.Errorf("costlang: rule %s at line %d assigns no result variable", rule.Op, line)
+	}
+	return rule, nil
+}
+
+// parseHeadTerm parses either an identifier or an attr-op-value comparison.
+func (p *parser) parseHeadTerm() (HeadTerm, error) {
+	forced := false
+	if p.tok.Kind == TokQuestion {
+		forced = true
+		if err := p.advance(); err != nil {
+			return HeadTerm{}, err
+		}
+	}
+	id, err := p.expect(TokIdent)
+	if err != nil {
+		return HeadTerm{}, err
+	}
+	op, isCmp := headCmpOp(p.tok.Kind)
+	if !isCmp {
+		return HeadTerm{Ident: id.Text, Forced: forced}, nil
+	}
+	if err := p.advance(); err != nil {
+		return HeadTerm{}, err
+	}
+	val, err := p.parseValueTerm()
+	if err != nil {
+		return HeadTerm{}, err
+	}
+	return HeadTerm{Cmp: &HeadCmp{Attr: id.Text, AttrForced: forced, Op: op, Value: val}}, nil
+}
+
+func headCmpOp(k TokKind) (stats.CmpOp, bool) {
+	switch k {
+	case TokAssign, TokEQQ:
+		return stats.CmpEQ, true
+	case TokNE:
+		return stats.CmpNE, true
+	case TokLT:
+		return stats.CmpLT, true
+	case TokLE:
+		return stats.CmpLE, true
+	case TokGT:
+		return stats.CmpGT, true
+	case TokGE:
+		return stats.CmpGE, true
+	default:
+		return 0, false
+	}
+}
+
+// parseValueTerm parses the value side of a head comparison: a number,
+// string, or identifier (optionally ?forced).
+func (p *parser) parseValueTerm() (ValueTerm, error) {
+	switch p.tok.Kind {
+	case TokQuestion:
+		if err := p.advance(); err != nil {
+			return ValueTerm{}, err
+		}
+		id, err := p.expect(TokIdent)
+		if err != nil {
+			return ValueTerm{}, err
+		}
+		return ValueTerm{Ident: id.Text, Forced: true}, nil
+	case TokIdent:
+		id := p.tok
+		if err := p.advance(); err != nil {
+			return ValueTerm{}, err
+		}
+		return ValueTerm{Ident: id.Text}, nil
+	case TokNumber:
+		n := p.tok.Num
+		if err := p.advance(); err != nil {
+			return ValueTerm{}, err
+		}
+		return ValueTerm{Const: numConst(n)}, nil
+	case TokMinus:
+		if err := p.advance(); err != nil {
+			return ValueTerm{}, err
+		}
+		n, err := p.expect(TokNumber)
+		if err != nil {
+			return ValueTerm{}, err
+		}
+		return ValueTerm{Const: numConst(-n.Num)}, nil
+	case TokString:
+		s := p.tok.Text
+		if err := p.advance(); err != nil {
+			return ValueTerm{}, err
+		}
+		return ValueTerm{Const: types.Str(s)}, nil
+	default:
+		return ValueTerm{}, p.errf("expected value in rule head, got %s", p.tok.Kind)
+	}
+}
+
+func numConst(f float64) types.Constant {
+	if f == float64(int64(f)) {
+		return types.Int(int64(f))
+	}
+	return types.Float(f)
+}
+
+// Expression grammar: expr := term (('+'|'-') term)*;
+// term := factor (('*'|'/') factor)*; factor := number | string | path |
+// call | '(' expr ')' | '-' factor.
+
+func (p *parser) parseExpr() (Expr, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == TokPlus || p.tok.Kind == TokMinus {
+		op := OpAdd
+		if p.tok.Kind == TokMinus {
+			op = OpSub
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: op, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseTerm() (Expr, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == TokStar || p.tok.Kind == TokSlash {
+		op := OpMul
+		if p.tok.Kind == TokSlash {
+			op = OpDiv
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: op, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseFactor() (Expr, error) {
+	switch p.tok.Kind {
+	case TokNumber:
+		n := NumLit(p.tok.Num)
+		return n, p.advance()
+	case TokString:
+		s := StrLit(p.tok.Text)
+		return s, p.advance()
+	case TokMinus:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return &Neg{X: x}, nil
+	case TokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case TokIdent:
+		first := p.tok.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.Kind == TokLParen { // function call
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			call := &Call{Name: first}
+			for p.tok.Kind != TokRParen {
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+				if p.tok.Kind == TokComma {
+					if err := p.advance(); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				break
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		path := PathRef{first}
+		for p.tok.Kind == TokDot {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			seg, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			path = append(path, seg.Text)
+		}
+		return path, nil
+	default:
+		return nil, p.errf("expected expression, got %s", p.tok.Kind)
+	}
+}

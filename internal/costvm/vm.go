@@ -1,0 +1,430 @@
+// Package costvm compiles cost-language expressions (internal/costlang
+// ASTs) into a compact bytecode and evaluates them on a small stack
+// machine. The paper (§2.4, §7) ships wrapper cost formulas to the
+// mediator "semi-compiled in bytecode" so that evaluation during the
+// computationally intensive optimization phase is fast; this package is
+// that mechanism. A tree-walking interpreter is also provided as the
+// baseline for the E4 ablation experiment.
+package costvm
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"disco/internal/costlang"
+	"disco/internal/types"
+)
+
+// Env resolves parameter references and function calls during evaluation.
+// The cost model supplies an Env wired to the plan node being estimated
+// (paper Figure 7 name scheme: C.CountObject, C.A.Min, bare result names).
+type Env interface {
+	// Lookup resolves a dotted path to a value; ok is false when the path
+	// is unknown, which aborts the formula (the caller then falls back to
+	// a less specific rule).
+	Lookup(path []string) (types.Constant, bool)
+	// Call invokes a named function with evaluated arguments.
+	Call(name string, args []types.Constant) (types.Constant, error)
+}
+
+// Op is a bytecode opcode.
+type Op uint8
+
+// The instruction set.
+const (
+	opConst Op = iota // push Consts[A]
+	opLoad            // push Lookup(Paths[A])
+	opAdd
+	opSub
+	opMul
+	opDiv
+	opNeg
+	opCall // call Names[A] with B args popped from the stack
+)
+
+// Instr is one instruction; A and B are operands (constant/path/name
+// indexes and argument counts).
+type Instr struct {
+	Op   Op
+	A, B uint16
+}
+
+// Program is a compiled expression: a linear instruction sequence plus its
+// constant, path, and name pools. Programs are immutable after compilation
+// and safe for concurrent evaluation (each Eval uses its own stack).
+type Program struct {
+	Code   []Instr
+	Consts []types.Constant
+	Paths  [][]string
+	Names  []string
+	// MaxStack is the stack depth the program needs.
+	MaxStack int
+	// Source is the original expression text, kept for diagnostics.
+	Source string
+}
+
+// Compile translates an expression AST into a Program, folding constant
+// arithmetic subtrees at compile time (pure-literal `let PageSize = 4096 * 2`
+// style expressions become single constants).
+func Compile(e costlang.Expr) (*Program, error) {
+	p := &Program{Source: e.String()}
+	depth, err := p.emit(fold(e), 0)
+	if err != nil {
+		return nil, err
+	}
+	_ = depth
+	return p, nil
+}
+
+// fold evaluates literal-only arithmetic at compile time. Calls are never
+// folded (builtins may be replaced per wrapper), and folding is skipped
+// when evaluation would error (division by zero surfaces at run time with
+// its source context).
+func fold(e costlang.Expr) costlang.Expr {
+	switch v := e.(type) {
+	case *costlang.Neg:
+		x := fold(v.X)
+		if n, ok := x.(costlang.NumLit); ok {
+			return costlang.NumLit(-float64(n))
+		}
+		return &costlang.Neg{X: x}
+	case *costlang.Binary:
+		l, r := fold(v.L), fold(v.R)
+		ln, lok := l.(costlang.NumLit)
+		rn, rok := r.(costlang.NumLit)
+		if lok && rok {
+			switch v.Op {
+			case costlang.OpAdd:
+				return costlang.NumLit(float64(ln) + float64(rn))
+			case costlang.OpSub:
+				return costlang.NumLit(float64(ln) - float64(rn))
+			case costlang.OpMul:
+				return costlang.NumLit(float64(ln) * float64(rn))
+			case costlang.OpDiv:
+				if float64(rn) != 0 {
+					return costlang.NumLit(float64(ln) / float64(rn))
+				}
+			}
+		}
+		return &costlang.Binary{Op: v.Op, L: l, R: r}
+	case *costlang.Call:
+		args := make([]costlang.Expr, len(v.Args))
+		for i, a := range v.Args {
+			args[i] = fold(a)
+		}
+		return &costlang.Call{Name: v.Name, Args: args}
+	default:
+		return e
+	}
+}
+
+// MustCompile is Compile that panics on error; for statically known
+// expressions such as the generic cost model's own rules.
+func MustCompile(e costlang.Expr) *Program {
+	p, err := Compile(e)
+	if err != nil {
+		panic("costvm: " + err.Error())
+	}
+	return p
+}
+
+// CompileString parses and compiles an expression in one step.
+func CompileString(src string) (*Program, error) {
+	e, err := costlang.ParseExpr(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(e)
+}
+
+// emit appends code for e; cur is the stack depth before e executes, and
+// the depth after (always cur+1) is returned.
+func (p *Program) emit(e costlang.Expr, cur int) (int, error) {
+	switch v := e.(type) {
+	case costlang.NumLit:
+		p.push(Instr{Op: opConst, A: p.constIdx(numConst(float64(v)))}, cur+1)
+		return cur + 1, nil
+	case costlang.StrLit:
+		p.push(Instr{Op: opConst, A: p.constIdx(types.Str(string(v)))}, cur+1)
+		return cur + 1, nil
+	case costlang.PathRef:
+		p.push(Instr{Op: opLoad, A: p.pathIdx([]string(v))}, cur+1)
+		return cur + 1, nil
+	case *costlang.Neg:
+		d, err := p.emit(v.X, cur)
+		if err != nil {
+			return 0, err
+		}
+		p.push(Instr{Op: opNeg}, d)
+		return d, nil
+	case *costlang.Binary:
+		d, err := p.emit(v.L, cur)
+		if err != nil {
+			return 0, err
+		}
+		d2, err := p.emit(v.R, d)
+		if err != nil {
+			return 0, err
+		}
+		var op Op
+		switch v.Op {
+		case costlang.OpAdd:
+			op = opAdd
+		case costlang.OpSub:
+			op = opSub
+		case costlang.OpMul:
+			op = opMul
+		case costlang.OpDiv:
+			op = opDiv
+		default:
+			return 0, fmt.Errorf("costvm: unknown binary operator %q", v.Op)
+		}
+		p.push(Instr{Op: op}, d2)
+		return d2 - 1, nil
+	case *costlang.Call:
+		if len(v.Args) > math.MaxUint16 {
+			return 0, fmt.Errorf("costvm: too many call arguments")
+		}
+		d := cur
+		for _, a := range v.Args {
+			var err error
+			d, err = p.emit(a, d)
+			if err != nil {
+				return 0, err
+			}
+		}
+		p.push(Instr{Op: opCall, A: p.nameIdx(v.Name), B: uint16(len(v.Args))}, d+1)
+		return cur + 1, nil
+	default:
+		return 0, fmt.Errorf("costvm: cannot compile %T", e)
+	}
+}
+
+func (p *Program) push(in Instr, depth int) {
+	p.Code = append(p.Code, in)
+	if depth > p.MaxStack {
+		p.MaxStack = depth
+	}
+}
+
+func (p *Program) constIdx(c types.Constant) uint16 {
+	for i, e := range p.Consts {
+		if e.Equal(c) && e.Kind() == c.Kind() {
+			return uint16(i)
+		}
+	}
+	p.Consts = append(p.Consts, c)
+	return uint16(len(p.Consts) - 1)
+}
+
+func (p *Program) pathIdx(path []string) uint16 {
+	for i, e := range p.Paths {
+		if pathEqual(e, path) {
+			return uint16(i)
+		}
+	}
+	p.Paths = append(p.Paths, path)
+	return uint16(len(p.Paths) - 1)
+}
+
+func (p *Program) nameIdx(name string) uint16 {
+	for i, e := range p.Names {
+		if e == name {
+			return uint16(i)
+		}
+	}
+	p.Names = append(p.Names, name)
+	return uint16(len(p.Names) - 1)
+}
+
+func pathEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Eval runs the program against env and returns the resulting value.
+func (p *Program) Eval(env Env) (types.Constant, error) {
+	stack := make([]types.Constant, 0, p.MaxStack)
+	return p.evalWith(env, stack)
+}
+
+// EvalStack is Eval with a caller-provided stack to avoid per-call
+// allocation in the optimizer's hot loop; the slice is used from index 0
+// and must have capacity >= MaxStack (it is grown otherwise).
+func (p *Program) EvalStack(env Env, stack []types.Constant) (types.Constant, error) {
+	return p.evalWith(env, stack[:0])
+}
+
+func (p *Program) evalWith(env Env, stack []types.Constant) (types.Constant, error) {
+	for _, in := range p.Code {
+		switch in.Op {
+		case opConst:
+			stack = append(stack, p.Consts[in.A])
+		case opLoad:
+			v, ok := env.Lookup(p.Paths[in.A])
+			if !ok {
+				return types.Null, fmt.Errorf("costvm: unknown parameter %s in %q",
+					strings.Join(p.Paths[in.A], "."), p.Source)
+			}
+			stack = append(stack, v)
+		case opNeg:
+			top := len(stack) - 1
+			v := stack[top]
+			if !v.IsNumeric() {
+				return types.Null, fmt.Errorf("costvm: negation of non-numeric %s in %q", v, p.Source)
+			}
+			stack[top] = types.Float(-v.AsFloat())
+		case opAdd, opSub, opMul, opDiv:
+			top := len(stack) - 1
+			a, b := stack[top-1], stack[top]
+			stack = stack[:top]
+			v, err := arith(in.Op, a, b, p.Source)
+			if err != nil {
+				return types.Null, err
+			}
+			stack[top-1] = v
+		case opCall:
+			n := int(in.B)
+			args := stack[len(stack)-n:]
+			v, err := env.Call(p.Names[in.A], args)
+			if err != nil {
+				return types.Null, fmt.Errorf("costvm: %s in %q: %w", p.Names[in.A], p.Source, err)
+			}
+			stack = stack[:len(stack)-n]
+			stack = append(stack, v)
+		default:
+			return types.Null, fmt.Errorf("costvm: bad opcode %d", in.Op)
+		}
+	}
+	if len(stack) != 1 {
+		return types.Null, fmt.Errorf("costvm: program left %d values on stack", len(stack))
+	}
+	return stack[0], nil
+}
+
+func arith(op Op, a, b types.Constant, src string) (types.Constant, error) {
+	if op == opAdd && (a.Kind() == types.KindString || b.Kind() == types.KindString) {
+		return types.Str(a.AsString() + b.AsString()), nil
+	}
+	if !a.IsNumeric() || !b.IsNumeric() {
+		return types.Null, fmt.Errorf("costvm: arithmetic on non-numeric operands %s, %s in %q", a, b, src)
+	}
+	x, y := a.AsFloat(), b.AsFloat()
+	var r float64
+	switch op {
+	case opAdd:
+		r = x + y
+	case opSub:
+		r = x - y
+	case opMul:
+		r = x * y
+	case opDiv:
+		if y == 0 {
+			return types.Null, fmt.Errorf("costvm: division by zero in %q", src)
+		}
+		r = x / y
+	}
+	return types.Float(r), nil
+}
+
+// EvalAST evaluates an expression by walking its tree directly — the
+// interpreter baseline that the bytecode VM is benchmarked against (E4).
+func EvalAST(e costlang.Expr, env Env) (types.Constant, error) {
+	switch v := e.(type) {
+	case costlang.NumLit:
+		return numConst(float64(v)), nil
+	case costlang.StrLit:
+		return types.Str(string(v)), nil
+	case costlang.PathRef:
+		val, ok := env.Lookup([]string(v))
+		if !ok {
+			return types.Null, fmt.Errorf("costvm: unknown parameter %s", v)
+		}
+		return val, nil
+	case *costlang.Neg:
+		x, err := EvalAST(v.X, env)
+		if err != nil {
+			return types.Null, err
+		}
+		if !x.IsNumeric() {
+			return types.Null, fmt.Errorf("costvm: negation of non-numeric %s", x)
+		}
+		return types.Float(-x.AsFloat()), nil
+	case *costlang.Binary:
+		l, err := EvalAST(v.L, env)
+		if err != nil {
+			return types.Null, err
+		}
+		r, err := EvalAST(v.R, env)
+		if err != nil {
+			return types.Null, err
+		}
+		var op Op
+		switch v.Op {
+		case costlang.OpAdd:
+			op = opAdd
+		case costlang.OpSub:
+			op = opSub
+		case costlang.OpMul:
+			op = opMul
+		case costlang.OpDiv:
+			op = opDiv
+		}
+		return arith(op, l, r, v.String())
+	case *costlang.Call:
+		args := make([]types.Constant, len(v.Args))
+		for i, a := range v.Args {
+			x, err := EvalAST(a, env)
+			if err != nil {
+				return types.Null, err
+			}
+			args[i] = x
+		}
+		return env.Call(v.Name, args)
+	default:
+		return types.Null, fmt.Errorf("costvm: cannot evaluate %T", e)
+	}
+}
+
+func numConst(f float64) types.Constant {
+	if f == float64(int64(f)) && math.Abs(f) < 1e15 {
+		return types.Int(int64(f))
+	}
+	return types.Float(f)
+}
+
+// Disassemble renders the program's instructions for the costc tool and
+// debugging.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "; %s\n", p.Source)
+	for i, in := range p.Code {
+		switch in.Op {
+		case opConst:
+			fmt.Fprintf(&b, "%3d  const  %s\n", i, p.Consts[in.A])
+		case opLoad:
+			fmt.Fprintf(&b, "%3d  load   %s\n", i, strings.Join(p.Paths[in.A], "."))
+		case opAdd:
+			fmt.Fprintf(&b, "%3d  add\n", i)
+		case opSub:
+			fmt.Fprintf(&b, "%3d  sub\n", i)
+		case opMul:
+			fmt.Fprintf(&b, "%3d  mul\n", i)
+		case opDiv:
+			fmt.Fprintf(&b, "%3d  div\n", i)
+		case opNeg:
+			fmt.Fprintf(&b, "%3d  neg\n", i)
+		case opCall:
+			fmt.Fprintf(&b, "%3d  call   %s/%d\n", i, p.Names[in.A], in.B)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,208 @@
+// Package engine implements the mediator's physical execution engine
+// (paper Figure 2 steps 4-6): it walks an optimized plan, delegates
+// submit subtrees to their wrappers, ships results over the simulated
+// network, and combines subanswers with mediator-side operators, charging
+// all work to the shared virtual clock. Measured (virtual) response times
+// from this engine are the "Experiment" series of the reproduction.
+package engine
+
+import (
+	"fmt"
+
+	"disco/internal/algebra"
+	"disco/internal/netsim"
+	"disco/internal/rowops"
+	"disco/internal/types"
+	"disco/internal/wrapper"
+)
+
+// Costs are the mediator's per-row processing times in milliseconds. They
+// intentionally mirror the local-scope cost model's coefficients so that
+// accurate cardinalities imply accurate mediator estimates.
+type Costs struct {
+	PerObj      float64
+	PerPred     float64
+	ProjPerObj  float64
+	SortPerObj  float64
+	HashPerObj  float64
+	JoinPerPair float64
+}
+
+// DefaultCosts matches core.DefaultCoefficients' Med* entries.
+func DefaultCosts() Costs {
+	return Costs{
+		PerObj:      0.004,
+		PerPred:     0.006,
+		ProjPerObj:  0.003,
+		SortPerObj:  0.010,
+		HashPerObj:  0.012,
+		JoinPerPair: 0.004,
+	}
+}
+
+// Engine executes optimized plans.
+type Engine struct {
+	wrappers map[string]wrapper.Wrapper
+	net      *netsim.Network
+	clock    *netsim.Clock
+	costs    Costs
+
+	// SubmitHook, when set, observes every executed wrapper subquery
+	// with its measured virtual time; the history recorder (§4.3.1)
+	// hangs off it.
+	SubmitHook func(wrapper string, subplan *algebra.Node, elapsedMS float64, rows int, bytes int64)
+}
+
+// New builds an engine over the registered wrappers. All wrappers must
+// share the engine's clock for measured response times to be meaningful;
+// New enforces this.
+func New(clock *netsim.Clock, net *netsim.Network, wrappers map[string]wrapper.Wrapper, costs Costs) (*Engine, error) {
+	for name, w := range wrappers {
+		if w.Clock() != clock {
+			return nil, fmt.Errorf("engine: wrapper %s does not share the engine clock", name)
+		}
+	}
+	return &Engine{wrappers: wrappers, net: net, clock: clock, costs: costs}, nil
+}
+
+// Clock returns the shared virtual clock.
+func (e *Engine) Clock() *netsim.Clock { return e.clock }
+
+// Result is a materialized query answer with its measured virtual time.
+type Result struct {
+	Rows      []types.Row
+	Schema    *types.Schema
+	ElapsedMS float64
+}
+
+// Execute runs a resolved, optimized plan and returns the answer with the
+// virtual time it took.
+func (e *Engine) Execute(plan *algebra.Node) (*Result, error) {
+	watch := netsim.StartWatch(e.clock)
+	rows, err := e.exec(plan)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Rows: rows, Schema: plan.OutSchema, ElapsedMS: watch.ElapsedMS()}, nil
+}
+
+func (e *Engine) exec(n *algebra.Node) ([]types.Row, error) {
+	if n.OutSchema == nil {
+		return nil, fmt.Errorf("engine: unresolved plan node %s", n.Kind)
+	}
+	switch n.Kind {
+	case algebra.OpSubmit:
+		w, ok := e.wrappers[n.Wrapper]
+		if !ok {
+			return nil, fmt.Errorf("engine: submit to unknown wrapper %q", n.Wrapper)
+		}
+		start := e.clock.Now()
+		res, err := w.Execute(n.Children[0])
+		if err != nil {
+			return nil, fmt.Errorf("engine: wrapper %s: %w", n.Wrapper, err)
+		}
+		if e.net != nil {
+			e.net.Ship(n.Wrapper, res.Bytes)
+		}
+		if e.SubmitHook != nil {
+			e.SubmitHook(n.Wrapper, n.Children[0], e.clock.Now()-start, len(res.Rows), res.Bytes)
+		}
+		return res.Rows, nil
+
+	case algebra.OpScan:
+		return nil, fmt.Errorf("engine: scan of %s@%s not placed under a submit", n.Collection, n.Wrapper)
+
+	case algebra.OpSelect:
+		rows, err := e.exec(n.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		e.clock.Advance(float64(len(rows)) * e.costs.PerPred)
+		return rowops.Filter(n.OutSchema, rows, n.Pred), nil
+
+	case algebra.OpProject:
+		rows, err := e.exec(n.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		e.clock.Advance(float64(len(rows)) * e.costs.ProjPerObj)
+		return rowops.Project(n.Children[0].OutSchema, rows, n.Cols)
+
+	case algebra.OpSort:
+		rows, err := e.exec(n.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		e.clock.Advance(nLogN(len(rows)) * e.costs.SortPerObj)
+		return rowops.Sort(n.OutSchema, rows, n.Keys)
+
+	case algebra.OpDupElim:
+		rows, err := e.exec(n.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		e.clock.Advance(float64(len(rows)) * e.costs.HashPerObj)
+		return rowops.DupElim(rows), nil
+
+	case algebra.OpAggregate:
+		rows, err := e.exec(n.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		e.clock.Advance(float64(len(rows)) * e.costs.HashPerObj)
+		out, err := rowops.Aggregate(n.Children[0].OutSchema, rows, n.GroupBy, n.Aggs)
+		if err != nil {
+			return nil, err
+		}
+		e.clock.Advance(float64(len(out)) * e.costs.PerObj)
+		return out, nil
+
+	case algebra.OpUnion:
+		left, err := e.exec(n.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		right, err := e.exec(n.Children[1])
+		if err != nil {
+			return nil, err
+		}
+		out := rowops.Union(left, right)
+		e.clock.Advance(float64(len(out)) * e.costs.PerObj)
+		return out, nil
+
+	case algebra.OpJoin:
+		left, err := e.exec(n.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		right, err := e.exec(n.Children[1])
+		if err != nil {
+			return nil, err
+		}
+		ls, rs := n.Children[0].OutSchema, n.Children[1].OutSchema
+		if out, ok := rowops.HashJoin(ls, rs, n.OutSchema, left, right, n.Pred, nil); ok {
+			e.clock.Advance(float64(len(left)+len(right)) * e.costs.HashPerObj)
+			e.clock.Advance(float64(len(out)) * e.costs.PerObj)
+			return out, nil
+		}
+		out := rowops.NestedLoopJoin(n.OutSchema, left, right, n.Pred, nil)
+		e.clock.Advance(float64(len(left)*len(right)) * e.costs.JoinPerPair)
+		return out, nil
+
+	default:
+		return nil, fmt.Errorf("engine: cannot execute operator %s", n.Kind)
+	}
+}
+
+func nLogN(n int) float64 {
+	if n < 2 {
+		return float64(n)
+	}
+	f := float64(n)
+	// log2 via the change of base; n log2(n+2) matches the cost model.
+	l := 0.0
+	for x := n + 2; x > 1; x >>= 1 {
+		l++
+	}
+	return f * l
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"disco/internal/oo7"
+)
+
+// OO7SuiteRow is one query of experiment E9: the OO7 validation suite run
+// against the blended cost model.
+type OO7SuiteRow struct {
+	Query      string
+	Rows       int
+	EstimatedS float64
+	ActualS    float64
+	ErrPct     float64
+}
+
+// OO7SuiteResult holds the E9 table.
+type OO7SuiteResult struct {
+	Rows            []OO7SuiteRow
+	MeanPct, MaxPct float64
+}
+
+// Table renders E9.
+func (r *OO7SuiteResult) Table() string {
+	var b strings.Builder
+	b.WriteString("E9 — OO7 validation suite under the blended model (seconds)\n")
+	fmt.Fprintf(&b, "%-52s %8s %12s %12s %8s\n", "query", "rows", "estimated", "actual", "error")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-52s %8d %12.2f %12.2f %7.1f%%\n",
+			row.Query, row.Rows, row.EstimatedS, row.ActualS, row.ErrPct)
+	}
+	fmt.Fprintf(&b, "mean error %.1f%%, max error %.1f%%\n", r.MeanPct, r.MaxPct)
+	return b.String()
+}
+
+// oo7SuiteQueries is the validation workload: exact match (Q1), ranges at
+// several selectivities on indexed and unindexed attributes (Q2/Q3/Q7),
+// the part-of traversal (Q5), a co-located join (Q8-style), and
+// aggregation.
+func oo7SuiteQueries(scale oo7.Scale) []struct{ name, sql string } {
+	id10 := scale.AtomicParts / 10
+	id50 := scale.AtomicParts / 2
+	bd1 := scale.DistinctBuildDates / 100
+	if bd1 < 1 {
+		bd1 = 1
+	}
+	bd10 := scale.DistinctBuildDates / 10
+	return []struct{ name, sql string }{
+		{"Q1 exact match (id index)",
+			`SELECT x, y FROM AtomicParts WHERE AtomicParts.id = 4242`},
+		{"range id < 10% (unclustered index)",
+			fmt.Sprintf(`SELECT x FROM AtomicParts WHERE AtomicParts.id < %d`, id10)},
+		{"range id < 50% (unclustered index)",
+			fmt.Sprintf(`SELECT x FROM AtomicParts WHERE AtomicParts.id < %d`, id50)},
+		{"Q2 buildDate 1% (no index)",
+			fmt.Sprintf(`SELECT x FROM AtomicParts WHERE buildDate < %d`, bd1)},
+		{"Q3 buildDate 10% (no index)",
+			fmt.Sprintf(`SELECT x FROM AtomicParts WHERE buildDate < %d`, bd10)},
+		{"Q5 parts of one composite (partOf index)",
+			`SELECT x, y FROM AtomicParts WHERE partOf = 7`},
+		{"Q8-style co-located join with docs",
+			`SELECT title FROM AtomicParts, Documents
+			 WHERE docId = Documents.id AND AtomicParts.id < 1000`},
+		{"aggregate by buildDate",
+			`SELECT buildDate, count(*) AS n FROM AtomicParts GROUP BY buildDate`},
+	}
+}
+
+// OO7Suite runs E9: the whole suite prepared and executed cold against a
+// blended mediator; per-query estimate-vs-measurement error.
+func OO7Suite(scale oo7.Scale) (*OO7SuiteResult, error) {
+	med, err := newMediatorOO7(scale, true)
+	if err != nil {
+		return nil, err
+	}
+	out := &OO7SuiteResult{}
+	for _, q := range oo7SuiteQueries(scale) {
+		p, err := med.Prepare(q.sql)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", q.name, err)
+		}
+		med.Wrapperstore().ResetBuffer()
+		res, err := med.ExecutePlan(p)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", q.name, err)
+		}
+		errPct := 100 * relErr(p.Cost.TotalTime(), res.ElapsedMS)
+		out.Rows = append(out.Rows, OO7SuiteRow{
+			Query:      q.name,
+			Rows:       len(res.Rows),
+			EstimatedS: p.Cost.TotalTime() / 1000,
+			ActualS:    res.ElapsedMS / 1000,
+			ErrPct:     errPct,
+		})
+		out.MeanPct += errPct
+		if errPct > out.MaxPct {
+			out.MaxPct = errPct
+		}
+	}
+	out.MeanPct /= float64(len(out.Rows))
+	return out, nil
+}

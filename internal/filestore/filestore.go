@@ -1,0 +1,190 @@
+// Package filestore implements the simplest data-source class of the
+// reproduction: flat record files (CSV-like), scanned sequentially
+// record by record. A file source exports NO statistics and NO cost rules
+// — querying it exercises the mediator's pure default-scope path ("in
+// case they are not provided, standard values are given, as usual",
+// paper §6).
+package filestore
+
+import (
+	"bufio"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"disco/internal/netsim"
+	"disco/internal/types"
+)
+
+// Config holds the timing profile of the file source.
+type Config struct {
+	ReadRecordMS float64 // per record parsed
+	OpenMS       float64 // per file open
+	OutputTimeMS float64 // per record delivered
+}
+
+// DefaultConfig models a slow, parse-heavy source.
+func DefaultConfig() Config {
+	return Config{ReadRecordMS: 0.4, OpenMS: 50, OutputTimeMS: 2}
+}
+
+// Store holds named record files.
+type Store struct {
+	cfg   Config
+	clock *netsim.Clock
+	files map[string]*File
+}
+
+// Open creates a store on the clock (nil allocates one).
+func Open(cfg Config, clock *netsim.Clock) *Store {
+	if clock == nil {
+		clock = netsim.NewClock()
+	}
+	return &Store{cfg: cfg, clock: clock, files: make(map[string]*File)}
+}
+
+// Clock returns the store's virtual clock.
+func (s *Store) Clock() *netsim.Clock { return s.clock }
+
+// Files lists file names, sorted.
+func (s *Store) Files() []string {
+	out := make([]string, 0, len(s.files))
+	for n := range s.files {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// File returns a file by name.
+func (s *Store) File(name string) (*File, bool) {
+	f, ok := s.files[name]
+	return f, ok
+}
+
+// File is one record file with a declared schema.
+type File struct {
+	store  *Store
+	name   string
+	schema *types.Schema
+	rows   []types.Row
+}
+
+// CreateFile registers an empty record file.
+func (s *Store) CreateFile(name string, schema *types.Schema) (*File, error) {
+	if _, dup := s.files[name]; dup {
+		return nil, fmt.Errorf("filestore: file %q already exists", name)
+	}
+	if schema == nil || schema.Len() == 0 {
+		return nil, fmt.Errorf("filestore: file %q needs a schema", name)
+	}
+	f := &File{store: s, name: name, schema: schema}
+	s.files[name] = f
+	return f, nil
+}
+
+// Name returns the file name.
+func (f *File) Name() string { return f.name }
+
+// Schema returns the record schema.
+func (f *File) Schema() *types.Schema { return f.schema }
+
+// Count reports the number of records.
+func (f *File) Count() int { return len(f.rows) }
+
+// Append adds one record (loading is not timed).
+func (f *File) Append(row types.Row) error {
+	if len(row) != f.schema.Len() {
+		return fmt.Errorf("filestore: %s: record arity %d, schema %d", f.name, len(row), f.schema.Len())
+	}
+	f.rows = append(f.rows, row)
+	return nil
+}
+
+// LoadCSV parses comma-separated lines against the schema, coercing each
+// field to its declared kind. Lines beginning with '#' and blank lines
+// are skipped.
+func (f *File) LoadCSV(data string) error {
+	sc := bufio.NewScanner(strings.NewReader(data))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) != f.schema.Len() {
+			return fmt.Errorf("filestore: %s line %d: %d fields, schema has %d",
+				f.name, lineNo, len(fields), f.schema.Len())
+		}
+		row := make(types.Row, len(fields))
+		for i, raw := range fields {
+			raw = strings.TrimSpace(raw)
+			v, err := coerce(raw, f.schema.Field(i).Type)
+			if err != nil {
+				return fmt.Errorf("filestore: %s line %d field %d: %w", f.name, lineNo, i+1, err)
+			}
+			row[i] = v
+		}
+		f.rows = append(f.rows, row)
+	}
+	return sc.Err()
+}
+
+func coerce(raw string, kind types.Kind) (types.Constant, error) {
+	switch kind {
+	case types.KindInt:
+		n, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			return types.Null, fmt.Errorf("bad int %q", raw)
+		}
+		return types.Int(n), nil
+	case types.KindFloat:
+		x, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return types.Null, fmt.Errorf("bad float %q", raw)
+		}
+		return types.Float(x), nil
+	case types.KindBool:
+		b, err := strconv.ParseBool(raw)
+		if err != nil {
+			return types.Null, fmt.Errorf("bad bool %q", raw)
+		}
+		return types.Bool(b), nil
+	default:
+		return types.Str(raw), nil
+	}
+}
+
+// Iter reads records sequentially, charging per-record parse time.
+type Iter struct {
+	file   *File
+	i      int
+	opened bool
+}
+
+// Scan starts reading the file from the beginning.
+func (f *File) Scan() *Iter { return &Iter{file: f} }
+
+// Next returns the next record.
+func (it *Iter) Next() (types.Row, bool) {
+	f := it.file
+	if !it.opened {
+		f.store.clock.Advance(f.store.cfg.OpenMS)
+		it.opened = true
+	}
+	if it.i >= len(f.rows) {
+		return nil, false
+	}
+	row := f.rows[it.i]
+	it.i++
+	f.store.clock.Advance(f.store.cfg.ReadRecordMS)
+	return row, true
+}
+
+// DeliverOutput charges per-record delivery for n result records.
+func (s *Store) DeliverOutput(n int) {
+	s.clock.Advance(float64(n) * s.cfg.OutputTimeMS)
+}

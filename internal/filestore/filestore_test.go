@@ -1,0 +1,113 @@
+package filestore
+
+import (
+	"math"
+	"testing"
+
+	"disco/internal/netsim"
+	"disco/internal/types"
+)
+
+func docSchema() *types.Schema {
+	return types.NewSchema(
+		types.Field{Name: "id", Collection: "Doc", Type: types.KindInt},
+		types.Field{Name: "title", Collection: "Doc", Type: types.KindString},
+		types.Field{Name: "score", Collection: "Doc", Type: types.KindFloat},
+		types.Field{Name: "public", Collection: "Doc", Type: types.KindBool},
+	)
+}
+
+func TestLoadCSVAndScan(t *testing.T) {
+	clock := netsim.NewClock()
+	cfg := DefaultConfig()
+	s := Open(cfg, clock)
+	f, err := s.CreateFile("Doc", docSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = f.LoadCSV(`# a comment
+1, intro to mediators , 4.5, true
+
+2,cost models,3.25,false
+3,wrappers,5,true`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Count() != 3 {
+		t.Fatalf("Count = %d", f.Count())
+	}
+	start := clock.Now()
+	it := f.Scan()
+	var rows []types.Row
+	for {
+		row, ok := it.Next()
+		if !ok {
+			break
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("scanned %d", len(rows))
+	}
+	if rows[0][1].AsString() != "intro to mediators" {
+		t.Errorf("trimmed string = %q", rows[0][1].AsString())
+	}
+	if rows[1][2].AsFloat() != 3.25 || !rows[2][3].AsBool() {
+		t.Error("field coercion wrong")
+	}
+	want := cfg.OpenMS + 3*cfg.ReadRecordMS
+	if got := clock.Now() - start; math.Abs(got-want) > 1e-9 {
+		t.Errorf("scan cost = %v, want %v", got, want)
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	s := Open(DefaultConfig(), nil)
+	f, _ := s.CreateFile("Doc", docSchema())
+	cases := []string{
+		"1,only,two",        // arity
+		"x,title,1.5,true",  // bad int
+		"1,title,abc,true",  // bad float
+		"1,title,1.5,maybe", // bad bool
+	}
+	for _, src := range cases {
+		if err := f.LoadCSV(src); err == nil {
+			t.Errorf("LoadCSV(%q) should fail", src)
+		}
+	}
+}
+
+func TestCreateAppendErrors(t *testing.T) {
+	s := Open(DefaultConfig(), nil)
+	if _, err := s.CreateFile("x", nil); err == nil {
+		t.Error("nil schema should fail")
+	}
+	f, err := s.CreateFile("Doc", docSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateFile("Doc", docSchema()); err == nil {
+		t.Error("duplicate file should fail")
+	}
+	if err := f.Append(types.Row{types.Int(1)}); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	if err := f.Append(types.Row{types.Int(1), types.Str("t"), types.Float(1), types.Bool(true)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Files(); len(got) != 1 || got[0] != "Doc" {
+		t.Errorf("Files = %v", got)
+	}
+	if _, ok := s.File("Doc"); !ok {
+		t.Error("File lookup failed")
+	}
+}
+
+func TestDeliverOutput(t *testing.T) {
+	clock := netsim.NewClock()
+	s := Open(DefaultConfig(), clock)
+	s.DeliverOutput(5)
+	if clock.Now() != 10 {
+		t.Errorf("output = %v, want 10", clock.Now())
+	}
+}

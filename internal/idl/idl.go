@@ -1,0 +1,436 @@
+// Package idl parses the CORBA-IDL subset of paper §3: interface
+// definitions with typed attributes and operations, extended with the
+// cardinality section (Figure 4/5 — the extent and attribute statistic
+// methods) and cost sections carrying cost-communication-language rules,
+// either inside an interface (collection-scope) or at the top level
+// (wrapper-scope).
+//
+// Example:
+//
+//	interface Employee {
+//	  attribute Long salary;
+//	  attribute String Name;
+//	  short age();
+//	  cardinality extent(out long CountObject, out long TotalSize, out long ObjectSize);
+//	  cardinality attribute(in String AttributeName, out Boolean Indexed,
+//	                        out Long CountDistinct, out Constant Min, out Constant Max);
+//	  cost {
+//	    select(Employee, salary = V) { TotalTime = 42; }
+//	  }
+//	};
+package idl
+
+import (
+	"fmt"
+	"strings"
+
+	"disco/internal/costlang"
+	"disco/internal/types"
+)
+
+// Attribute is one typed interface attribute.
+type Attribute struct {
+	Name string
+	Kind types.Kind
+}
+
+// Parameter is one operation parameter with its direction.
+type Parameter struct {
+	Out  bool // "out" parameter
+	Type string
+	Name string
+}
+
+// Operation is one interface operation signature.
+type Operation struct {
+	Name       string
+	ReturnType string
+	Params     []Parameter
+}
+
+// Interface is one parsed interface definition.
+type Interface struct {
+	Name       string
+	Attributes []Attribute
+	Operations []Operation
+	// HasExtentCard / HasAttributeCard report the presence of the two
+	// cardinality methods of §3.2.
+	HasExtentCard    bool
+	HasAttributeCard bool
+	// CostRules is the raw cost-language source of the interface's cost
+	// sections (collection-scope rules); empty when none.
+	CostRules string
+}
+
+// Schema converts the interface into a row schema; the interface name
+// qualifies the attributes.
+func (i *Interface) Schema() *types.Schema {
+	fields := make([]types.Field, len(i.Attributes))
+	for j, a := range i.Attributes {
+		fields[j] = types.Field{Collection: i.Name, Name: a.Name, Type: a.Kind}
+	}
+	return types.NewSchema(fields...)
+}
+
+// File is a parsed IDL source.
+type File struct {
+	Interfaces []*Interface
+	// WrapperRules is the concatenated source of top-level cost sections
+	// (wrapper-scope rules).
+	WrapperRules string
+}
+
+// Interface looks an interface up by name (case-insensitive).
+func (f *File) Interface(name string) (*Interface, bool) {
+	for _, i := range f.Interfaces {
+		if strings.EqualFold(i.Name, name) {
+			return i, true
+		}
+	}
+	return nil, false
+}
+
+// AllRules concatenates wrapper-scope and collection-scope rule sources in
+// declaration order — the text shipped to the mediator at registration.
+func (f *File) AllRules() string {
+	var b strings.Builder
+	if f.WrapperRules != "" {
+		b.WriteString(f.WrapperRules)
+		b.WriteByte('\n')
+	}
+	for _, i := range f.Interfaces {
+		if i.CostRules != "" {
+			b.WriteString(i.CostRules)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// Validate checks that every cost section parses as cost language.
+func (f *File) Validate() error {
+	if src := f.AllRules(); strings.TrimSpace(src) != "" {
+		if _, err := costlang.Parse(src); err != nil {
+			return fmt.Errorf("idl: cost section: %w", err)
+		}
+	}
+	return nil
+}
+
+// typeKinds maps IDL elementary types to value kinds.
+var typeKinds = map[string]types.Kind{
+	"long":    types.KindInt,
+	"short":   types.KindInt,
+	"octet":   types.KindInt,
+	"double":  types.KindFloat,
+	"float":   types.KindFloat,
+	"string":  types.KindString,
+	"boolean": types.KindBool,
+}
+
+// KindOf resolves an IDL type name to a value kind.
+func KindOf(name string) (types.Kind, bool) {
+	k, ok := typeKinds[strings.ToLower(name)]
+	return k, ok
+}
+
+// parser state over the raw source. IDL tokenization is simple enough for
+// a cursor-based scanner; cost sections are captured verbatim by brace
+// balancing and delegated to the cost-language parser.
+type parser struct {
+	src  string
+	pos  int
+	line int
+}
+
+// Parse parses IDL source.
+func Parse(src string) (*File, error) {
+	p := &parser{src: src, line: 1}
+	file := &File{}
+	for {
+		p.skipSpace()
+		if p.eof() {
+			break
+		}
+		word, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		switch strings.ToLower(word) {
+		case "interface":
+			iface, err := p.parseInterface()
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := file.Interface(iface.Name); dup {
+				return nil, p.errf("duplicate interface %q", iface.Name)
+			}
+			file.Interfaces = append(file.Interfaces, iface)
+		case "cost":
+			body, err := p.braceBlock()
+			if err != nil {
+				return nil, err
+			}
+			file.WrapperRules += body + "\n"
+		default:
+			return nil, p.errf("expected 'interface' or 'cost', got %q", word)
+		}
+	}
+	if err := file.Validate(); err != nil {
+		return nil, err
+	}
+	return file, nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("idl: line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) advance() byte {
+	c := p.src[p.pos]
+	p.pos++
+	if c == '\n' {
+		p.line++
+	}
+	return c
+}
+
+func (p *parser) skipSpace() {
+	for !p.eof() {
+		c := p.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			p.advance()
+		case c == '/' && p.pos+1 < len(p.src) && p.src[p.pos+1] == '/':
+			for !p.eof() && p.peek() != '\n' {
+				p.advance()
+			}
+		case c == '/' && p.pos+1 < len(p.src) && p.src[p.pos+1] == '*':
+			p.advance()
+			p.advance()
+			for !p.eof() {
+				if p.peek() == '*' && p.pos+1 < len(p.src) && p.src[p.pos+1] == '/' {
+					p.advance()
+					p.advance()
+					break
+				}
+				p.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdent(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+func (p *parser) ident() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for !p.eof() && isIdent(p.peek()) {
+		p.advance()
+	}
+	if p.pos == start {
+		return "", p.errf("expected identifier")
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *parser) expect(c byte) error {
+	p.skipSpace()
+	if p.eof() || p.peek() != c {
+		return p.errf("expected %q", string(c))
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) accept(c byte) bool {
+	p.skipSpace()
+	if !p.eof() && p.peek() == c {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+// braceBlock consumes a balanced { ... } block and returns its interior,
+// respecting strings and comments inside (cost rules may contain braces
+// in neither, but strings could).
+func (p *parser) braceBlock() (string, error) {
+	if err := p.expect('{'); err != nil {
+		return "", err
+	}
+	start := p.pos
+	depth := 1
+	for !p.eof() {
+		c := p.advance()
+		switch c {
+		case '{':
+			depth++
+		case '}':
+			depth--
+			if depth == 0 {
+				return p.src[start : p.pos-1], nil
+			}
+		case '"', '\'':
+			quote := c
+			for !p.eof() {
+				q := p.advance()
+				if q == '\\' && !p.eof() {
+					p.advance()
+					continue
+				}
+				if q == quote {
+					break
+				}
+			}
+		case '#':
+			for !p.eof() && p.peek() != '\n' {
+				p.advance()
+			}
+		}
+	}
+	return "", p.errf("unterminated cost block")
+}
+
+func (p *parser) parseInterface() (*Interface, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	iface := &Interface{Name: name}
+	if err := p.expect('{'); err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if p.accept('}') {
+			p.accept(';')
+			return iface, nil
+		}
+		word, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		switch strings.ToLower(word) {
+		case "attribute":
+			tname, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			kind, ok := KindOf(tname)
+			if !ok {
+				return nil, p.errf("unknown attribute type %q", tname)
+			}
+			aname, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			iface.Attributes = append(iface.Attributes, Attribute{Name: aname, Kind: kind})
+			if err := p.expect(';'); err != nil {
+				return nil, err
+			}
+
+		case "cardinality":
+			kind, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.signature(); err != nil {
+				return nil, err
+			}
+			switch strings.ToLower(kind) {
+			case "extent":
+				iface.HasExtentCard = true
+			case "attribute":
+				iface.HasAttributeCard = true
+			default:
+				return nil, p.errf("cardinality method must be 'extent' or 'attribute', got %q", kind)
+			}
+			if err := p.expect(';'); err != nil {
+				return nil, err
+			}
+
+		case "cost":
+			body, err := p.braceBlock()
+			if err != nil {
+				return nil, err
+			}
+			iface.CostRules += body + "\n"
+
+		default:
+			// An operation: word is the return type; then name(params);
+			opName, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			params, err := p.signature()
+			if err != nil {
+				return nil, err
+			}
+			iface.Operations = append(iface.Operations, Operation{
+				Name: opName, ReturnType: word, Params: params,
+			})
+			if err := p.expect(';'); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+// signature parses ( [in|out type name (, ...)*] ).
+func (p *parser) signature() ([]Parameter, error) {
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	var params []Parameter
+	p.skipSpace()
+	if p.accept(')') {
+		return params, nil
+	}
+	for {
+		dir, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		param := Parameter{}
+		var tname string
+		switch strings.ToLower(dir) {
+		case "in":
+			tname, err = p.ident()
+		case "out":
+			param.Out = true
+			tname, err = p.ident()
+		default:
+			// Direction omitted: dir was the type.
+			tname = dir
+		}
+		if err != nil {
+			return nil, err
+		}
+		param.Type = tname
+		if param.Name, err = p.ident(); err != nil {
+			return nil, err
+		}
+		params = append(params, param)
+		if p.accept(',') {
+			continue
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return params, nil
+	}
+}

@@ -1,0 +1,184 @@
+package idl
+
+import (
+	"strings"
+	"testing"
+
+	"disco/internal/costlang"
+	"disco/internal/types"
+)
+
+// paperIDL is the Employee interface of the paper's Figures 3 and 4.
+const paperIDL = `
+interface Employee {
+  attribute Long salary;
+  attribute String Name;
+  short age();
+  cardinality extent(out long CountObject, out long TotalSize, out long ObjectSize);
+  cardinality attribute(in String AttributeName, out Boolean Indexed,
+                        out Long CountDistinct, out Constant Min, out Constant Max);
+}
+`
+
+func TestParsePaperInterface(t *testing.T) {
+	f, err := Parse(paperIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Interfaces) != 1 {
+		t.Fatalf("interfaces = %d", len(f.Interfaces))
+	}
+	emp := f.Interfaces[0]
+	if emp.Name != "Employee" {
+		t.Errorf("name = %q", emp.Name)
+	}
+	if len(emp.Attributes) != 2 ||
+		emp.Attributes[0].Name != "salary" || emp.Attributes[0].Kind != types.KindInt ||
+		emp.Attributes[1].Name != "Name" || emp.Attributes[1].Kind != types.KindString {
+		t.Errorf("attributes = %+v", emp.Attributes)
+	}
+	if len(emp.Operations) != 1 || emp.Operations[0].Name != "age" || emp.Operations[0].ReturnType != "short" {
+		t.Errorf("operations = %+v", emp.Operations)
+	}
+	if !emp.HasExtentCard || !emp.HasAttributeCard {
+		t.Error("cardinality methods not detected")
+	}
+	schema := emp.Schema()
+	if schema.Len() != 2 {
+		t.Errorf("schema = %s", schema)
+	}
+	if i, ok := schema.Lookup("Employee.salary"); !ok || i != 0 {
+		t.Error("qualified schema lookup")
+	}
+}
+
+func TestParseCostSections(t *testing.T) {
+	src := paperIDL + `
+interface Book {
+  attribute Long id;
+  attribute String title;
+  cost {
+    scan(Book) { TotalTime = 777; }
+  }
+};
+
+cost {
+  let IO = 25;
+  scan(C) { TotalTime = C.CountPage * IO; }
+}
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	book, ok := f.Interface("book") // case-insensitive
+	if !ok {
+		t.Fatal("Book missing")
+	}
+	if !strings.Contains(book.CostRules, "777") {
+		t.Errorf("collection rules = %q", book.CostRules)
+	}
+	if !strings.Contains(f.WrapperRules, "let IO = 25") {
+		t.Errorf("wrapper rules = %q", f.WrapperRules)
+	}
+	// The merged rule text must parse as cost language.
+	parsed, err := costlang.Parse(f.AllRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Rules) != 2 || len(parsed.Lets) != 1 {
+		t.Errorf("merged rules = %d, lets = %d", len(parsed.Rules), len(parsed.Lets))
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+// line comment
+/* block
+   comment */
+interface T {
+  attribute long x; // trailing
+};`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Interfaces) != 1 || len(f.Interfaces[0].Attributes) != 1 {
+		t.Errorf("parsed = %+v", f.Interfaces)
+	}
+}
+
+func TestParamsDirections(t *testing.T) {
+	src := `
+interface T {
+  attribute long x;
+  void op(in long a, out string b, boolean c);
+};`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := f.Interfaces[0].Operations[0]
+	if len(op.Params) != 3 {
+		t.Fatalf("params = %+v", op.Params)
+	}
+	if op.Params[0].Out || !op.Params[1].Out || op.Params[2].Out {
+		t.Errorf("directions = %+v", op.Params)
+	}
+	if op.Params[2].Type != "boolean" || op.Params[2].Name != "c" {
+		t.Errorf("undirected param = %+v", op.Params[2])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`interface {`,                           // missing name
+		`interface T { attribute unknown x; };`, // unknown type
+		`interface T { attribute long; };`,      // missing name
+		`interface T { cardinality bogus(); };`, // bad cardinality kind
+		`interface T { attribute long x }`,      // missing semicolon
+		`frobnicate T {};`,                      // unknown top-level
+		`interface T { attribute long x; };
+		 interface T { attribute long y; };`, // duplicate
+		`cost { scan(C) { TotalTime = ; } }`, // invalid cost language
+		`cost { scan(C) { TotalTime = 1; }`,  // unterminated block
+		`interface T { void op(in long); };`, // missing param name
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestBraceBlockRespectsStrings(t *testing.T) {
+	src := `
+interface T {
+  attribute long x;
+  cost {
+    select(T, name = "weird } brace") { TotalTime = 1; }
+  }
+};`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f.Interfaces[0].CostRules, "weird } brace") {
+		t.Errorf("rules = %q", f.Interfaces[0].CostRules)
+	}
+}
+
+func TestKindOf(t *testing.T) {
+	cases := map[string]types.Kind{
+		"Long": types.KindInt, "SHORT": types.KindInt, "double": types.KindFloat,
+		"String": types.KindString, "boolean": types.KindBool,
+	}
+	for name, want := range cases {
+		if k, ok := KindOf(name); !ok || k != want {
+			t.Errorf("KindOf(%s) = %v, %v", name, k, ok)
+		}
+	}
+	if _, ok := KindOf("blob"); ok {
+		t.Error("unknown type should miss")
+	}
+}

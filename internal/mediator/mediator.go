@@ -1,0 +1,309 @@
+// Package mediator assembles the full DISCO system of the paper: the
+// registration phase (Figure 1 — wrappers upload schema, capabilities,
+// statistics and cost rules into the catalog and the cost-model registry)
+// and the query phase (Figure 2 — parse the declarative query, bind it
+// against the catalog, optimize it with the blending cost model, execute
+// it across the wrappers, and compose the answer).
+package mediator
+
+import (
+	"fmt"
+	"strings"
+
+	"disco/internal/algebra"
+	"disco/internal/catalog"
+	"disco/internal/core"
+	"disco/internal/costlang"
+	"disco/internal/engine"
+	"disco/internal/history"
+	"disco/internal/netsim"
+	"disco/internal/optimizer"
+	"disco/internal/sqlparser"
+	"disco/internal/wrapper"
+)
+
+// Config sets up a mediator deployment.
+type Config struct {
+	// Clock is the shared virtual clock; nil allocates one. Every
+	// registered wrapper must run on this clock.
+	Clock *netsim.Clock
+	// Net is the communication model; nil installs a default uniform
+	// link (10 ms latency, 2 MB/s).
+	Net *netsim.Network
+	// EngineCosts are the mediator-side per-row costs; zero value uses
+	// engine.DefaultCosts.
+	EngineCosts engine.Costs
+	// RecordHistory enables the §4.3.1 query-scope recorder.
+	RecordHistory bool
+	// UseWrapperRules controls whether registration integrates exported
+	// cost rules (disabling it yields the generic-model-only baseline of
+	// experiment E3).
+	UseWrapperRules bool
+	// OptimizerOptions tune the plan search.
+	OptimizerOptions optimizer.Options
+}
+
+// DefaultConfig enables wrapper rules and history with default search
+// options.
+func DefaultConfig() Config {
+	return Config{
+		RecordHistory:    true,
+		UseWrapperRules:  true,
+		OptimizerOptions: optimizer.DefaultOptions(),
+	}
+}
+
+// Mediator is one running mediator instance. It is not safe for
+// concurrent use; create one per session.
+type Mediator struct {
+	cfg Config
+
+	Clock     *netsim.Clock
+	Net       *netsim.Network
+	Catalog   *catalog.Catalog
+	Registry  *core.Registry
+	Estimator *core.Estimator
+	Optimizer *optimizer.Optimizer
+	Engine    *engine.Engine
+	History   *history.Recorder
+
+	wrappers map[string]wrapper.Wrapper
+}
+
+// New builds an empty mediator.
+func New(cfg Config) (*Mediator, error) {
+	if cfg.Clock == nil {
+		cfg.Clock = netsim.NewClock()
+	}
+	if cfg.Net == nil {
+		cfg.Net = netsim.NewNetwork(netsim.Link{LatencyMS: 10, PerByteMS: 0.0005}, cfg.Clock)
+	}
+	if cfg.EngineCosts == (engine.Costs{}) {
+		cfg.EngineCosts = engine.DefaultCosts()
+	}
+	reg, err := core.NewDefaultRegistry()
+	if err != nil {
+		return nil, err
+	}
+	m := &Mediator{
+		cfg:      cfg,
+		Clock:    cfg.Clock,
+		Net:      cfg.Net,
+		Catalog:  catalog.New(),
+		Registry: reg,
+		wrappers: make(map[string]wrapper.Wrapper),
+	}
+	m.Estimator = core.NewEstimator(reg, m.Catalog, cfg.Net)
+	m.Optimizer = optimizer.New(m.Catalog, m.Estimator, cfg.OptimizerOptions)
+	if cfg.RecordHistory {
+		m.History = history.NewRecorder(reg)
+	}
+	if err := m.rebuildEngine(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (m *Mediator) rebuildEngine() error {
+	eng, err := engine.New(m.Clock, m.Net, m.wrappers, m.cfg.EngineCosts)
+	if err != nil {
+		return err
+	}
+	if m.History != nil {
+		rec := m.History
+		eng.SubmitHook = func(w string, subplan *algebra.Node, elapsed float64, rows int, bytes int64) {
+			// Recording failures must not fail queries.
+			_ = rec.Record(w, subplan, elapsed, int64(rows), bytes)
+		}
+	}
+	m.Engine = eng
+	return nil
+}
+
+// Register runs the registration phase for one wrapper: catalog upload
+// plus cost-rule integration (paper Figure 1). Re-registering a name
+// replaces its catalog entry and rules (the paper's administrative
+// re-registration interface).
+func (m *Mediator) Register(w wrapper.Wrapper) error {
+	if w.Clock() != m.Clock {
+		return fmt.Errorf("mediator: wrapper %s does not share the mediator clock", w.Name())
+	}
+	if err := m.Catalog.Register(w); err != nil {
+		return err
+	}
+	m.Registry.DropWrapper(w.Name())
+	if m.cfg.UseWrapperRules {
+		if src := w.CostRules(); src != "" {
+			file, err := costlang.Parse(src)
+			if err != nil {
+				return fmt.Errorf("mediator: parsing %s cost rules: %w", w.Name(), err)
+			}
+			if err := m.Registry.IntegrateWrapper(w.Name(), file, m.Catalog); err != nil {
+				return fmt.Errorf("mediator: integrating %s cost rules: %w", w.Name(), err)
+			}
+		}
+	}
+	m.wrappers[w.Name()] = w
+	return m.rebuildEngine()
+}
+
+// Wrapper returns a registered wrapper.
+func (m *Mediator) Wrapper(name string) (wrapper.Wrapper, bool) {
+	w, ok := m.wrappers[name]
+	return w, ok
+}
+
+// Prepared is a bound and optimized query ready for execution.
+type Prepared struct {
+	SQL   string
+	Query *sqlparser.Query
+	Block *optimizer.QueryBlock
+	Plan  *algebra.Node
+	Cost  *core.PlanCost
+	// PlansCosted reports the optimizer's search effort.
+	PlansCosted int
+}
+
+// Prepare parses, binds and optimizes a query.
+func (m *Mediator) Prepare(sql string) (*Prepared, error) {
+	q, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	block, err := m.bind(q)
+	if err != nil {
+		return nil, err
+	}
+	res, err := m.Optimizer.Optimize(block)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{
+		SQL:         sql,
+		Query:       q,
+		Block:       block,
+		Plan:        res.Plan,
+		Cost:        res.Cost,
+		PlansCosted: res.PlansCosted,
+	}, nil
+}
+
+// Query runs the full pipeline: prepare then execute.
+func (m *Mediator) Query(sql string) (*engine.Result, error) {
+	p, err := m.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	return m.Engine.Execute(p.Plan)
+}
+
+// ExecutePlan executes a previously prepared plan.
+func (m *Mediator) ExecutePlan(p *Prepared) (*engine.Result, error) {
+	return m.Engine.Execute(p.Plan)
+}
+
+// Explain renders the chosen plan with its cost annotations.
+func (m *Mediator) Explain(sql string) (string, error) {
+	saved := m.Estimator.Options.Trace
+	m.Estimator.Options.Trace = true
+	defer func() { m.Estimator.Options.Trace = saved }()
+	p, err := m.Prepare(sql)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- %s\n", sql)
+	fmt.Fprintf(&b, "-- estimated TotalTime: %.3f ms (%d candidate estimations)\n",
+		p.Cost.TotalTime(), p.PlansCosted)
+	b.WriteString(m.Estimator.Explain(p.Plan, p.Cost))
+	return b.String(), nil
+}
+
+// bind resolves a parsed query against the catalog into an optimizer
+// query block (the paper's step "transforms the query, written with
+// respect to a global view, into a query over local schemas").
+func (m *Mediator) bind(q *sqlparser.Query) (*optimizer.QueryBlock, error) {
+	rels := make([]optimizer.Rel, 0, len(q.From))
+	for _, tr := range q.From {
+		wrapperName := tr.Wrapper
+		if wrapperName == "" {
+			owners := m.Catalog.FindCollection(tr.Collection)
+			switch len(owners) {
+			case 0:
+				return nil, fmt.Errorf("mediator: unknown collection %q", tr.Collection)
+			case 1:
+				wrapperName = owners[0]
+			default:
+				return nil, fmt.Errorf("mediator: collection %q exists at several wrappers (%s); pin one with %s@wrapper",
+					tr.Collection, strings.Join(owners, ", "), tr.Collection)
+			}
+		} else if !m.Catalog.HasCollection(wrapperName, tr.Collection) {
+			return nil, fmt.Errorf("mediator: unknown collection %s@%s", tr.Collection, wrapperName)
+		}
+		rels = append(rels, optimizer.Rel{Wrapper: wrapperName, Collection: tr.Collection})
+	}
+
+	rels, joins, err := optimizer.SplitPredicate(m.Catalog, rels, q.Where)
+	if err != nil {
+		return nil, err
+	}
+	block := &optimizer.QueryBlock{
+		Relations: rels,
+		JoinPreds: joins,
+		Distinct:  q.Distinct,
+		Sort:      q.OrderBy,
+	}
+
+	// Select list: aggregates switch the block into grouping mode.
+	hasAgg := false
+	for _, it := range q.Items {
+		if it.Agg != nil {
+			hasAgg = true
+		}
+	}
+	if hasAgg {
+		block.GroupBy = q.GroupBy
+		for _, it := range q.Items {
+			switch {
+			case it.Agg != nil:
+				block.Aggs = append(block.Aggs, *it.Agg)
+			case it.Star:
+				return nil, fmt.Errorf("mediator: cannot mix * with aggregates")
+			default:
+				if !inGroupBy(q.GroupBy, it.Ref) {
+					return nil, fmt.Errorf("mediator: %s must appear in GROUP BY", it.Ref)
+				}
+			}
+		}
+	} else {
+		if len(q.GroupBy) > 0 {
+			return nil, fmt.Errorf("mediator: GROUP BY without aggregates")
+		}
+		star := false
+		var cols []string
+		for _, it := range q.Items {
+			if it.Star {
+				star = true
+				continue
+			}
+			cols = append(cols, it.Ref.String())
+		}
+		if star && len(cols) > 0 {
+			return nil, fmt.Errorf("mediator: cannot mix * with named columns")
+		}
+		if !star {
+			block.Projection = cols
+		}
+	}
+	return block, nil
+}
+
+func inGroupBy(groupBy []algebra.Ref, r algebra.Ref) bool {
+	for _, g := range groupBy {
+		if strings.EqualFold(g.Attr, r.Attr) &&
+			(g.Collection == "" || r.Collection == "" || strings.EqualFold(g.Collection, r.Collection)) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,81 @@
+package netsim
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Error("fresh clock should be at 0")
+	}
+	c.Advance(10.5)
+	c.Advance(-5) // ignored
+	c.Advance(0)  // ignored
+	if c.Now() != 10.5 {
+		t.Errorf("Now = %v", c.Now())
+	}
+}
+
+func TestClockConcurrentAdvance(t *testing.T) {
+	c := NewClock()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Advance(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Now() != 8000 {
+		t.Errorf("Now = %v, want 8000", c.Now())
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	c := NewClock()
+	c.Advance(5)
+	w := StartWatch(c)
+	c.Advance(7)
+	if w.ElapsedMS() != 7 {
+		t.Errorf("Elapsed = %v", w.ElapsedMS())
+	}
+}
+
+func TestLinkTransfer(t *testing.T) {
+	l := Link{LatencyMS: 10, PerByteMS: 0.001}
+	if got := l.TransferMS(1000); got != 11 {
+		t.Errorf("TransferMS = %v", got)
+	}
+}
+
+func TestNetworkLinksAndShip(t *testing.T) {
+	clock := NewClock()
+	n := NewNetwork(Link{LatencyMS: 10, PerByteMS: 0.001}, clock)
+	n.SetLink("slow", Link{LatencyMS: 100, PerByteMS: 0.01})
+
+	if n.LatencyMS("fast") != 10 || n.PerByteMS("fast") != 0.001 {
+		t.Error("default link")
+	}
+	if n.LatencyMS("slow") != 100 {
+		t.Error("override link")
+	}
+	n.Ship("fast", 1000) // 11 ms
+	n.Ship("slow", 1000) // 110 ms
+	if clock.Now() != 121 {
+		t.Errorf("clock = %v, want 121", clock.Now())
+	}
+	if !strings.Contains(n.String(), "latency=10ms") {
+		t.Errorf("String = %q", n.String())
+	}
+}
+
+func TestNetworkNilClock(t *testing.T) {
+	n := NewNetwork(Link{LatencyMS: 1}, nil)
+	n.Ship("w", 100) // must not panic
+}

@@ -1,0 +1,367 @@
+package objstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"disco/internal/netsim"
+	"disco/internal/stats"
+	"disco/internal/types"
+)
+
+// Config sets the physical and timing parameters of a store. The defaults
+// are the paper's §5 ObjectStore measurements: 4096-byte pages at a 96 %
+// fill factor, 25 ms per page fetch and 9 ms per delivered object.
+type Config struct {
+	PageSize     int     // bytes per page
+	FillFactor   float64 // usable fraction of a page
+	BufferPages  int     // buffer pool capacity in pages
+	IOTimeMS     float64 // per page fetch on a buffer miss
+	OutputTimeMS float64 // per object delivered to the caller
+	CPUTimeMS    float64 // per object examined
+	ProbeTimeMS  float64 // per index entry traversed
+}
+
+// DefaultConfig returns the paper's constants.
+func DefaultConfig() Config {
+	return Config{
+		PageSize:     4096,
+		FillFactor:   0.96,
+		BufferPages:  256,
+		IOTimeMS:     25,
+		OutputTimeMS: 9,
+		CPUTimeMS:    0.01,
+		ProbeTimeMS:  0.002,
+	}
+}
+
+// Store is one simulated object database holding named collections and
+// sharing a buffer pool.
+type Store struct {
+	cfg   Config
+	clock *netsim.Clock
+	buf   *bufferPool
+	colls map[string]*Collection
+}
+
+// Open creates a store on the given virtual clock (nil allocates a private
+// clock).
+func Open(cfg Config, clock *netsim.Clock) *Store {
+	if clock == nil {
+		clock = netsim.NewClock()
+	}
+	if cfg.PageSize <= 0 {
+		cfg.PageSize = 4096
+	}
+	if cfg.FillFactor <= 0 || cfg.FillFactor > 1 {
+		cfg.FillFactor = 0.96
+	}
+	if cfg.BufferPages <= 0 {
+		cfg.BufferPages = 256
+	}
+	return &Store{
+		cfg:   cfg,
+		clock: clock,
+		buf:   newBufferPool(cfg.BufferPages, cfg.IOTimeMS, clock),
+		colls: make(map[string]*Collection),
+	}
+}
+
+// Clock returns the store's virtual clock.
+func (s *Store) Clock() *netsim.Clock { return s.clock }
+
+// Config returns the store configuration.
+func (s *Store) Config() Config { return s.cfg }
+
+// BufferStats reports buffer pool hits and misses since the last reset.
+func (s *Store) BufferStats() (hits, misses int64) { return s.buf.Hits, s.buf.Misses }
+
+// ResetBuffer empties the buffer pool, so the next measurement starts
+// cold.
+func (s *Store) ResetBuffer() { s.buf.reset() }
+
+// Collections lists collection names, sorted.
+func (s *Store) Collections() []string {
+	out := make([]string, 0, len(s.colls))
+	for name := range s.colls {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Collection returns a collection by name.
+func (s *Store) Collection(name string) (*Collection, bool) {
+	c, ok := s.colls[name]
+	return c, ok
+}
+
+// page holds the rows physically placed on one page.
+type page struct {
+	rows []types.Row
+}
+
+// index couples a B+-tree with its attribute position.
+type index struct {
+	attr      string
+	fieldPos  int
+	tree      *BTree
+	clustered bool
+}
+
+// Collection is one extent of objects with a schema, a declared object
+// size (for page packing), pages, and optional indexes.
+type Collection struct {
+	store      *Store
+	name       string
+	schema     *types.Schema
+	objectSize int
+	pages      []*page
+	perPage    int
+	count      int
+	indexes    map[string]*index
+}
+
+// CreateCollection adds an empty collection. objectSize is the declared
+// on-disk size of one object in bytes (0 derives a default from the
+// schema: 8 bytes per numeric field, 24 per string).
+func (s *Store) CreateCollection(name string, schema *types.Schema, objectSize int) (*Collection, error) {
+	if _, exists := s.colls[name]; exists {
+		return nil, fmt.Errorf("objstore: collection %q already exists", name)
+	}
+	if schema == nil || schema.Len() == 0 {
+		return nil, fmt.Errorf("objstore: collection %q needs a schema", name)
+	}
+	if objectSize <= 0 {
+		objectSize = 0
+		for i := 0; i < schema.Len(); i++ {
+			if schema.Field(i).Type == types.KindString {
+				objectSize += 24
+			} else {
+				objectSize += 8
+			}
+		}
+	}
+	perPage := int(float64(s.cfg.PageSize)*s.cfg.FillFactor) / objectSize
+	if perPage < 1 {
+		perPage = 1
+	}
+	c := &Collection{
+		store:      s,
+		name:       name,
+		schema:     schema,
+		objectSize: objectSize,
+		perPage:    perPage,
+		indexes:    make(map[string]*index),
+	}
+	s.colls[name] = c
+	return c, nil
+}
+
+// Name returns the collection name.
+func (c *Collection) Name() string { return c.name }
+
+// Schema returns the row schema.
+func (c *Collection) Schema() *types.Schema { return c.schema }
+
+// Count reports the number of objects.
+func (c *Collection) Count() int { return c.count }
+
+// PageCount reports the number of pages.
+func (c *Collection) PageCount() int { return len(c.pages) }
+
+// ObjectSize reports the declared per-object size in bytes.
+func (c *Collection) ObjectSize() int { return c.objectSize }
+
+// Insert appends one object in arrival order (physical placement is
+// insertion order: inserting in key order yields clustering on that key,
+// inserting shuffled yields the scattered placement of Figure 12's
+// unclustered index scan). Insertion is a bulk-load operation and advances
+// no clock time.
+func (c *Collection) Insert(row types.Row) error {
+	if len(row) != c.schema.Len() {
+		return fmt.Errorf("objstore: %s: row arity %d, schema %d", c.name, len(row), c.schema.Len())
+	}
+	if len(c.pages) == 0 || len(c.pages[len(c.pages)-1].rows) >= c.perPage {
+		c.pages = append(c.pages, &page{rows: make([]types.Row, 0, c.perPage)})
+	}
+	p := c.pages[len(c.pages)-1]
+	rid := RID{Page: int32(len(c.pages) - 1), Slot: int32(len(p.rows))}
+	p.rows = append(p.rows, row)
+	c.count++
+	for _, idx := range c.indexes {
+		idx.tree.Insert(row[idx.fieldPos], rid)
+	}
+	return nil
+}
+
+// CreateIndex builds a B+-tree on the attribute over all existing objects.
+func (c *Collection) CreateIndex(attr string, clustered bool) error {
+	pos, ok := c.schema.Lookup(attr)
+	if !ok {
+		return fmt.Errorf("objstore: %s has no attribute %q", c.name, attr)
+	}
+	key := strings.ToLower(attr)
+	if _, exists := c.indexes[key]; exists {
+		return fmt.Errorf("objstore: %s already has an index on %q", c.name, attr)
+	}
+	idx := &index{attr: attr, fieldPos: pos, tree: NewBTree(), clustered: clustered}
+	for pi, p := range c.pages {
+		for si, row := range p.rows {
+			idx.tree.Insert(row[pos], RID{Page: int32(pi), Slot: int32(si)})
+		}
+	}
+	c.indexes[key] = idx
+	return nil
+}
+
+// MarkClustered flags an existing index as clustering (physical placement
+// follows the index order). The flag feeds the exported statistics; the
+// caller asserts that the data was loaded in key order.
+func (c *Collection) MarkClustered(attr string) error {
+	idx, ok := c.indexes[strings.ToLower(attr)]
+	if !ok {
+		return fmt.Errorf("objstore: %s has no index on %q", c.name, attr)
+	}
+	idx.clustered = true
+	return nil
+}
+
+// HasIndex reports whether the attribute is indexed, and whether that
+// index is clustering.
+func (c *Collection) HasIndex(attr string) (indexed, clustered bool) {
+	idx, ok := c.indexes[strings.ToLower(attr)]
+	if !ok {
+		return false, false
+	}
+	return true, idx.clustered
+}
+
+// fetch reads the object at rid through the buffer pool, charging I/O and
+// CPU.
+func (c *Collection) fetch(rid RID) types.Row {
+	c.store.buf.touch(c.name, rid.Page)
+	c.store.clock.Advance(c.store.cfg.CPUTimeMS)
+	return c.pages[rid.Page].rows[rid.Slot]
+}
+
+// RowIter is the iterator interface both scan kinds implement.
+type RowIter interface {
+	// Next returns the next row; ok is false at the end.
+	Next() (types.Row, bool)
+}
+
+// SeqIter scans every page in physical order.
+type SeqIter struct {
+	coll *Collection
+	pi   int
+	si   int
+}
+
+// SeqScan starts a sequential scan.
+func (c *Collection) SeqScan() *SeqIter { return &SeqIter{coll: c} }
+
+// Next implements RowIter.
+func (s *SeqIter) Next() (types.Row, bool) {
+	c := s.coll
+	for s.pi < len(c.pages) {
+		p := c.pages[s.pi]
+		if s.si == 0 {
+			c.store.buf.touch(c.name, int32(s.pi))
+		}
+		if s.si >= len(p.rows) {
+			s.pi++
+			s.si = 0
+			continue
+		}
+		row := p.rows[s.si]
+		s.si++
+		c.store.clock.Advance(c.store.cfg.CPUTimeMS)
+		return row, true
+	}
+	return nil, false
+}
+
+// IndexIter walks an index range, fetching each qualifying object through
+// the buffer pool (the unclustered access pattern of Figure 12).
+type IndexIter struct {
+	coll *Collection
+	it   *TreeIter
+}
+
+// IndexScan starts an index scan for `attr op value`; it fails when the
+// attribute has no index or the operator cannot use one.
+func (c *Collection) IndexScan(attr string, op stats.CmpOp, value types.Constant) (*IndexIter, error) {
+	idx, ok := c.indexes[strings.ToLower(attr)]
+	if !ok {
+		return nil, fmt.Errorf("objstore: %s has no index on %q", c.name, attr)
+	}
+	if op == stats.CmpNE {
+		return nil, fmt.Errorf("objstore: index scan cannot serve <>")
+	}
+	return &IndexIter{coll: c, it: idx.tree.Seek(op, value)}, nil
+}
+
+// Next implements RowIter.
+func (i *IndexIter) Next() (types.Row, bool) {
+	e, ok := i.it.Next()
+	if !ok {
+		return nil, false
+	}
+	i.coll.store.clock.Advance(i.coll.store.cfg.ProbeTimeMS)
+	return i.coll.fetch(e.RID), true
+}
+
+// DeliverOutput charges the per-object delivery cost for n result objects;
+// the wrapper layer calls it when rows leave the source.
+func (s *Store) DeliverOutput(n int) {
+	s.clock.Advance(float64(n) * s.cfg.OutputTimeMS)
+}
+
+// ExtentStats computes the collection's exported extent statistics:
+// TotalSize is occupied disk space (pages × page size), matching the
+// paper's AtomicParts description (1000 pages).
+func (c *Collection) ExtentStats() stats.ExtentStats {
+	return stats.ExtentStats{
+		CountObject: int64(c.count),
+		TotalSize:   int64(len(c.pages) * c.store.cfg.PageSize),
+		ObjectSize:  int64(c.objectSize),
+	}
+}
+
+// AttributeStats computes the exported statistics of one attribute by a
+// full pass over the data (registration-time work, no clock cost). The
+// optional histogram uses equi-depth buckets when buckets > 0.
+func (c *Collection) AttributeStats(attr string, buckets int) (stats.AttributeStats, error) {
+	pos, ok := c.schema.Lookup(attr)
+	if !ok {
+		return stats.AttributeStats{}, fmt.Errorf("objstore: %s has no attribute %q", c.name, attr)
+	}
+	out := stats.AttributeStats{}
+	out.Indexed, out.Clustered = c.HasIndex(attr)
+	distinct := make(map[string]struct{})
+	var values []types.Constant
+	first := true
+	for _, p := range c.pages {
+		for _, row := range p.rows {
+			v := row[pos]
+			distinct[v.Kind().String()+":"+v.String()] = struct{}{}
+			if first || v.Less(out.Min) {
+				out.Min = v
+			}
+			if first || out.Max.Less(v) {
+				out.Max = v
+			}
+			first = false
+			if buckets > 0 && v.IsNumeric() {
+				values = append(values, v)
+			}
+		}
+	}
+	out.CountDistinct = int64(len(distinct))
+	if buckets > 0 && len(values) > 0 {
+		out.Histogram = stats.NewEquiDepth(values, buckets)
+	}
+	return out, nil
+}

@@ -1,0 +1,336 @@
+package objstore
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"disco/internal/netsim"
+	"disco/internal/stats"
+	"disco/internal/types"
+)
+
+func partsSchema() *types.Schema {
+	return types.NewSchema(
+		types.Field{Name: "id", Collection: "AtomicParts", Type: types.KindInt},
+		types.Field{Name: "buildDate", Collection: "AtomicParts", Type: types.KindInt},
+		types.Field{Name: "x", Collection: "AtomicParts", Type: types.KindInt},
+	)
+}
+
+// loadParts creates an AtomicParts-shaped collection with n objects whose
+// ids are inserted in shuffled order (scattered placement) or in id order
+// (clustered).
+func loadParts(t *testing.T, s *Store, n int, shuffled bool) *Collection {
+	t.Helper()
+	c, err := s.CreateCollection("AtomicParts", partsSchema(), 56)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if shuffled {
+		rand.New(rand.NewSource(7)).Shuffle(n, func(i, j int) {
+			order[i], order[j] = order[j], order[i]
+		})
+	}
+	for _, id := range order {
+		row := types.Row{types.Int(int64(id)), types.Int(int64(id % 1000)), types.Int(int64(id * 3))}
+		if err := c.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.CreateIndex("id", !shuffled); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPagePacking(t *testing.T) {
+	s := Open(DefaultConfig(), nil)
+	c := loadParts(t, s, 70000, false)
+	// 4096*0.96/56 = 70 objects per page -> exactly 1000 pages: the
+	// paper's AtomicParts layout.
+	if c.PageCount() != 1000 {
+		t.Errorf("pages = %d, want 1000", c.PageCount())
+	}
+	ext := c.ExtentStats()
+	if ext.CountObject != 70000 || ext.TotalSize != 4096000 || ext.ObjectSize != 56 {
+		t.Errorf("extent = %+v", ext)
+	}
+}
+
+func TestCreateErrors(t *testing.T) {
+	s := Open(DefaultConfig(), nil)
+	if _, err := s.CreateCollection("c", nil, 0); err == nil {
+		t.Error("nil schema should fail")
+	}
+	c, err := s.CreateCollection("c", partsSchema(), 56)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateCollection("c", partsSchema(), 56); err == nil {
+		t.Error("duplicate collection should fail")
+	}
+	if err := c.Insert(types.Row{types.Int(1)}); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	if err := c.CreateIndex("bogus", false); err == nil {
+		t.Error("index on unknown attribute should fail")
+	}
+	if err := c.CreateIndex("id", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateIndex("id", false); err == nil {
+		t.Error("duplicate index should fail")
+	}
+	if _, err := c.IndexScan("x", stats.CmpEQ, types.Int(1)); err == nil {
+		t.Error("index scan without index should fail")
+	}
+	if _, err := c.IndexScan("id", stats.CmpNE, types.Int(1)); err == nil {
+		t.Error("index scan with <> should fail")
+	}
+}
+
+func TestSeqScanCostAndResults(t *testing.T) {
+	clock := netsim.NewClock()
+	cfg := DefaultConfig()
+	s := Open(cfg, clock)
+	c := loadParts(t, s, 7000, true) // 100 pages
+	start := clock.Now()
+	it := c.SeqScan()
+	n := 0
+	for {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 7000 {
+		t.Fatalf("scanned %d rows", n)
+	}
+	elapsed := clock.Now() - start
+	want := 100*cfg.IOTimeMS + 7000*cfg.CPUTimeMS
+	if math.Abs(elapsed-want) > 1e-6 {
+		t.Errorf("seq scan time = %v, want %v", elapsed, want)
+	}
+}
+
+func TestIndexScanExactCost(t *testing.T) {
+	clock := netsim.NewClock()
+	cfg := DefaultConfig()
+	cfg.BufferPages = 2000 // hold the whole collection
+	s := Open(cfg, clock)
+	c := loadParts(t, s, 7000, true)
+	s.ResetBuffer()
+	start := clock.Now()
+	it, err := c.IndexScan("id", stats.CmpEQ, types.Int(4242))
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, ok := it.Next()
+	if !ok || row[0].AsInt() != 4242 {
+		t.Fatalf("index probe = %v, %v", row, ok)
+	}
+	if _, ok := it.Next(); ok {
+		t.Error("unique probe should yield one row")
+	}
+	elapsed := clock.Now() - start
+	want := cfg.IOTimeMS + cfg.CPUTimeMS + cfg.ProbeTimeMS
+	if math.Abs(elapsed-want) > 1e-9 {
+		t.Errorf("probe time = %v, want %v", elapsed, want)
+	}
+}
+
+// TestIndexScanYaoShape is the physical heart of the Figure 12
+// reproduction: an index range scan over shuffled placement touches
+// distinct pages according to Yao's function, so measured time is
+// IO*CountPage*Yao(sel) + per-object costs — strictly concave in the
+// midrange, not linear.
+func TestIndexScanYaoShape(t *testing.T) {
+	clock := netsim.NewClock()
+	cfg := DefaultConfig()
+	cfg.BufferPages = 1200
+	cfg.CPUTimeMS = 0 // isolate the I/O component
+	cfg.ProbeTimeMS = 0
+	s := Open(cfg, clock)
+	n := 70000
+	c := loadParts(t, s, n, true)
+
+	measure := func(sel float64) float64 {
+		s.ResetBuffer()
+		start := clock.Now()
+		it, err := c.IndexScan("id", stats.CmpLT, types.Int(int64(sel*float64(n))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			if _, ok := it.Next(); !ok {
+				break
+			}
+		}
+		return clock.Now() - start
+	}
+
+	for _, sel := range []float64{0.01, 0.05, 0.1, 0.3, 0.5} {
+		got := measure(sel)
+		k := int64(sel * float64(n))
+		wantPages := stats.Yao(int64(n), int64(c.PageCount()), k) * float64(c.PageCount())
+		want := wantPages * cfg.IOTimeMS
+		if math.Abs(got-want)/want > 0.02 {
+			t.Errorf("sel=%.2f: measured %.0f ms, Yao predicts %.0f ms", sel, got, want)
+		}
+		linear := sel * float64(c.PageCount()) * cfg.IOTimeMS
+		if sel >= 0.05 && got < 1.5*linear {
+			t.Errorf("sel=%.2f: measured %.0f not clearly above linear model %.0f", sel, got, linear)
+		}
+	}
+}
+
+func TestClusteredIndexScanIsLinear(t *testing.T) {
+	// With id-ordered placement the same range scan touches only
+	// contiguous pages: cost is linear in selectivity — the clustering
+	// effect §5 says calibration cannot capture.
+	clock := netsim.NewClock()
+	cfg := DefaultConfig()
+	cfg.BufferPages = 1200
+	cfg.CPUTimeMS = 0
+	cfg.ProbeTimeMS = 0
+	s := Open(cfg, clock)
+	c := loadParts(t, s, 70000, false)
+
+	s.ResetBuffer()
+	start := clock.Now()
+	it, _ := c.IndexScan("id", stats.CmpLT, types.Int(7000)) // sel 0.1
+	for {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+	}
+	elapsed := clock.Now() - start
+	want := 100 * cfg.IOTimeMS // 10% of 1000 pages
+	if math.Abs(elapsed-want)/want > 0.05 {
+		t.Errorf("clustered scan = %v ms, want ~%v", elapsed, want)
+	}
+}
+
+func TestBufferEviction(t *testing.T) {
+	clock := netsim.NewClock()
+	cfg := DefaultConfig()
+	cfg.BufferPages = 10 // much smaller than the collection
+	s := Open(cfg, clock)
+	c := loadParts(t, s, 7000, true) // 100 pages
+	// Two sequential scans: with only 10 buffer pages the second scan
+	// re-faults every page.
+	for range [2]int{} {
+		it := c.SeqScan()
+		for {
+			if _, ok := it.Next(); !ok {
+				break
+			}
+		}
+	}
+	_, misses := s.BufferStats()
+	if misses != 200 {
+		t.Errorf("misses = %d, want 200 (no reuse across scans)", misses)
+	}
+}
+
+func TestDeliverOutput(t *testing.T) {
+	clock := netsim.NewClock()
+	s := Open(DefaultConfig(), clock)
+	s.DeliverOutput(100)
+	if got := clock.Now(); got != 900 {
+		t.Errorf("output cost = %v, want 900", got)
+	}
+}
+
+func TestAttributeStatsExport(t *testing.T) {
+	s := Open(DefaultConfig(), nil)
+	c := loadParts(t, s, 7000, true)
+	ast, err := c.AttributeStats("id", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ast.Indexed || ast.Clustered {
+		t.Errorf("index flags = %+v", ast)
+	}
+	if ast.CountDistinct != 7000 || ast.Min.AsInt() != 0 || ast.Max.AsInt() != 6999 {
+		t.Errorf("stats = %+v", ast)
+	}
+	// buildDate has 1000 distinct values and no index.
+	bd, err := c.AttributeStats("buildDate", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.Indexed || bd.CountDistinct != 1000 {
+		t.Errorf("buildDate stats = %+v", bd)
+	}
+	if bd.Histogram == nil {
+		t.Error("histogram requested but missing")
+	}
+	if _, err := c.AttributeStats("bogus", 0); err == nil {
+		t.Error("unknown attribute should fail")
+	}
+}
+
+func TestCollectionsListing(t *testing.T) {
+	s := Open(DefaultConfig(), nil)
+	loadParts(t, s, 70, false)
+	if _, ok := s.Collection("AtomicParts"); !ok {
+		t.Error("collection lookup failed")
+	}
+	if got := s.Collections(); len(got) != 1 || got[0] != "AtomicParts" {
+		t.Errorf("Collections = %v", got)
+	}
+}
+
+func TestBufferLRUKeepsHotPages(t *testing.T) {
+	clock := netsim.NewClock()
+	cfg := DefaultConfig()
+	cfg.BufferPages = 2
+	s := Open(cfg, clock)
+	c := loadParts(t, s, 70*3, true) // 3 pages
+	s.ResetBuffer()
+	// Touch page 0 repeatedly while cycling pages 1 and 2: page 0 stays
+	// resident because each access refreshes it.
+	probe := func(id int64) {
+		it, err := c.IndexScan("id", stats.CmpEQ, types.Int(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		it.Next()
+	}
+	// Find one id per page by scanning placement.
+	var idByPage [3]int64
+	seen := 0
+	itAll := c.SeqScan()
+	for p := 0; p < 3; p++ {
+		for i := 0; i < 70; i++ {
+			row, ok := itAll.Next()
+			if !ok {
+				break
+			}
+			if i == 0 {
+				idByPage[p] = row[0].AsInt()
+				seen++
+			}
+		}
+	}
+	if seen != 3 {
+		t.Fatal("expected 3 pages")
+	}
+	s.ResetBuffer()
+	probe(idByPage[0]) // miss, cache p0
+	probe(idByPage[1]) // miss, cache p1
+	probe(idByPage[0]) // hit, refresh p0
+	probe(idByPage[2]) // miss, evict p1 (LRU), keep p0
+	hits, _ := s.BufferStats()
+	probe(idByPage[0]) // must still be a hit
+	hits2, _ := s.BufferStats()
+	if hits2 != hits+1 {
+		t.Errorf("page 0 should stay resident under LRU: hits %d -> %d", hits, hits2)
+	}
+}

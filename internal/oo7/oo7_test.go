@@ -1,0 +1,138 @@
+package oo7
+
+import (
+	"testing"
+
+	"disco/internal/objstore"
+	"disco/internal/stats"
+	"disco/internal/types"
+)
+
+func TestGeneratePaperLayout(t *testing.T) {
+	store := objstore.Open(objstore.DefaultConfig(), nil)
+	if err := Generate(store, PaperScale(), 1); err != nil {
+		t.Fatal(err)
+	}
+	atomic, ok := store.Collection(AtomicParts)
+	if !ok {
+		t.Fatal("AtomicParts missing")
+	}
+	// The paper's layout: 70 000 objects, 56 bytes, exactly 1000 pages.
+	if atomic.Count() != 70000 {
+		t.Errorf("count = %d", atomic.Count())
+	}
+	if atomic.PageCount() != 1000 {
+		t.Errorf("pages = %d, want 1000", atomic.PageCount())
+	}
+	ext := atomic.ExtentStats()
+	if ext.ObjectSize != 56 || ext.TotalSize != 4096000 {
+		t.Errorf("extent = %+v", ext)
+	}
+	idStats, err := atomic.AttributeStats("id", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idStats.Indexed || idStats.CountDistinct != 70000 ||
+		idStats.Min.AsInt() != 0 || idStats.Max.AsInt() != 69999 {
+		t.Errorf("id stats = %+v", idStats)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	mk := func() *objstore.Collection {
+		store := objstore.Open(objstore.DefaultConfig(), nil)
+		if err := Generate(store, TinyScale(), 42); err != nil {
+			t.Fatal(err)
+		}
+		c, _ := store.Collection(AtomicParts)
+		return c
+	}
+	a, b := mk(), mk()
+	ita, itb := a.SeqScan(), b.SeqScan()
+	for {
+		ra, oka := ita.Next()
+		rb, okb := itb.Next()
+		if oka != okb {
+			t.Fatal("different lengths")
+		}
+		if !oka {
+			break
+		}
+		if !ra.Equal(rb) {
+			t.Fatalf("rows differ: %v vs %v", ra, rb)
+		}
+	}
+}
+
+func TestGenerateAllCollections(t *testing.T) {
+	store := objstore.Open(objstore.DefaultConfig(), nil)
+	scale := TinyScale()
+	if err := Generate(store, scale, 3); err != nil {
+		t.Fatal(err)
+	}
+	composite, _ := store.Collection(CompositeParts)
+	if composite.Count() != scale.AtomicParts/scale.AtomicPerComposite {
+		t.Errorf("composite count = %d", composite.Count())
+	}
+	docs, _ := store.Collection(Documents)
+	if docs.Count() != scale.AtomicParts {
+		t.Errorf("docs count = %d", docs.Count())
+	}
+	conns, _ := store.Collection(Connections)
+	if conns.Count() != scale.AtomicParts*scale.ConnectionsPerAtomic {
+		t.Errorf("connections count = %d", conns.Count())
+	}
+	// Referential structure: every connection src indexes a real part.
+	atomic, _ := store.Collection(AtomicParts)
+	it, err := conns.IndexScan("src", stats.CmpEQ, types.Int(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != scale.ConnectionsPerAtomic {
+		t.Errorf("part 0 has %d connections, want %d", n, scale.ConnectionsPerAtomic)
+	}
+	_ = atomic
+}
+
+func TestGenerateErrors(t *testing.T) {
+	store := objstore.Open(objstore.DefaultConfig(), nil)
+	if err := Generate(store, Scale{}, 1); err == nil {
+		t.Error("zero scale should fail")
+	}
+	if err := Generate(store, TinyScale(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Generate(store, TinyScale(), 1); err == nil {
+		t.Error("regeneration into the same store should fail (duplicate collections)")
+	}
+}
+
+func TestQueryBuilders(t *testing.T) {
+	scale := TinyScale()
+	q := RangeOnID("w", scale, 0.5)
+	if q.Kind.String() != "select" || q.Children[0].Collection != AtomicParts {
+		t.Errorf("RangeOnID shape: %s", q)
+	}
+	if v := q.Pred.Conjuncts[0].RightConst.AsInt(); v != 1000 {
+		t.Errorf("cut = %d, want 1000", v)
+	}
+	if p := Q1ExactMatch("w", 7); p.Pred.Conjuncts[0].Op != stats.CmpEQ {
+		t.Error("Q1 should be equality")
+	}
+	if p := Q2RangeBuildDate("w", scale, 0.1); p.Pred.Conjuncts[0].RightConst.AsInt() != 10 {
+		t.Error("Q2 cut wrong")
+	}
+	if p := Q8JoinDocs("w"); len(p.Pred.JoinComparisons()) != 1 {
+		t.Error("Q8 should have one join conjunct")
+	}
+	if p := Q5PartsOfComposite("w", 3); p.Pred.Conjuncts[0].Left.Attr != "partOf" {
+		t.Error("Q5 attr wrong")
+	}
+}

@@ -1,0 +1,566 @@
+// Package optimizer implements the mediator's cost-based query optimizer
+// (paper §2.2): it enumerates access paths, join orders and submit
+// placements for a query block, estimates every candidate with the
+// blending cost model (internal/core), and returns the cheapest plan.
+// Join ordering uses dynamic programming over relation subsets producing
+// left-deep trees; subplans are pushed into wrappers whenever capabilities
+// allow, and co-located joins may execute at the source.
+package optimizer
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"disco/internal/algebra"
+	"disco/internal/catalog"
+	"disco/internal/core"
+)
+
+// Rel is one base relation of a query block with its single-relation
+// selection predicate.
+type Rel struct {
+	Wrapper    string
+	Collection string
+	// Pred holds the conjuncts referencing only this relation; may be
+	// nil.
+	Pred *algebra.Predicate
+}
+
+// QueryBlock is the normalized input to optimization: relations, join
+// predicates connecting them, and the post-join shape.
+type QueryBlock struct {
+	Relations []Rel
+	JoinPreds []algebra.Comparison // attribute-to-attribute conjuncts
+	// Post-join operators, applied in SQL order: group/aggregate, then
+	// distinct, then sort, then projection.
+	GroupBy    []algebra.Ref
+	Aggs       []algebra.AggSpec
+	Distinct   bool
+	Sort       []algebra.SortKey
+	Projection []string // empty keeps all columns
+}
+
+// Options tune the search.
+type Options struct {
+	// Pruning enables branch-and-bound: candidate estimation aborts as
+	// soon as a subcost exceeds the best complete plan (paper §4.3.2).
+	Pruning bool
+	// MaxDPRelations bounds the dynamic program; blocks with more
+	// relations use a greedy fallback.
+	MaxDPRelations int
+	// Bushy widens the dynamic program from left-deep trees to arbitrary
+	// (bushy) join trees: every partition of a relation subset is
+	// considered. Exponentially more candidates; worth it for chains of
+	// joins whose intermediate results are small.
+	Bushy bool
+	// Objective selects the optimization metric: ObjectiveTotalTime
+	// (default) ranks plans by TotalTime, ObjectiveTimeFirst by the time
+	// to the first tuple — the paper's TimeFirst variable exists exactly
+	// for response-time-to-first optimization.
+	Objective Objective
+}
+
+// Objective is the plan-ranking metric.
+type Objective uint8
+
+// The available objectives.
+const (
+	// ObjectiveTotalTime ranks plans by total response time.
+	ObjectiveTotalTime Objective = iota
+	// ObjectiveTimeFirst ranks plans by time to the first result tuple.
+	ObjectiveTimeFirst
+)
+
+// metric extracts the objective value from a plan cost.
+func (o Objective) metric(pc *core.PlanCost) float64 {
+	if o == ObjectiveTimeFirst {
+		return pc.Root.Var("TimeFirst", pc.TotalTime())
+	}
+	return pc.TotalTime()
+}
+
+// DefaultOptions enables pruning with DP up to 10 relations.
+func DefaultOptions() Options { return Options{Pruning: true, MaxDPRelations: 10} }
+
+// Result carries the chosen plan and search metrics.
+type Result struct {
+	Plan *algebra.Node
+	Cost *core.PlanCost
+	// PlansCosted counts full or partial candidate estimations.
+	PlansCosted int
+	// PrunedEstimations counts estimations aborted by branch-and-bound.
+	PrunedEstimations int
+}
+
+// Optimizer searches plans for query blocks.
+type Optimizer struct {
+	Cat *catalog.Catalog
+	Est *core.Estimator
+	Opt Options
+}
+
+// New builds an optimizer over a catalog and estimator.
+func New(cat *catalog.Catalog, est *core.Estimator, opt Options) *Optimizer {
+	return &Optimizer{Cat: cat, Est: est, Opt: opt}
+}
+
+// Optimize picks the cheapest plan for the query block. The returned plan
+// is resolved and ready for execution.
+func (o *Optimizer) Optimize(qb *QueryBlock) (*Result, error) {
+	if len(qb.Relations) == 0 {
+		return nil, fmt.Errorf("optimizer: query block has no relations")
+	}
+	if len(qb.Relations) > 63 {
+		return nil, fmt.Errorf("optimizer: too many relations (%d)", len(qb.Relations))
+	}
+	res := &Result{}
+
+	// Access paths: one pushed-down subplan per relation.
+	base := make([]*tagged, len(qb.Relations))
+	for i, rel := range qb.Relations {
+		plan, err := o.accessPath(rel)
+		if err != nil {
+			return nil, err
+		}
+		base[i] = plan
+	}
+
+	var joined *tagged
+	var err error
+	switch {
+	case len(base) == 1:
+		joined = base[0]
+	case len(qb.Relations) <= o.Opt.MaxDPRelations:
+		joined, err = o.dpJoin(qb, base, res)
+	default:
+		joined, err = o.greedyJoin(qb, base, res)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	plan, err := o.finalize(qb, joined, res)
+	if err != nil {
+		return nil, err
+	}
+	cost, err := o.costPlan(plan, 0, res)
+	if err != nil {
+		return nil, err
+	}
+	res.Plan = plan
+	res.Cost = cost
+	return res, nil
+}
+
+// tagged is a candidate subplan with its execution site: site != "" means
+// the whole subtree still runs inside that wrapper (no submit placed yet).
+type tagged struct {
+	plan *algebra.Node
+	site string
+}
+
+// materialize wraps a wrapper-resident subplan in its submit, yielding a
+// mediator-side plan.
+func (t *tagged) materialize() *algebra.Node {
+	if t.site == "" {
+		return t.plan
+	}
+	return algebra.Submit(t.plan, t.site)
+}
+
+// accessPath builds the pushed-down subplan of one relation: a cascade of
+// single-conjunct selects over the scan, inside the wrapper when its
+// capabilities allow filtering, at the mediator otherwise.
+func (o *Optimizer) accessPath(rel Rel) (*tagged, error) {
+	if !o.Cat.HasCollection(rel.Wrapper, rel.Collection) {
+		return nil, fmt.Errorf("optimizer: unknown collection %s@%s", rel.Collection, rel.Wrapper)
+	}
+	caps, _ := o.Cat.Capabilities(rel.Wrapper)
+	plan := algebra.Scan(rel.Wrapper, rel.Collection)
+	site := rel.Wrapper
+	if rel.Pred != nil && len(rel.Pred.Conjuncts) > 0 {
+		if caps.Select {
+			// Cascade conjuncts so predicate-scope rules can match each
+			// comparison individually.
+			for _, cmp := range rel.Pred.Conjuncts {
+				plan = algebra.Select(plan, &algebra.Predicate{Conjuncts: []algebra.Comparison{cmp.Clone()}})
+			}
+		} else {
+			// The wrapper cannot filter: ship everything, filter at the
+			// mediator.
+			node := algebra.Submit(plan, rel.Wrapper)
+			var out *algebra.Node = node
+			for _, cmp := range rel.Pred.Conjuncts {
+				out = algebra.Select(out, &algebra.Predicate{Conjuncts: []algebra.Comparison{cmp.Clone()}})
+			}
+			return &tagged{plan: out, site: ""}, nil
+		}
+	}
+	return &tagged{plan: plan, site: site}, nil
+}
+
+// dpJoin runs dynamic programming over relation subsets, producing the
+// cheapest left-deep join tree.
+func (o *Optimizer) dpJoin(qb *QueryBlock, base []*tagged, res *Result) (*tagged, error) {
+	n := len(base)
+	type entry struct {
+		t    *tagged
+		cost float64
+	}
+	best := make(map[uint64]*entry, 1<<uint(n))
+	for i, b := range base {
+		c, err := o.costTagged(b, 0, res)
+		if err != nil {
+			return nil, err
+		}
+		best[1<<uint(i)] = &entry{t: b, cost: c}
+	}
+
+	full := uint64(1)<<uint(n) - 1
+	// Enumerate subsets in increasing popcount by iterating sizes.
+	for size := 2; size <= n; size++ {
+		for set := uint64(1); set <= full; set++ {
+			if popcount(set) != size {
+				continue
+			}
+			var bestEntry *entry
+			consider := func(left, right *entry, pred *algebra.Predicate) error {
+				for _, cand := range o.joinCandidates(left.t, right.t, pred) {
+					budget := math.Inf(1)
+					if o.Opt.Pruning && bestEntry != nil {
+						budget = bestEntry.cost
+					}
+					c, err := o.costTagged(cand, budget, res)
+					if err == core.ErrOverBudget {
+						res.PrunedEstimations++
+						continue
+					}
+					if err != nil {
+						return err
+					}
+					if bestEntry == nil || c < bestEntry.cost {
+						bestEntry = &entry{t: cand, cost: c}
+					}
+				}
+				return nil
+			}
+			if o.Opt.Bushy {
+				// All partitions into two non-empty halves; iterate the
+				// sub-subsets of set directly.
+				for sub := (set - 1) & set; sub > 0; sub = (sub - 1) & set {
+					other := set &^ sub
+					if sub > other {
+						continue // each unordered partition once
+					}
+					left, okL := best[sub]
+					right, okR := best[other]
+					if !okL || !okR {
+						continue
+					}
+					pred := connectingPred(qb, sub, other)
+					if pred == nil && size < n {
+						continue
+					}
+					if err := consider(left, right, pred); err != nil {
+						return nil, err
+					}
+					// Also the mirrored build order (outer/inner roles
+					// differ in the cost formulas).
+					if err := consider(right, left, flipPred(pred)); err != nil {
+						return nil, err
+					}
+				}
+			} else {
+				// Left-deep: split into (set minus one relation, relation).
+				for i := 0; i < n; i++ {
+					bit := uint64(1) << uint(i)
+					if set&bit == 0 {
+						continue
+					}
+					left, ok := best[set&^bit]
+					if !ok {
+						continue
+					}
+					pred := connectingPred(qb, set&^bit, bit)
+					if pred == nil && size < n {
+						continue
+					}
+					if err := consider(left, &entry{t: base[i]}, pred); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if bestEntry != nil {
+				best[set] = bestEntry
+			}
+		}
+	}
+	e, ok := best[full]
+	if !ok {
+		return nil, fmt.Errorf("optimizer: no join order found (disconnected join graph)")
+	}
+	return e.t, nil
+}
+
+// greedyJoin joins the cheapest pair first, repeatedly — the fallback for
+// very large blocks.
+func (o *Optimizer) greedyJoin(qb *QueryBlock, base []*tagged, res *Result) (*tagged, error) {
+	type item struct {
+		t    *tagged
+		set  uint64
+		cost float64
+	}
+	items := make([]*item, len(base))
+	for i, b := range base {
+		c, err := o.costTagged(b, 0, res)
+		if err != nil {
+			return nil, err
+		}
+		items[i] = &item{t: b, set: 1 << uint(i), cost: c}
+	}
+	for len(items) > 1 {
+		var bi, bj int
+		var bt *tagged
+		bc := math.Inf(1)
+		for i := 0; i < len(items); i++ {
+			for j := 0; j < len(items); j++ {
+				if i == j {
+					continue
+				}
+				pred := connectingPred(qb, items[i].set, items[j].set)
+				if pred == nil && len(items) > 2 {
+					continue
+				}
+				for _, cand := range o.joinCandidates(items[i].t, items[j].t, pred) {
+					c, err := o.costTagged(cand, bc, res)
+					if err == core.ErrOverBudget {
+						res.PrunedEstimations++
+						continue
+					}
+					if err != nil {
+						return nil, err
+					}
+					if c < bc {
+						bi, bj, bt, bc = i, j, cand, c
+					}
+				}
+			}
+		}
+		if bt == nil {
+			return nil, fmt.Errorf("optimizer: no joinable pair found")
+		}
+		merged := &item{t: bt, set: items[bi].set | items[bj].set, cost: bc}
+		var next []*item
+		for k, it := range items {
+			if k != bi && k != bj {
+				next = append(next, it)
+			}
+		}
+		items = append(next, merged)
+	}
+	return items[0].t, nil
+}
+
+// joinCandidates produces the placement alternatives for joining two
+// subplans: a mediator join of the shipped inputs and, when both sides
+// are resident at the same join-capable wrapper, a source-side join.
+func (o *Optimizer) joinCandidates(left, right *tagged, pred *algebra.Predicate) []*tagged {
+	var out []*tagged
+	med := algebra.Join(left.materialize(), right.materialize(), pred.Clone())
+	out = append(out, &tagged{plan: med, site: ""})
+	if left.site != "" && left.site == right.site {
+		if caps, ok := o.Cat.Capabilities(left.site); ok && caps.Join {
+			local := algebra.Join(left.plan.Clone(), right.plan.Clone(), pred.Clone())
+			out = append(out, &tagged{plan: local, site: left.site})
+		}
+	}
+	return out
+}
+
+// flipPred mirrors every conjunct of a join predicate (a = b -> b = a),
+// for the swapped build order.
+func flipPred(p *algebra.Predicate) *algebra.Predicate {
+	if p == nil {
+		return nil
+	}
+	out := &algebra.Predicate{}
+	for _, c := range p.Conjuncts {
+		cc := c.Clone()
+		if cc.RightAttr != nil {
+			left := cc.Left
+			cc.Left = *cc.RightAttr
+			*cc.RightAttr = left
+			cc.Op = cc.Op.Flip()
+		}
+		out.Conjuncts = append(out.Conjuncts, cc)
+	}
+	return out
+}
+
+// connectingPred collects the join conjuncts linking two relation sets;
+// nil when none connect them.
+func connectingPred(qb *QueryBlock, a, b uint64) *algebra.Predicate {
+	var conj []algebra.Comparison
+	for _, c := range qb.JoinPreds {
+		li := relIndexOf(qb, c.Left)
+		ri := relIndexOf(qb, *c.RightAttr)
+		if li < 0 || ri < 0 {
+			continue
+		}
+		lb, rb := uint64(1)<<uint(li), uint64(1)<<uint(ri)
+		if (a&lb != 0 && b&rb != 0) || (a&rb != 0 && b&lb != 0) {
+			conj = append(conj, c.Clone())
+		}
+	}
+	if len(conj) == 0 {
+		return nil
+	}
+	return &algebra.Predicate{Conjuncts: conj}
+}
+
+// relIndexOf locates the relation a qualified attribute belongs to.
+func relIndexOf(qb *QueryBlock, r algebra.Ref) int {
+	for i, rel := range qb.Relations {
+		if strings.EqualFold(rel.Collection, r.Collection) {
+			return i
+		}
+	}
+	return -1
+}
+
+// finalize applies the post-join shape and places the final submit.
+// Single-wrapper plans are pushed entirely when capabilities allow.
+func (o *Optimizer) finalize(qb *QueryBlock, t *tagged, res *Result) (*algebra.Node, error) {
+	plan := t.plan
+	site := t.site
+	caps, _ := o.Cat.Capabilities(site)
+	pushable := func(k algebra.OpKind) bool { return site != "" && caps.Supports(k) }
+
+	attach := func(k algebra.OpKind, mk func(*algebra.Node) *algebra.Node) {
+		if !pushable(k) && site != "" {
+			plan = algebra.Submit(plan, site)
+			site = ""
+		}
+		plan = mk(plan)
+	}
+	if len(qb.GroupBy) > 0 || len(qb.Aggs) > 0 {
+		attach(algebra.OpAggregate, func(p *algebra.Node) *algebra.Node {
+			return algebra.Aggregate(p, qb.GroupBy, qb.Aggs)
+		})
+	}
+	if len(qb.Projection) > 0 {
+		attach(algebra.OpProject, func(p *algebra.Node) *algebra.Node {
+			return algebra.Project(p, qb.Projection...)
+		})
+	}
+	if qb.Distinct {
+		attach(algebra.OpDupElim, algebra.DupElim)
+	}
+	if len(qb.Sort) > 0 {
+		attach(algebra.OpSort, func(p *algebra.Node) *algebra.Node {
+			return algebra.Sort(p, qb.Sort...)
+		})
+	}
+	if site != "" {
+		plan = algebra.Submit(plan, site)
+	}
+	return plan, nil
+}
+
+// costTagged estimates a candidate as it would run (submits placed).
+func (o *Optimizer) costTagged(t *tagged, budget float64, res *Result) (float64, error) {
+	pc, err := o.costPlan(t.materialize().Clone(), budget, res)
+	if err != nil {
+		return 0, err
+	}
+	return o.Opt.Objective.metric(pc), nil
+}
+
+func (o *Optimizer) costPlan(plan *algebra.Node, budget float64, res *Result) (*core.PlanCost, error) {
+	if err := algebra.Resolve(plan, o.Cat); err != nil {
+		return nil, err
+	}
+	res.PlansCosted++
+	saved := o.Est.Options.Budget
+	if o.Opt.Pruning && budget > 0 && !math.IsInf(budget, 1) {
+		o.Est.Options.Budget = budget
+	} else {
+		o.Est.Options.Budget = 0
+	}
+	pc, err := o.Est.Estimate(plan)
+	o.Est.Options.Budget = saved
+	return pc, err
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// SplitPredicate partitions a WHERE predicate into per-relation selection
+// predicates and cross-relation join conjuncts; the SQL front end uses it
+// to build query blocks. Unqualified attributes are resolved against the
+// relations' schemas through the catalog.
+func SplitPredicate(cat *catalog.Catalog, rels []Rel, pred *algebra.Predicate) ([]Rel, []algebra.Comparison, error) {
+	out := make([]Rel, len(rels))
+	copy(out, rels)
+	var joins []algebra.Comparison
+	if pred == nil {
+		return out, joins, nil
+	}
+	owner := func(r algebra.Ref) (int, error) {
+		if r.Collection != "" {
+			for i, rel := range out {
+				if strings.EqualFold(rel.Collection, r.Collection) {
+					return i, nil
+				}
+			}
+			return -1, fmt.Errorf("optimizer: attribute %s references no FROM relation", r)
+		}
+		found := -1
+		for i, rel := range out {
+			schema, err := cat.CollectionSchema(rel.Wrapper, rel.Collection)
+			if err != nil {
+				return -1, err
+			}
+			if _, ok := schema.Lookup(r.Attr); ok {
+				if found >= 0 {
+					return -1, fmt.Errorf("optimizer: attribute %s is ambiguous", r)
+				}
+				found = i
+			}
+		}
+		if found < 0 {
+			return -1, fmt.Errorf("optimizer: unknown attribute %s", r)
+		}
+		return found, nil
+	}
+	for _, c := range pred.Conjuncts {
+		li, err := owner(c.Left)
+		if err != nil {
+			return nil, nil, err
+		}
+		cc := c.Clone()
+		// Qualify for downstream matching.
+		cc.Left.Collection = out[li].Collection
+		if !c.IsJoin() {
+			out[li].Pred = out[li].Pred.And(&algebra.Predicate{Conjuncts: []algebra.Comparison{cc}})
+			continue
+		}
+		ri, err := owner(*c.RightAttr)
+		if err != nil {
+			return nil, nil, err
+		}
+		cc.RightAttr.Collection = out[ri].Collection
+		if li == ri {
+			out[li].Pred = out[li].Pred.And(&algebra.Predicate{Conjuncts: []algebra.Comparison{cc}})
+		} else {
+			joins = append(joins, cc)
+		}
+	}
+	return out, joins, nil
+}

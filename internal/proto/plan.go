@@ -1,0 +1,250 @@
+package proto
+
+import (
+	"fmt"
+
+	"disco/internal/algebra"
+	"disco/internal/stats"
+	"disco/internal/types"
+)
+
+// FieldJSON serializes one schema field.
+type FieldJSON struct {
+	Collection string `json:"coll,omitempty"`
+	Name       string `json:"name"`
+	Kind       string `json:"kind"`
+}
+
+// EncodeSchema serializes a row schema.
+func EncodeSchema(s *types.Schema) []FieldJSON {
+	if s == nil {
+		return nil
+	}
+	out := make([]FieldJSON, s.Len())
+	for i := 0; i < s.Len(); i++ {
+		f := s.Field(i)
+		out[i] = FieldJSON{Collection: f.Collection, Name: f.Name, Kind: f.Type.String()}
+	}
+	return out
+}
+
+// DecodeSchema rebuilds a row schema.
+func DecodeSchema(fields []FieldJSON) (*types.Schema, error) {
+	if fields == nil {
+		return nil, nil
+	}
+	out := make([]types.Field, len(fields))
+	for i, f := range fields {
+		kind, err := decodeKind(f.Kind)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = types.Field{Collection: f.Collection, Name: f.Name, Type: kind}
+	}
+	return types.NewSchema(out...), nil
+}
+
+func decodeKind(name string) (types.Kind, error) {
+	for _, k := range []types.Kind{types.KindNull, types.KindInt, types.KindFloat,
+		types.KindString, types.KindBool} {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("proto: unknown kind %q", name)
+}
+
+// RefJSON serializes an attribute reference.
+type RefJSON struct {
+	Collection string `json:"coll,omitempty"`
+	Attr       string `json:"attr"`
+}
+
+func encodeRef(r algebra.Ref) RefJSON {
+	return RefJSON{Collection: r.Collection, Attr: r.Attr}
+}
+
+func decodeRef(r RefJSON) algebra.Ref {
+	return algebra.Ref{Collection: r.Collection, Attr: r.Attr}
+}
+
+// CmpJSON serializes one predicate comparison.
+type CmpJSON struct {
+	Left      RefJSON  `json:"left"`
+	Op        string   `json:"op"`
+	RightAttr *RefJSON `json:"rightAttr,omitempty"`
+	RightVal  any      `json:"rightVal,omitempty"`
+	// RightKind disambiguates the constant kind across JSON.
+	RightKind string `json:"rightKind,omitempty"`
+}
+
+var opByName = map[string]stats.CmpOp{
+	"=": stats.CmpEQ, "<>": stats.CmpNE, "<": stats.CmpLT,
+	"<=": stats.CmpLE, ">": stats.CmpGT, ">=": stats.CmpGE,
+}
+
+// PredJSON serializes a conjunctive predicate.
+type PredJSON struct {
+	Conjuncts []CmpJSON `json:"conjuncts"`
+}
+
+// EncodePred serializes a predicate (nil stays nil).
+func EncodePred(p *algebra.Predicate) *PredJSON {
+	if p == nil {
+		return nil
+	}
+	out := &PredJSON{}
+	for _, c := range p.Conjuncts {
+		cj := CmpJSON{Left: encodeRef(c.Left), Op: c.Op.String()}
+		if c.RightAttr != nil {
+			r := encodeRef(*c.RightAttr)
+			cj.RightAttr = &r
+		} else {
+			cj.RightVal = EncodeConstant(c.RightConst)
+			cj.RightKind = c.RightConst.Kind().String()
+		}
+		out.Conjuncts = append(out.Conjuncts, cj)
+	}
+	return out
+}
+
+// DecodePred rebuilds a predicate.
+func DecodePred(p *PredJSON) (*algebra.Predicate, error) {
+	if p == nil {
+		return nil, nil
+	}
+	out := &algebra.Predicate{}
+	for _, cj := range p.Conjuncts {
+		op, ok := opByName[cj.Op]
+		if !ok {
+			return nil, fmt.Errorf("proto: unknown comparison operator %q", cj.Op)
+		}
+		c := algebra.Comparison{Left: decodeRef(cj.Left), Op: op}
+		if cj.RightAttr != nil {
+			r := decodeRef(*cj.RightAttr)
+			c.RightAttr = &r
+		} else {
+			c.RightConst = DecodeConstant(cj.RightVal)
+			// Kind fix-up: JSON may widen ints to floats; respect the
+			// declared kind.
+			if cj.RightKind == types.KindInt.String() {
+				c.RightConst = types.Int(c.RightConst.AsInt())
+			}
+			if cj.RightKind == types.KindFloat.String() {
+				c.RightConst = types.Float(c.RightConst.AsFloat())
+			}
+		}
+		out.Conjuncts = append(out.Conjuncts, c)
+	}
+	return out, nil
+}
+
+// SortKeyJSON serializes one sort key.
+type SortKeyJSON struct {
+	Attr RefJSON `json:"attr"`
+	Desc bool    `json:"desc,omitempty"`
+}
+
+// AggJSON serializes one aggregate spec.
+type AggJSON struct {
+	Func string  `json:"func"`
+	Attr RefJSON `json:"attr"`
+	Star bool    `json:"star,omitempty"`
+	As   string  `json:"as,omitempty"`
+}
+
+var aggByName = map[string]algebra.AggFunc{
+	"count": algebra.AggCount, "sum": algebra.AggSum, "avg": algebra.AggAvg,
+	"min": algebra.AggMin, "max": algebra.AggMax,
+}
+
+// PlanJSON serializes an algebra plan tree, including resolved schemas so
+// the remote side can execute directly.
+type PlanJSON struct {
+	Op         string        `json:"op"`
+	Collection string        `json:"collection,omitempty"`
+	Wrapper    string        `json:"wrapper,omitempty"`
+	Pred       *PredJSON     `json:"pred,omitempty"`
+	Cols       []string      `json:"cols,omitempty"`
+	Keys       []SortKeyJSON `json:"keys,omitempty"`
+	GroupBy    []RefJSON     `json:"groupBy,omitempty"`
+	Aggs       []AggJSON     `json:"aggs,omitempty"`
+	Children   []*PlanJSON   `json:"children,omitempty"`
+	Schema     []FieldJSON   `json:"schema,omitempty"`
+}
+
+// EncodePlan serializes a plan tree.
+func EncodePlan(n *algebra.Node) *PlanJSON {
+	if n == nil {
+		return nil
+	}
+	out := &PlanJSON{
+		Op:         n.Kind.String(),
+		Collection: n.Collection,
+		Wrapper:    n.Wrapper,
+		Pred:       EncodePred(n.Pred),
+		Cols:       append([]string(nil), n.Cols...),
+		Schema:     EncodeSchema(n.OutSchema),
+	}
+	for _, k := range n.Keys {
+		out.Keys = append(out.Keys, SortKeyJSON{Attr: encodeRef(k.Attr), Desc: k.Desc})
+	}
+	for _, g := range n.GroupBy {
+		out.GroupBy = append(out.GroupBy, encodeRef(g))
+	}
+	for _, a := range n.Aggs {
+		out.Aggs = append(out.Aggs, AggJSON{Func: a.Func.String(), Attr: encodeRef(a.Attr), Star: a.Star, As: a.As})
+	}
+	for _, c := range n.Children {
+		out.Children = append(out.Children, EncodePlan(c))
+	}
+	return out
+}
+
+// DecodePlan rebuilds a plan tree.
+func DecodePlan(p *PlanJSON) (*algebra.Node, error) {
+	if p == nil {
+		return nil, nil
+	}
+	kind, ok := algebra.OpKindByName(p.Op)
+	if !ok {
+		return nil, fmt.Errorf("proto: unknown operator %q", p.Op)
+	}
+	pred, err := DecodePred(p.Pred)
+	if err != nil {
+		return nil, err
+	}
+	schema, err := DecodeSchema(p.Schema)
+	if err != nil {
+		return nil, err
+	}
+	n := &algebra.Node{
+		Kind:       kind,
+		Collection: p.Collection,
+		Wrapper:    p.Wrapper,
+		Pred:       pred,
+		Cols:       append([]string(nil), p.Cols...),
+		OutSchema:  schema,
+	}
+	for _, k := range p.Keys {
+		n.Keys = append(n.Keys, algebra.SortKey{Attr: decodeRef(k.Attr), Desc: k.Desc})
+	}
+	for _, g := range p.GroupBy {
+		n.GroupBy = append(n.GroupBy, decodeRef(g))
+	}
+	for _, a := range p.Aggs {
+		fn, ok := aggByName[a.Func]
+		if !ok {
+			return nil, fmt.Errorf("proto: unknown aggregate %q", a.Func)
+		}
+		n.Aggs = append(n.Aggs, algebra.AggSpec{Func: fn, Attr: decodeRef(a.Attr), Star: a.Star, As: a.As})
+	}
+	for _, c := range p.Children {
+		child, err := DecodePlan(c)
+		if err != nil {
+			return nil, err
+		}
+		n.Children = append(n.Children, child)
+	}
+	return n, nil
+}

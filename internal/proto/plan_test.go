@@ -1,0 +1,135 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+
+	"disco/internal/algebra"
+	"disco/internal/stats"
+	"disco/internal/types"
+)
+
+func samplePlan() *algebra.Node {
+	schema := types.NewSchema(
+		types.Field{Collection: "T", Name: "a", Type: types.KindInt},
+		types.Field{Collection: "T", Name: "b", Type: types.KindString},
+	)
+	scan := algebra.Scan("w1", "T")
+	scan.OutSchema = schema
+	sel := algebra.Select(scan,
+		algebra.NewSelPred(algebra.Ref{Collection: "T", Attr: "a"}, stats.CmpLT, types.Int(10)).
+			And(algebra.NewSelPred(algebra.Ref{Attr: "b"}, stats.CmpEQ, types.Str("x"))))
+	sel.OutSchema = schema
+	agg := algebra.Aggregate(sel,
+		[]algebra.Ref{{Collection: "T", Attr: "b"}},
+		[]algebra.AggSpec{
+			{Func: algebra.AggCount, Star: true, As: "n"},
+			{Func: algebra.AggAvg, Attr: algebra.Ref{Attr: "a"}, As: "avga"},
+		})
+	agg.OutSchema = types.NewSchema(
+		types.Field{Collection: "T", Name: "b", Type: types.KindString},
+		types.Field{Name: "n", Type: types.KindInt},
+		types.Field{Name: "avga", Type: types.KindFloat},
+	)
+	sorted := algebra.Sort(agg, algebra.SortKey{Attr: algebra.Ref{Attr: "n"}, Desc: true})
+	sorted.OutSchema = agg.OutSchema
+	return sorted
+}
+
+func TestPlanRoundTrip(t *testing.T) {
+	orig := samplePlan()
+	enc := EncodePlan(orig)
+	// Through actual JSON to catch marshalling surprises.
+	var buf bytes.Buffer
+	if err := Write(&buf, enc); err != nil {
+		t.Fatal(err)
+	}
+	var decJSON PlanJSON
+	if err := NewReader(&buf).read(&decJSON); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodePlan(&decJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !orig.Equal(dec) {
+		t.Fatalf("round-trip changed the plan:\n%s\nvs\n%s", orig, dec)
+	}
+	// Schemas survive too.
+	if dec.OutSchema == nil || dec.OutSchema.Len() != 3 {
+		t.Errorf("schema = %v", dec.OutSchema)
+	}
+	if dec.Children[0].Children[0].OutSchema.Len() != 2 {
+		t.Error("leaf schema lost")
+	}
+	// Constant kinds preserved (int stays int through JSON).
+	c := dec.Children[0].Children[0] // select? no: agg->sel: children[0]=agg
+	_ = c
+	sel := dec.Children[0].Children[0]
+	if sel.Kind != algebra.OpSelect {
+		t.Fatalf("tree shape: %s", dec)
+	}
+	if sel.Pred.Conjuncts[0].RightConst.Kind() != types.KindInt {
+		t.Errorf("int constant widened: %v", sel.Pred.Conjuncts[0].RightConst)
+	}
+}
+
+func TestPlanJoinUnionRoundTrip(t *testing.T) {
+	s := types.NewSchema(types.Field{Collection: "T", Name: "a", Type: types.KindInt})
+	mk := func() *algebra.Node {
+		n := algebra.Scan("w", "T")
+		n.OutSchema = s
+		return n
+	}
+	join := algebra.Join(mk(), mk(),
+		algebra.NewJoinPred(algebra.Ref{Collection: "T", Attr: "a"}, algebra.Ref{Attr: "a"}))
+	join.OutSchema = s.Concat(s)
+	union := algebra.Union(
+		algebra.Project(join, "a"),
+		algebra.DupElim(mk()))
+	sub := algebra.Submit(union, "w")
+	dec, err := DecodePlan(EncodePlan(sub))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sub.Equal(dec) {
+		t.Errorf("round-trip changed plan:\n%s\nvs\n%s", sub, dec)
+	}
+}
+
+func TestDecodePlanErrors(t *testing.T) {
+	if _, err := DecodePlan(&PlanJSON{Op: "frobnicate"}); err == nil {
+		t.Error("unknown op should fail")
+	}
+	if _, err := DecodePlan(&PlanJSON{Op: "scan", Schema: []FieldJSON{{Name: "x", Kind: "blob"}}}); err == nil {
+		t.Error("unknown kind should fail")
+	}
+	if _, err := DecodePlan(&PlanJSON{Op: "select", Pred: &PredJSON{
+		Conjuncts: []CmpJSON{{Op: "~"}}}}); err == nil {
+		t.Error("unknown comparison should fail")
+	}
+	if _, err := DecodePlan(&PlanJSON{Op: "aggregate", Aggs: []AggJSON{{Func: "median"}}}); err == nil {
+		t.Error("unknown aggregate should fail")
+	}
+	if p, err := DecodePlan(nil); p != nil || err != nil {
+		t.Error("nil round-trips to nil")
+	}
+}
+
+func TestAttrStatsRoundTrip(t *testing.T) {
+	orig := stats.AttributeStats{
+		Indexed: true, Clustered: true, CountDistinct: 42,
+		Min: types.Int(-5), Max: types.Int(100),
+	}
+	dec := DecodeAttrStats(EncodeAttrStats(orig))
+	if dec.Indexed != orig.Indexed || dec.Clustered != orig.Clustered ||
+		dec.CountDistinct != orig.CountDistinct ||
+		!dec.Min.Equal(orig.Min) || !dec.Max.Equal(orig.Max) {
+		t.Errorf("round-trip = %+v", dec)
+	}
+	strStats := stats.AttributeStats{Min: types.Str("Adiba"), Max: types.Str("Valduriez")}
+	dec2 := DecodeAttrStats(EncodeAttrStats(strStats))
+	if dec2.Min.AsString() != "Adiba" || dec2.Max.Kind() != types.KindString {
+		t.Errorf("string stats = %+v", dec2)
+	}
+}

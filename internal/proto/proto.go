@@ -1,0 +1,148 @@
+// Package proto defines the JSON line protocol spoken between the discod
+// mediator server and its clients (cmd/discoctl): one JSON request per
+// line in, one JSON response per line out. It corresponds to the paper's
+// client-mediator interface (Figure 2, steps 3 and 6).
+package proto
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"disco/internal/types"
+)
+
+// Request is one client message.
+type Request struct {
+	// Op selects the action: "query", "explain", "catalog", "history",
+	// or "ping".
+	Op string `json:"op"`
+	// SQL carries the query text for query/explain.
+	SQL string `json:"sql,omitempty"`
+}
+
+// Response is one server message.
+type Response struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// Query results.
+	Columns   []string `json:"columns,omitempty"`
+	Rows      [][]any  `json:"rows,omitempty"`
+	ElapsedMS float64  `json:"elapsedMs,omitempty"`
+	// Free-form text payload (explain output, catalog dump, ...).
+	Text string `json:"text,omitempty"`
+}
+
+// EncodeRow converts a result row into JSON-safe values.
+func EncodeRow(row types.Row) []any {
+	out := make([]any, len(row))
+	for i, c := range row {
+		out[i] = EncodeConstant(c)
+	}
+	return out
+}
+
+// EncodeConstant converts one constant into a JSON-safe value.
+func EncodeConstant(c types.Constant) any {
+	switch c.Kind() {
+	case types.KindInt:
+		return c.AsInt()
+	case types.KindFloat:
+		return c.AsFloat()
+	case types.KindString:
+		return c.AsString()
+	case types.KindBool:
+		return c.AsBool()
+	default:
+		return nil
+	}
+}
+
+// DecodeConstant converts a decoded JSON value back into a constant.
+// JSON numbers arrive as float64; integral ones become Int.
+func DecodeConstant(v any) types.Constant {
+	switch x := v.(type) {
+	case nil:
+		return types.Null
+	case bool:
+		return types.Bool(x)
+	case string:
+		return types.Str(x)
+	case int:
+		return types.Int(int64(x))
+	case int64:
+		return types.Int(x)
+	case float64:
+		if x == float64(int64(x)) {
+			return types.Int(int64(x))
+		}
+		return types.Float(x)
+	case json.Number:
+		if n, err := x.Int64(); err == nil {
+			return types.Int(n)
+		}
+		f, _ := x.Float64()
+		return types.Float(f)
+	default:
+		return types.Str(fmt.Sprint(v))
+	}
+}
+
+// Write sends one message as a JSON line.
+func Write(w io.Writer, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// Reader reads JSON lines into messages.
+type Reader struct {
+	sc *bufio.Scanner
+}
+
+// NewReader wraps a connection for line reading; lines up to 16 MiB are
+// accepted (result sets are shipped inline).
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &Reader{sc: sc}
+}
+
+// ReadRequest reads the next request; io.EOF at end of stream.
+func (r *Reader) ReadRequest() (*Request, error) {
+	var req Request
+	if err := r.read(&req); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// ReadResponse reads the next response; io.EOF at end of stream.
+func (r *Reader) ReadResponse() (*Response, error) {
+	var resp Response
+	if err := r.read(&resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (r *Reader) read(v any) error {
+	for {
+		if !r.sc.Scan() {
+			if err := r.sc.Err(); err != nil {
+				return err
+			}
+			return io.EOF
+		}
+		line := r.sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		return json.Unmarshal(line, v)
+	}
+}

@@ -1,0 +1,134 @@
+package proto
+
+import (
+	"disco/internal/stats"
+	"disco/internal/types"
+)
+
+// The wrapper wire protocol: a mediator speaks JSON lines to a remote
+// wrapper process (cmd/wrapperd). Two operations exist, mirroring the
+// paper's two phases: "meta" uploads the registration payload (schema,
+// capabilities, statistics, cost rules — Figure 1 steps 1-2) and
+// "execute" runs one subplan (Figure 2 steps 4-5).
+
+// WrapperRequest is one mediator-to-wrapper message.
+type WrapperRequest struct {
+	// Op is "meta", "execute" or "ping".
+	Op string `json:"op"`
+	// Plan carries the resolved subplan for execute.
+	Plan *PlanJSON `json:"plan,omitempty"`
+}
+
+// ExtentJSON serializes exported extent statistics.
+type ExtentJSON struct {
+	CountObject int64 `json:"countObject"`
+	TotalSize   int64 `json:"totalSize"`
+	ObjectSize  int64 `json:"objectSize"`
+}
+
+// AttrStatsJSON serializes exported attribute statistics. Histograms are
+// summarized by their buckets.
+type AttrStatsJSON struct {
+	Indexed       bool   `json:"indexed,omitempty"`
+	Clustered     bool   `json:"clustered,omitempty"`
+	CountDistinct int64  `json:"countDistinct"`
+	Min           any    `json:"min,omitempty"`
+	Max           any    `json:"max,omitempty"`
+	MinKind       string `json:"minKind,omitempty"`
+	MaxKind       string `json:"maxKind,omitempty"`
+}
+
+// EncodeAttrStats serializes attribute statistics (histograms do not
+// cross the wire; the summary statistics do).
+func EncodeAttrStats(a stats.AttributeStats) AttrStatsJSON {
+	return AttrStatsJSON{
+		Indexed:       a.Indexed,
+		Clustered:     a.Clustered,
+		CountDistinct: a.CountDistinct,
+		Min:           EncodeConstant(a.Min),
+		Max:           EncodeConstant(a.Max),
+		MinKind:       a.Min.Kind().String(),
+		MaxKind:       a.Max.Kind().String(),
+	}
+}
+
+// DecodeAttrStats rebuilds attribute statistics.
+func DecodeAttrStats(a AttrStatsJSON) stats.AttributeStats {
+	fix := func(v any, kind string) types.Constant {
+		c := DecodeConstant(v)
+		switch kind {
+		case types.KindInt.String():
+			return types.Int(c.AsInt())
+		case types.KindFloat.String():
+			return types.Float(c.AsFloat())
+		default:
+			return c
+		}
+	}
+	return stats.AttributeStats{
+		Indexed:       a.Indexed,
+		Clustered:     a.Clustered,
+		CountDistinct: a.CountDistinct,
+		Min:           fix(a.Min, a.MinKind),
+		Max:           fix(a.Max, a.MaxKind),
+	}
+}
+
+// CollectionMeta is the registration payload of one collection.
+type CollectionMeta struct {
+	Name   string                   `json:"name"`
+	Schema []FieldJSON              `json:"schema"`
+	Extent *ExtentJSON              `json:"extent,omitempty"`
+	Attrs  map[string]AttrStatsJSON `json:"attrs,omitempty"`
+}
+
+// CapsJSON serializes wrapper capabilities.
+type CapsJSON struct {
+	Select    bool `json:"select,omitempty"`
+	Project   bool `json:"project,omitempty"`
+	Join      bool `json:"join,omitempty"`
+	Sort      bool `json:"sort,omitempty"`
+	Aggregate bool `json:"aggregate,omitempty"`
+	Union     bool `json:"union,omitempty"`
+	DupElim   bool `json:"dupelim,omitempty"`
+}
+
+// WrapperMeta is the full registration payload.
+type WrapperMeta struct {
+	Name         string           `json:"name"`
+	Collections  []CollectionMeta `json:"collections"`
+	Capabilities CapsJSON         `json:"capabilities"`
+	CostRules    string           `json:"costRules,omitempty"`
+}
+
+// WrapperResponse is one wrapper-to-mediator message.
+type WrapperResponse struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// Meta answers "meta".
+	Meta *WrapperMeta `json:"meta,omitempty"`
+	// Execute results.
+	Rows  [][]any `json:"rows,omitempty"`
+	Bytes int64   `json:"bytes,omitempty"`
+	// VirtualMS is the wrapper-side virtual time the subquery consumed;
+	// the mediator advances its clock by it.
+	VirtualMS float64 `json:"virtualMs,omitempty"`
+}
+
+// ReadWrapperRequest reads the next wrapper request.
+func (r *Reader) ReadWrapperRequest() (*WrapperRequest, error) {
+	var req WrapperRequest
+	if err := r.read(&req); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// ReadWrapperResponse reads the next wrapper response.
+func (r *Reader) ReadWrapperResponse() (*WrapperResponse, error) {
+	var resp WrapperResponse
+	if err := r.read(&resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

@@ -1,0 +1,209 @@
+package relstore
+
+import (
+	"math"
+	"testing"
+
+	"disco/internal/netsim"
+	"disco/internal/stats"
+	"disco/internal/types"
+)
+
+func bookSchema() *types.Schema {
+	return types.NewSchema(
+		types.Field{Name: "id", Collection: "Book", Type: types.KindInt},
+		types.Field{Name: "author", Collection: "Book", Type: types.KindInt},
+		types.Field{Name: "year", Collection: "Book", Type: types.KindInt},
+	)
+}
+
+func loadBooks(t *testing.T, s *Store, n int) *Table {
+	t.Helper()
+	tb, err := s.CreateTable("Book", bookSchema(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		row := types.Row{types.Int(int64(i)), types.Int(int64(i % 100)), types.Int(int64(1900 + i%100))}
+		if err := tb.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tb.CreateHashIndex("author"); err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestTableBasics(t *testing.T) {
+	s := Open(DefaultConfig(), nil)
+	tb := loadBooks(t, s, 1000)
+	if tb.Count() != 1000 {
+		t.Errorf("Count = %d", tb.Count())
+	}
+	// 8192/64 = 128 rows per page -> 8 pages.
+	if tb.PageCount() != 8 {
+		t.Errorf("PageCount = %d, want 8", tb.PageCount())
+	}
+	ext := tb.ExtentStats()
+	if ext.CountObject != 1000 || ext.TotalSize != 8*8192 || ext.ObjectSize != 64 {
+		t.Errorf("extent = %+v", ext)
+	}
+	if !tb.HasIndex("author") || tb.HasIndex("year") {
+		t.Error("index flags wrong")
+	}
+	if got := s.Tables(); len(got) != 1 || got[0] != "Book" {
+		t.Errorf("Tables = %v", got)
+	}
+}
+
+func TestCreateAndInsertErrors(t *testing.T) {
+	s := Open(DefaultConfig(), nil)
+	if _, err := s.CreateTable("x", nil, 0); err == nil {
+		t.Error("nil schema should fail")
+	}
+	tb := loadBooks(t, s, 10)
+	if _, err := s.CreateTable("Book", bookSchema(), 0); err == nil {
+		t.Error("duplicate table should fail")
+	}
+	if err := tb.Insert(types.Row{types.Int(1)}); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	if err := tb.CreateHashIndex("bogus"); err == nil {
+		t.Error("index on unknown attr should fail")
+	}
+	if err := tb.CreateHashIndex("author"); err == nil {
+		t.Error("duplicate index should fail")
+	}
+	if _, err := tb.Probe("year", stats.CmpEQ, types.Int(1900)); err == nil {
+		t.Error("probe without index should fail")
+	}
+	if _, err := tb.Probe("author", stats.CmpLT, types.Int(5)); err == nil {
+		t.Error("hash probe with range op should fail")
+	}
+}
+
+func TestScanCost(t *testing.T) {
+	clock := netsim.NewClock()
+	cfg := DefaultConfig()
+	s := Open(cfg, clock)
+	tb := loadBooks(t, s, 1024) // 8 pages
+	start := clock.Now()
+	it := tb.Scan()
+	n := 0
+	for {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 1024 {
+		t.Fatalf("rows = %d", n)
+	}
+	want := 8*cfg.IOTimeMS + 1024*cfg.CPUTimeMS
+	if got := clock.Now() - start; math.Abs(got-want) > 1e-9 {
+		t.Errorf("scan cost = %v, want %v", got, want)
+	}
+	// Second scan: pages cached, only CPU.
+	start = clock.Now()
+	it = tb.Scan()
+	for {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+	}
+	want = 1024 * cfg.CPUTimeMS
+	if got := clock.Now() - start; math.Abs(got-want) > 1e-9 {
+		t.Errorf("warm scan cost = %v, want %v", got, want)
+	}
+	s.ResetBuffer()
+	start = clock.Now()
+	it = tb.Scan()
+	it.Next()
+	if got := clock.Now() - start; got < cfg.IOTimeMS {
+		t.Errorf("after ResetBuffer the first page should fault again: %v", got)
+	}
+}
+
+func TestHashProbe(t *testing.T) {
+	clock := netsim.NewClock()
+	cfg := DefaultConfig()
+	s := Open(cfg, clock)
+	tb := loadBooks(t, s, 1000)
+	it, err := tb.Probe("author", stats.CmpEQ, types.Int(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		row, ok := it.Next()
+		if !ok {
+			break
+		}
+		if row[1].AsInt() != 42 {
+			t.Fatalf("probe returned author %v", row[1])
+		}
+		n++
+	}
+	if n != 10 { // 1000 rows, author = i%100
+		t.Errorf("probe matched %d rows, want 10", n)
+	}
+	// Probe for an absent key yields nothing.
+	it, err = tb.Probe("author", stats.CmpEQ, types.Int(4242))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := it.Next(); ok {
+		t.Error("absent key should match nothing")
+	}
+}
+
+func TestInsertMaintainsIndex(t *testing.T) {
+	s := Open(DefaultConfig(), nil)
+	tb := loadBooks(t, s, 10)
+	if err := tb.Insert(types.Row{types.Int(100), types.Int(7), types.Int(1950)}); err != nil {
+		t.Fatal(err)
+	}
+	it, err := tb.Probe("author", stats.CmpEQ, types.Int(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 2 { // row 7 from the load plus the new one
+		t.Errorf("index probe after insert = %d rows, want 2", n)
+	}
+}
+
+func TestAttributeStats(t *testing.T) {
+	s := Open(DefaultConfig(), nil)
+	tb := loadBooks(t, s, 1000)
+	ast, err := tb.AttributeStats("author", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ast.Indexed || ast.CountDistinct != 100 ||
+		ast.Min.AsInt() != 0 || ast.Max.AsInt() != 99 {
+		t.Errorf("stats = %+v", ast)
+	}
+	if ast.Histogram == nil {
+		t.Error("missing histogram")
+	}
+	if _, err := tb.AttributeStats("bogus", 0); err == nil {
+		t.Error("unknown attribute should fail")
+	}
+}
+
+func TestDeliverOutput(t *testing.T) {
+	clock := netsim.NewClock()
+	s := Open(DefaultConfig(), clock)
+	s.DeliverOutput(10)
+	if clock.Now() != 15 {
+		t.Errorf("output = %v, want 15", clock.Now())
+	}
+}

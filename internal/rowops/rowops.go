@@ -1,0 +1,317 @@
+// Package rowops implements the row-level operator algorithms shared by
+// the wrapper-side subplan evaluator and the mediator's physical engine:
+// filtering, projection, sorting, nested-loop and hash joins, duplicate
+// elimination, grouping and aggregation. All operators are materializing
+// (the reproduction favours determinism and simplicity over pipelining;
+// timing is charged by the callers through the simulation clock).
+package rowops
+
+import (
+	"fmt"
+	"sort"
+
+	"disco/internal/algebra"
+	"disco/internal/types"
+)
+
+// Filter returns the rows satisfying the predicate.
+func Filter(schema *types.Schema, rows []types.Row, pred *algebra.Predicate) []types.Row {
+	if pred == nil || len(pred.Conjuncts) == 0 {
+		return rows
+	}
+	out := make([]types.Row, 0, len(rows))
+	for _, r := range rows {
+		if pred.Eval(schema, r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Project maps each row onto the named columns.
+func Project(schema *types.Schema, rows []types.Row, cols []string) ([]types.Row, error) {
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		pos, ok := schema.Lookup(c)
+		if !ok {
+			return nil, fmt.Errorf("rowops: unknown projection column %q", c)
+		}
+		idx[i] = pos
+	}
+	out := make([]types.Row, len(rows))
+	for ri, r := range rows {
+		nr := make(types.Row, len(idx))
+		for i, pos := range idx {
+			nr[i] = r[pos]
+		}
+		out[ri] = nr
+	}
+	return out, nil
+}
+
+// Sort orders rows by the keys (stable).
+func Sort(schema *types.Schema, rows []types.Row, keys []algebra.SortKey) ([]types.Row, error) {
+	type keyPos struct {
+		pos  int
+		desc bool
+	}
+	kps := make([]keyPos, len(keys))
+	for i, k := range keys {
+		pos, ok := algebra.RefIndex(schema, k.Attr)
+		if !ok {
+			return nil, fmt.Errorf("rowops: unknown sort key %s", k.Attr)
+		}
+		kps[i] = keyPos{pos: pos, desc: k.Desc}
+	}
+	out := append([]types.Row(nil), rows...)
+	sort.SliceStable(out, func(i, j int) bool {
+		for _, kp := range kps {
+			c := out[i][kp.pos].Compare(out[j][kp.pos])
+			if c == 0 {
+				continue
+			}
+			if kp.desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return out, nil
+}
+
+// NestedLoopJoin joins left and right under the predicate, concatenating
+// matching rows. cb, when non-nil, is invoked once per considered pair
+// (for cost charging).
+func NestedLoopJoin(joined *types.Schema, left, right []types.Row,
+	pred *algebra.Predicate, cb func()) []types.Row {
+	var out []types.Row
+	for _, l := range left {
+		for _, r := range right {
+			if cb != nil {
+				cb()
+			}
+			row := l.Concat(r)
+			if pred.Eval(joined, row) {
+				out = append(out, row)
+			}
+		}
+	}
+	return out
+}
+
+// HashJoin performs an equi-join on the first join conjunct, verifying
+// remaining conjuncts, and returns ok=false when the predicate has no
+// equi-join conjunct (the caller then falls back to nested loops). cb,
+// when non-nil, runs once per row processed.
+func HashJoin(leftSchema, rightSchema, joined *types.Schema,
+	left, right []types.Row, pred *algebra.Predicate, cb func()) ([]types.Row, bool) {
+	var lpos, rpos = -1, -1
+	for _, c := range pred.JoinComparisons() {
+		if c.Op.String() != "=" {
+			continue
+		}
+		lp, lok := algebra.RefIndex(leftSchema, c.Left)
+		rp, rok := algebra.RefIndex(rightSchema, *c.RightAttr)
+		if lok && rok {
+			lpos, rpos = lp, rp
+			break
+		}
+		// The conjunct may be written right-to-left.
+		lp, lok = algebra.RefIndex(leftSchema, *c.RightAttr)
+		rp, rok = algebra.RefIndex(rightSchema, c.Left)
+		if lok && rok {
+			lpos, rpos = lp, rp
+			break
+		}
+	}
+	if lpos < 0 {
+		return nil, false
+	}
+	table := make(map[string][]types.Row, len(right))
+	for _, r := range right {
+		if cb != nil {
+			cb()
+		}
+		k := hashKey(r[rpos])
+		table[k] = append(table[k], r)
+	}
+	var out []types.Row
+	for _, l := range left {
+		if cb != nil {
+			cb()
+		}
+		for _, r := range table[hashKey(l[lpos])] {
+			row := l.Concat(r)
+			if pred.Eval(joined, row) {
+				out = append(out, row)
+			}
+		}
+	}
+	return out, true
+}
+
+func hashKey(c types.Constant) string {
+	if c.IsNumeric() {
+		// Int(3) and Float(3) must join.
+		return "n:" + types.Float(c.AsFloat()).String()
+	}
+	return c.Kind().String() + ":" + c.String()
+}
+
+// Union concatenates two row sets (bag semantics).
+func Union(left, right []types.Row) []types.Row {
+	out := make([]types.Row, 0, len(left)+len(right))
+	out = append(out, left...)
+	return append(out, right...)
+}
+
+// DupElim removes duplicate rows, keeping first occurrences in order.
+func DupElim(rows []types.Row) []types.Row {
+	seen := make(map[string]struct{}, len(rows))
+	out := make([]types.Row, 0, len(rows))
+	for _, r := range rows {
+		k := r.Key()
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Aggregate groups rows by the groupBy attributes and computes the
+// aggregate specs, producing one row per group with grouping values first.
+// With no grouping attributes it produces exactly one row (aggregates over
+// an empty input yield count 0 and null extrema).
+func Aggregate(schema *types.Schema, rows []types.Row,
+	groupBy []algebra.Ref, aggs []algebra.AggSpec) ([]types.Row, error) {
+
+	gpos := make([]int, len(groupBy))
+	for i, g := range groupBy {
+		pos, ok := algebra.RefIndex(schema, g)
+		if !ok {
+			return nil, fmt.Errorf("rowops: unknown group-by attribute %s", g)
+		}
+		gpos[i] = pos
+	}
+	apos := make([]int, len(aggs))
+	for i, a := range aggs {
+		if a.Star {
+			apos[i] = -1
+			continue
+		}
+		pos, ok := algebra.RefIndex(schema, a.Attr)
+		if !ok {
+			return nil, fmt.Errorf("rowops: unknown aggregate attribute %s", a.Attr)
+		}
+		apos[i] = pos
+	}
+
+	type group struct {
+		key    types.Row
+		states []aggState
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for _, r := range rows {
+		key := make(types.Row, len(gpos))
+		for i, p := range gpos {
+			key[i] = r[p]
+		}
+		k := key.Key()
+		g, ok := groups[k]
+		if !ok {
+			g = &group{key: key, states: newAggStates(aggs)}
+			groups[k] = g
+			order = append(order, k)
+		}
+		for i := range aggs {
+			v := types.Null
+			if apos[i] >= 0 {
+				v = r[apos[i]]
+			}
+			g.states[i].add(v)
+		}
+	}
+	if len(groupBy) == 0 && len(groups) == 0 {
+		g := &group{key: types.Row{}, states: newAggStates(aggs)}
+		groups[""] = g
+		order = append(order, "")
+	}
+	out := make([]types.Row, 0, len(groups))
+	for _, k := range order {
+		g := groups[k]
+		row := append(types.Row(nil), g.key...)
+		for i := range aggs {
+			row = append(row, g.states[i].result())
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// aggState accumulates one aggregate function.
+type aggState struct {
+	fn    algebra.AggFunc
+	count int64
+	sum   float64
+	min   types.Constant
+	max   types.Constant
+}
+
+func newAggStates(aggs []algebra.AggSpec) []aggState {
+	out := make([]aggState, len(aggs))
+	for i, a := range aggs {
+		out[i] = aggState{fn: a.Func, min: types.Null, max: types.Null}
+	}
+	return out
+}
+
+func (s *aggState) add(v types.Constant) {
+	s.count++
+	s.sum += v.AsFloat()
+	if s.min.IsNull() || v.Less(s.min) {
+		s.min = v
+	}
+	if s.max.IsNull() || s.max.Less(v) {
+		s.max = v
+	}
+}
+
+func (s *aggState) result() types.Constant {
+	switch s.fn {
+	case algebra.AggCount:
+		return types.Int(s.count)
+	case algebra.AggSum:
+		return types.Float(s.sum)
+	case algebra.AggAvg:
+		if s.count == 0 {
+			return types.Null
+		}
+		return types.Float(s.sum / float64(s.count))
+	case algebra.AggMin:
+		return s.min
+	case algebra.AggMax:
+		return s.max
+	default:
+		return types.Null
+	}
+}
+
+// RowBytes estimates the wire size of a row set: 8 bytes per numeric or
+// boolean field, string length plus 8 per string field.
+func RowBytes(rows []types.Row) int64 {
+	var total int64
+	for _, r := range rows {
+		for _, c := range r {
+			if c.Kind() == types.KindString {
+				total += int64(len(c.AsString())) + 8
+			} else {
+				total += 8
+			}
+		}
+	}
+	return total
+}

@@ -1,0 +1,338 @@
+package rowops
+
+import (
+	"testing"
+	"testing/quick"
+
+	"disco/internal/algebra"
+	"disco/internal/stats"
+	"disco/internal/types"
+)
+
+func schemaAB() *types.Schema {
+	return types.NewSchema(
+		types.Field{Name: "a", Collection: "T", Type: types.KindInt},
+		types.Field{Name: "b", Collection: "T", Type: types.KindString},
+	)
+}
+
+func rowsAB() []types.Row {
+	return []types.Row{
+		{types.Int(3), types.Str("x")},
+		{types.Int(1), types.Str("y")},
+		{types.Int(2), types.Str("x")},
+		{types.Int(1), types.Str("y")},
+	}
+}
+
+func TestFilter(t *testing.T) {
+	s := schemaAB()
+	got := Filter(s, rowsAB(), algebra.NewSelPred(algebra.Ref{Attr: "a"}, stats.CmpGE, types.Int(2)))
+	if len(got) != 2 {
+		t.Errorf("filtered = %v", got)
+	}
+	if out := Filter(s, rowsAB(), nil); len(out) != 4 {
+		t.Error("nil predicate keeps everything")
+	}
+}
+
+func TestProject(t *testing.T) {
+	s := schemaAB()
+	got, err := Project(s, rowsAB(), []string{"b", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0][0].AsString() != "x" || got[0][1].AsInt() != 3 {
+		t.Errorf("projected = %v", got[0])
+	}
+	if _, err := Project(s, rowsAB(), []string{"zzz"}); err == nil {
+		t.Error("unknown column should fail")
+	}
+}
+
+func TestSort(t *testing.T) {
+	s := schemaAB()
+	got, err := Sort(s, rowsAB(), []algebra.SortKey{{Attr: algebra.Ref{Attr: "a"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{1, 1, 2, 3}
+	for i, w := range want {
+		if got[i][0].AsInt() != w {
+			t.Fatalf("sorted = %v", got)
+		}
+	}
+	desc, _ := Sort(s, rowsAB(), []algebra.SortKey{{Attr: algebra.Ref{Attr: "a"}, Desc: true}})
+	if desc[0][0].AsInt() != 3 {
+		t.Errorf("desc sorted = %v", desc)
+	}
+	// Multi-key: b asc then a desc.
+	multi, _ := Sort(s, rowsAB(), []algebra.SortKey{
+		{Attr: algebra.Ref{Attr: "b"}},
+		{Attr: algebra.Ref{Attr: "a"}, Desc: true},
+	})
+	if multi[0][1].AsString() != "x" || multi[0][0].AsInt() != 3 {
+		t.Errorf("multi sorted = %v", multi)
+	}
+	if _, err := Sort(s, rowsAB(), []algebra.SortKey{{Attr: algebra.Ref{Attr: "zzz"}}}); err == nil {
+		t.Error("unknown sort key should fail")
+	}
+	// Input must not be mutated.
+	orig := rowsAB()
+	Sort(s, orig, []algebra.SortKey{{Attr: algebra.Ref{Attr: "a"}}})
+	if orig[0][0].AsInt() != 3 {
+		t.Error("Sort mutated its input")
+	}
+}
+
+func joinFixture() (l, r *types.Schema, joined *types.Schema, lrows, rrows []types.Row, pred *algebra.Predicate) {
+	l = types.NewSchema(
+		types.Field{Name: "id", Collection: "E", Type: types.KindInt},
+		types.Field{Name: "name", Collection: "E", Type: types.KindString})
+	r = types.NewSchema(
+		types.Field{Name: "author", Collection: "B", Type: types.KindInt},
+		types.Field{Name: "title", Collection: "B", Type: types.KindString})
+	joined = l.Concat(r)
+	lrows = []types.Row{
+		{types.Int(1), types.Str("ana")},
+		{types.Int(2), types.Str("bob")},
+		{types.Int(3), types.Str("cyd")},
+	}
+	rrows = []types.Row{
+		{types.Int(1), types.Str("t1")},
+		{types.Int(1), types.Str("t2")},
+		{types.Int(3), types.Str("t3")},
+		{types.Int(9), types.Str("t9")},
+	}
+	pred = algebra.NewJoinPred(algebra.Ref{Collection: "E", Attr: "id"}, algebra.Ref{Collection: "B", Attr: "author"})
+	return
+}
+
+func TestJoinsAgree(t *testing.T) {
+	l, r, joined, lrows, rrows, pred := joinFixture()
+	nl := NestedLoopJoin(joined, lrows, rrows, pred, nil)
+	hj, ok := HashJoin(l, r, joined, lrows, rrows, pred, nil)
+	if !ok {
+		t.Fatal("hash join should apply to an equi-join")
+	}
+	if len(nl) != 3 || len(hj) != 3 {
+		t.Fatalf("nl=%d hj=%d, want 3", len(nl), len(hj))
+	}
+	// Same multisets.
+	key := func(rows []types.Row) map[string]int {
+		m := map[string]int{}
+		for _, row := range rows {
+			m[row.Key()]++
+		}
+		return m
+	}
+	knl, khj := key(nl), key(hj)
+	for k, n := range knl {
+		if khj[k] != n {
+			t.Errorf("join results differ at %q", k)
+		}
+	}
+}
+
+func TestHashJoinFlippedConjunct(t *testing.T) {
+	l, r, joined, lrows, rrows, _ := joinFixture()
+	// Predicate written right-to-left: B.author = E.id.
+	pred := algebra.NewJoinPred(algebra.Ref{Collection: "B", Attr: "author"}, algebra.Ref{Collection: "E", Attr: "id"})
+	hj, ok := HashJoin(l, r, joined, lrows, rrows, pred, nil)
+	if !ok || len(hj) != 3 {
+		t.Errorf("flipped hash join = %v, %v", len(hj), ok)
+	}
+}
+
+func TestHashJoinNoEquiConjunct(t *testing.T) {
+	l, r, joined, lrows, rrows, _ := joinFixture()
+	pred := &algebra.Predicate{Conjuncts: []algebra.Comparison{{
+		Left: algebra.Ref{Collection: "E", Attr: "id"}, Op: stats.CmpLT,
+		RightAttr: &algebra.Ref{Collection: "B", Attr: "author"}}}}
+	if _, ok := HashJoin(l, r, joined, lrows, rrows, pred, nil); ok {
+		t.Error("hash join should refuse a non-equi predicate")
+	}
+	nl := NestedLoopJoin(joined, lrows, rrows, pred, nil)
+	// id < author: (1,3),(1,9),(2,3),(2,9),(3,9).
+	if len(nl) != 5 {
+		t.Errorf("theta join = %d rows, want 5", len(nl))
+	}
+}
+
+func TestJoinCallbackCount(t *testing.T) {
+	_, _, joined, lrows, rrows, pred := joinFixture()
+	pairs := 0
+	NestedLoopJoin(joined, lrows, rrows, pred, func() { pairs++ })
+	if pairs != len(lrows)*len(rrows) {
+		t.Errorf("pairs = %d, want %d", pairs, len(lrows)*len(rrows))
+	}
+}
+
+func TestNumericCrossKindHashJoin(t *testing.T) {
+	// Int(3) on one side must join Float(3) on the other.
+	l := types.NewSchema(types.Field{Name: "x", Type: types.KindInt})
+	r := types.NewSchema(types.Field{Name: "y", Type: types.KindFloat})
+	joined := l.Concat(r)
+	pred := algebra.NewJoinPred(algebra.Ref{Attr: "x"}, algebra.Ref{Attr: "y"})
+	hj, ok := HashJoin(l, r, joined,
+		[]types.Row{{types.Int(3)}}, []types.Row{{types.Float(3)}}, pred, nil)
+	if !ok || len(hj) != 1 {
+		t.Errorf("cross-kind numeric join = %v, %v", hj, ok)
+	}
+}
+
+func TestUnionDupElim(t *testing.T) {
+	u := Union(rowsAB()[:2], rowsAB()[2:])
+	if len(u) != 4 {
+		t.Errorf("union = %d", len(u))
+	}
+	d := DupElim(rowsAB())
+	if len(d) != 3 {
+		t.Errorf("dupelim = %d, want 3", len(d))
+	}
+	// First occurrence is kept.
+	if d[1][0].AsInt() != 1 {
+		t.Errorf("order = %v", d)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	s := schemaAB()
+	got, err := Aggregate(s, rowsAB(),
+		[]algebra.Ref{{Attr: "b"}},
+		[]algebra.AggSpec{
+			{Func: algebra.AggCount, Star: true},
+			{Func: algebra.AggSum, Attr: algebra.Ref{Attr: "a"}},
+			{Func: algebra.AggMin, Attr: algebra.Ref{Attr: "a"}},
+			{Func: algebra.AggMax, Attr: algebra.Ref{Attr: "a"}},
+			{Func: algebra.AggAvg, Attr: algebra.Ref{Attr: "a"}},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("groups = %v", got)
+	}
+	// Group "x": rows a=3, a=2.
+	var x types.Row
+	for _, g := range got {
+		if g[0].AsString() == "x" {
+			x = g
+		}
+	}
+	if x[1].AsInt() != 2 || x[2].AsFloat() != 5 || x[3].AsInt() != 2 || x[4].AsInt() != 3 || x[5].AsFloat() != 2.5 {
+		t.Errorf("group x = %v", x)
+	}
+}
+
+func TestAggregateNoGroupsEmptyInput(t *testing.T) {
+	s := schemaAB()
+	got, err := Aggregate(s, nil, nil, []algebra.AggSpec{
+		{Func: algebra.AggCount, Star: true},
+		{Func: algebra.AggAvg, Attr: algebra.Ref{Attr: "a"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0][0].AsInt() != 0 || !got[0][1].IsNull() {
+		t.Errorf("empty aggregate = %v", got)
+	}
+	// With grouping, empty input yields no groups.
+	got, _ = Aggregate(s, nil, []algebra.Ref{{Attr: "b"}}, []algebra.AggSpec{{Func: algebra.AggCount, Star: true}})
+	if len(got) != 0 {
+		t.Errorf("grouped empty aggregate = %v", got)
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	s := schemaAB()
+	if _, err := Aggregate(s, rowsAB(), []algebra.Ref{{Attr: "zzz"}}, nil); err == nil {
+		t.Error("unknown group-by should fail")
+	}
+	if _, err := Aggregate(s, rowsAB(), nil,
+		[]algebra.AggSpec{{Func: algebra.AggSum, Attr: algebra.Ref{Attr: "zzz"}}}); err == nil {
+		t.Error("unknown aggregate attr should fail")
+	}
+}
+
+// Property: DupElim is idempotent and never grows the input.
+func TestDupElimProperties(t *testing.T) {
+	f := func(vals []int8) bool {
+		rows := make([]types.Row, len(vals))
+		for i, v := range vals {
+			rows[i] = types.Row{types.Int(int64(v % 4))}
+		}
+		once := DupElim(rows)
+		twice := DupElim(once)
+		if len(once) > len(rows) || len(twice) != len(once) {
+			return false
+		}
+		for i := range once {
+			if !once[i].Equal(twice[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hash join and nested-loop join agree on random equi-join
+// inputs.
+func TestJoinEquivalenceProperty(t *testing.T) {
+	l := types.NewSchema(types.Field{Name: "x", Type: types.KindInt})
+	r := types.NewSchema(types.Field{Name: "y", Type: types.KindInt})
+	joined := l.Concat(r)
+	pred := algebra.NewJoinPred(algebra.Ref{Attr: "x"}, algebra.Ref{Attr: "y"})
+	f := func(ls, rs []uint8) bool {
+		lrows := make([]types.Row, len(ls))
+		for i, v := range ls {
+			lrows[i] = types.Row{types.Int(int64(v % 8))}
+		}
+		rrows := make([]types.Row, len(rs))
+		for i, v := range rs {
+			rrows[i] = types.Row{types.Int(int64(v % 8))}
+		}
+		nl := NestedLoopJoin(joined, lrows, rrows, pred, nil)
+		hj, ok := HashJoin(l, r, joined, lrows, rrows, pred, nil)
+		if !ok {
+			return false
+		}
+		if len(nl) != len(hj) {
+			return false
+		}
+		count := func(rows []types.Row) map[string]int {
+			m := map[string]int{}
+			for _, row := range rows {
+				m[row.Key()]++
+			}
+			return m
+		}
+		a, b := count(nl), count(hj)
+		for k, n := range a {
+			if b[k] != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRowBytes(t *testing.T) {
+	rows := []types.Row{
+		{types.Int(1), types.Str("abc")},
+		{types.Int(2), types.Str("")},
+	}
+	// 8 + (3+8) + 8 + (0+8) = 35.
+	if got := RowBytes(rows); got != 35 {
+		t.Errorf("RowBytes = %d, want 35", got)
+	}
+	if RowBytes(nil) != 0 {
+		t.Error("empty row set should be 0 bytes")
+	}
+}

@@ -1,0 +1,47 @@
+package sqlparser
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics drives the SQL parser with adversarial inputs
+// stitched from grammar fragments and raw noise.
+func TestParseNeverPanics(t *testing.T) {
+	fragments := []string{
+		"SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "DISTINCT",
+		"AND", "AS", "count", "sum", "(", ")", "*", ",", ".", "@",
+		"Employee", "x", "=", "<", ">", "<=", ">=", "<>", "!=",
+		"1", "2.5", "'s'", `"t"`, "true", "false", "-", "!",
+	}
+	f := func(picks []uint8) bool {
+		var src []byte
+		for _, p := range picks {
+			src = append(src, fragments[int(p)%len(fragments)]...)
+			src = append(src, ' ')
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on %q: %v", src, r)
+			}
+		}()
+		_, _ = Parse(string(src))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	// Raw bytes too.
+	g := func(src string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on %q: %v", src, r)
+			}
+		}()
+		_, _ = Parse(src)
+		return true
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,489 @@
+// Package sqlparser implements the mediator's declarative query language
+// (paper §2.2 step 3: "a simple object/relational SQL language"):
+// single-block SELECT queries with conjunctive WHERE predicates, grouping,
+// aggregation, DISTINCT and ORDER BY. The parser produces an unbound
+// query; the mediator binds collections to wrappers through the catalog.
+//
+// Grammar sketch:
+//
+//	query   := SELECT [DISTINCT] items FROM tables [WHERE conj]
+//	           [GROUP BY refs] [ORDER BY keys]
+//	items   := * | item (',' item)*
+//	item    := ref | agg '(' (ref | '*') ')' [AS name]
+//	tables  := table (',' table)*
+//	table   := name ['@' wrapper]
+//	conj    := cmp (AND cmp)*
+//	cmp     := ref op (value | ref)
+//	op      := = | <> | != | < | <= | > | >=
+//	value   := number | 'string' | "string" | TRUE | FALSE
+package sqlparser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"disco/internal/algebra"
+	"disco/internal/stats"
+	"disco/internal/types"
+)
+
+// SelectItem is one entry of the select list.
+type SelectItem struct {
+	Star bool
+	Ref  algebra.Ref
+	Agg  *algebra.AggSpec
+}
+
+// TableRef names a FROM collection, optionally pinned to a wrapper with
+// the collection@wrapper syntax.
+type TableRef struct {
+	Collection string
+	Wrapper    string
+}
+
+// Query is a parsed, unbound query block.
+type Query struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Where    *algebra.Predicate
+	GroupBy  []algebra.Ref
+	OrderBy  []algebra.SortKey
+}
+
+// String renders the query back to SQL-ish text.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if q.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	if len(q.Items) == 0 {
+		b.WriteString("*")
+	}
+	for i, it := range q.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch {
+		case it.Star:
+			b.WriteString("*")
+		case it.Agg != nil:
+			b.WriteString(it.Agg.String())
+		default:
+			b.WriteString(it.Ref.String())
+		}
+	}
+	b.WriteString(" FROM ")
+	for i, t := range q.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.Collection)
+		if t.Wrapper != "" {
+			b.WriteString("@" + t.Wrapper)
+		}
+	}
+	if q.Where != nil && len(q.Where.Conjuncts) > 0 {
+		b.WriteString(" WHERE " + q.Where.String())
+	}
+	if len(q.GroupBy) > 0 {
+		parts := make([]string, len(q.GroupBy))
+		for i, g := range q.GroupBy {
+			parts[i] = g.String()
+		}
+		b.WriteString(" GROUP BY " + strings.Join(parts, ", "))
+	}
+	if len(q.OrderBy) > 0 {
+		parts := make([]string, len(q.OrderBy))
+		for i, k := range q.OrderBy {
+			parts[i] = k.String()
+		}
+		b.WriteString(" ORDER BY " + strings.Join(parts, ", "))
+	}
+	return b.String()
+}
+
+// token kinds for the SQL lexer.
+type sqlTokKind uint8
+
+const (
+	tEOF sqlTokKind = iota
+	tIdent
+	tNumber
+	tString
+	tComma
+	tDot
+	tStar
+	tLParen
+	tRParen
+	tAt
+	tOp // comparison operator, text holds it
+)
+
+type sqlTok struct {
+	kind sqlTokKind
+	text string
+	num  float64
+	pos  int
+}
+
+func lexSQL(src string) ([]sqlTok, error) {
+	var out []sqlTok
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == ',':
+			out = append(out, sqlTok{kind: tComma, pos: i})
+			i++
+		case c == '.':
+			out = append(out, sqlTok{kind: tDot, pos: i})
+			i++
+		case c == '*':
+			out = append(out, sqlTok{kind: tStar, pos: i})
+			i++
+		case c == '(':
+			out = append(out, sqlTok{kind: tLParen, pos: i})
+			i++
+		case c == ')':
+			out = append(out, sqlTok{kind: tRParen, pos: i})
+			i++
+		case c == '@':
+			out = append(out, sqlTok{kind: tAt, pos: i})
+			i++
+		case c == '=':
+			out = append(out, sqlTok{kind: tOp, text: "=", pos: i})
+			i++
+		case c == '<':
+			if i+1 < len(src) && src[i+1] == '=' {
+				out = append(out, sqlTok{kind: tOp, text: "<=", pos: i})
+				i += 2
+			} else if i+1 < len(src) && src[i+1] == '>' {
+				out = append(out, sqlTok{kind: tOp, text: "<>", pos: i})
+				i += 2
+			} else {
+				out = append(out, sqlTok{kind: tOp, text: "<", pos: i})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(src) && src[i+1] == '=' {
+				out = append(out, sqlTok{kind: tOp, text: ">=", pos: i})
+				i += 2
+			} else {
+				out = append(out, sqlTok{kind: tOp, text: ">", pos: i})
+				i++
+			}
+		case c == '!':
+			if i+1 < len(src) && src[i+1] == '=' {
+				out = append(out, sqlTok{kind: tOp, text: "<>", pos: i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("sqlparser: unexpected '!' at %d", i)
+			}
+		case c == '\'' || c == '"':
+			quote := c
+			j := i + 1
+			var sb strings.Builder
+			for j < len(src) && src[j] != quote {
+				sb.WriteByte(src[j])
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("sqlparser: unterminated string at %d", i)
+			}
+			out = append(out, sqlTok{kind: tString, text: sb.String(), pos: i})
+			i = j + 1
+		case c >= '0' && c <= '9' || (c == '-' && i+1 < len(src) && src[i+1] >= '0' && src[i+1] <= '9'):
+			j := i + 1
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.' || src[j] == 'e' || src[j] == 'E' ||
+				((src[j] == '+' || src[j] == '-') && (src[j-1] == 'e' || src[j-1] == 'E'))) {
+				j++
+			}
+			f, err := strconv.ParseFloat(src[i:j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("sqlparser: bad number %q at %d", src[i:j], i)
+			}
+			out = append(out, sqlTok{kind: tNumber, num: f, pos: i})
+			i = j
+		case c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
+			j := i + 1
+			for j < len(src) && (src[j] == '_' || src[j] >= 'a' && src[j] <= 'z' ||
+				src[j] >= 'A' && src[j] <= 'Z' || src[j] >= '0' && src[j] <= '9') {
+				j++
+			}
+			out = append(out, sqlTok{kind: tIdent, text: src[i:j], pos: i})
+			i = j
+		default:
+			return nil, fmt.Errorf("sqlparser: unexpected character %q at %d", string(c), i)
+		}
+	}
+	out = append(out, sqlTok{kind: tEOF, pos: len(src)})
+	return out, nil
+}
+
+// sqlParser is a recursive-descent parser over the token slice.
+type sqlParser struct {
+	toks []sqlTok
+	i    int
+}
+
+func (p *sqlParser) cur() sqlTok  { return p.toks[p.i] }
+func (p *sqlParser) next() sqlTok { t := p.toks[p.i]; p.i++; return t }
+
+func (p *sqlParser) errf(format string, args ...any) error {
+	return fmt.Errorf("sqlparser: at offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *sqlParser) keyword(words ...string) bool {
+	if p.cur().kind != tIdent {
+		return false
+	}
+	for _, w := range words {
+		if strings.EqualFold(p.cur().text, w) {
+			p.i++
+			return true
+		}
+	}
+	return false
+}
+
+func (p *sqlParser) peekKeyword(word string) bool {
+	return p.cur().kind == tIdent && strings.EqualFold(p.cur().text, word)
+}
+
+// Parse parses one SELECT query.
+func Parse(src string) (*Query, error) {
+	toks, err := lexSQL(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &sqlParser{toks: toks}
+	q := &Query{}
+	if !p.keyword("select") {
+		return nil, p.errf("expected SELECT")
+	}
+	if p.keyword("distinct") {
+		q.Distinct = true
+	}
+	// Select list.
+	for {
+		item, err := p.parseItem()
+		if err != nil {
+			return nil, err
+		}
+		q.Items = append(q.Items, item)
+		if p.cur().kind == tComma {
+			p.i++
+			continue
+		}
+		break
+	}
+	if !p.keyword("from") {
+		return nil, p.errf("expected FROM")
+	}
+	for {
+		if p.cur().kind != tIdent {
+			return nil, p.errf("expected collection name")
+		}
+		tr := TableRef{Collection: p.next().text}
+		if p.cur().kind == tAt {
+			p.i++
+			if p.cur().kind != tIdent {
+				return nil, p.errf("expected wrapper name after '@'")
+			}
+			tr.Wrapper = p.next().text
+		}
+		q.From = append(q.From, tr)
+		if p.cur().kind == tComma {
+			p.i++
+			continue
+		}
+		break
+	}
+	if p.keyword("where") {
+		pred, err := p.parseConjunction()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = pred
+	}
+	if p.peekKeyword("group") {
+		p.i++
+		if !p.keyword("by") {
+			return nil, p.errf("expected BY after GROUP")
+		}
+		for {
+			r, err := p.parseRef()
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, r)
+			if p.cur().kind == tComma {
+				p.i++
+				continue
+			}
+			break
+		}
+	}
+	if p.peekKeyword("order") {
+		p.i++
+		if !p.keyword("by") {
+			return nil, p.errf("expected BY after ORDER")
+		}
+		for {
+			r, err := p.parseRef()
+			if err != nil {
+				return nil, err
+			}
+			key := algebra.SortKey{Attr: r}
+			if p.keyword("desc") {
+				key.Desc = true
+			} else {
+				p.keyword("asc")
+			}
+			q.OrderBy = append(q.OrderBy, key)
+			if p.cur().kind == tComma {
+				p.i++
+				continue
+			}
+			break
+		}
+	}
+	if p.cur().kind != tEOF {
+		return nil, p.errf("unexpected trailing input %q", p.cur().text)
+	}
+	if len(q.Items) == 0 || len(q.From) == 0 {
+		return nil, fmt.Errorf("sqlparser: query needs a select list and FROM clause")
+	}
+	return q, nil
+}
+
+var aggFuncs = map[string]algebra.AggFunc{
+	"count": algebra.AggCount,
+	"sum":   algebra.AggSum,
+	"avg":   algebra.AggAvg,
+	"min":   algebra.AggMin,
+	"max":   algebra.AggMax,
+}
+
+func (p *sqlParser) parseItem() (SelectItem, error) {
+	if p.cur().kind == tStar {
+		p.i++
+		return SelectItem{Star: true}, nil
+	}
+	if p.cur().kind != tIdent {
+		return SelectItem{}, p.errf("expected select item")
+	}
+	// Aggregate?
+	if fn, ok := aggFuncs[strings.ToLower(p.cur().text)]; ok && p.toks[p.i+1].kind == tLParen {
+		p.i += 2
+		spec := algebra.AggSpec{Func: fn}
+		if p.cur().kind == tStar {
+			p.i++
+			spec.Star = true
+		} else {
+			r, err := p.parseRef()
+			if err != nil {
+				return SelectItem{}, err
+			}
+			spec.Attr = r
+		}
+		if p.cur().kind != tRParen {
+			return SelectItem{}, p.errf("expected ')' after aggregate")
+		}
+		p.i++
+		if p.keyword("as") {
+			if p.cur().kind != tIdent {
+				return SelectItem{}, p.errf("expected alias after AS")
+			}
+			spec.As = p.next().text
+		}
+		return SelectItem{Agg: &spec}, nil
+	}
+	r, err := p.parseRef()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	return SelectItem{Ref: r}, nil
+}
+
+func (p *sqlParser) parseRef() (algebra.Ref, error) {
+	if p.cur().kind != tIdent {
+		return algebra.Ref{}, p.errf("expected attribute reference")
+	}
+	first := p.next().text
+	if p.cur().kind == tDot {
+		p.i++
+		if p.cur().kind != tIdent {
+			return algebra.Ref{}, p.errf("expected attribute after '.'")
+		}
+		return algebra.Ref{Collection: first, Attr: p.next().text}, nil
+	}
+	return algebra.Ref{Attr: first}, nil
+}
+
+func (p *sqlParser) parseConjunction() (*algebra.Predicate, error) {
+	pred := &algebra.Predicate{}
+	for {
+		cmp, err := p.parseComparison()
+		if err != nil {
+			return nil, err
+		}
+		pred.Conjuncts = append(pred.Conjuncts, cmp)
+		if p.keyword("and") {
+			continue
+		}
+		return pred, nil
+	}
+}
+
+var opNames = map[string]stats.CmpOp{
+	"=": stats.CmpEQ, "<>": stats.CmpNE, "<": stats.CmpLT,
+	"<=": stats.CmpLE, ">": stats.CmpGT, ">=": stats.CmpGE,
+}
+
+func (p *sqlParser) parseComparison() (algebra.Comparison, error) {
+	left, err := p.parseRef()
+	if err != nil {
+		return algebra.Comparison{}, err
+	}
+	if p.cur().kind != tOp {
+		return algebra.Comparison{}, p.errf("expected comparison operator")
+	}
+	op := opNames[p.next().text]
+	switch p.cur().kind {
+	case tNumber:
+		n := p.next().num
+		return algebra.Comparison{Left: left, Op: op, RightConst: numConst(n)}, nil
+	case tString:
+		s := p.next().text
+		return algebra.Comparison{Left: left, Op: op, RightConst: types.Str(s)}, nil
+	case tIdent:
+		switch strings.ToLower(p.cur().text) {
+		case "true":
+			p.i++
+			return algebra.Comparison{Left: left, Op: op, RightConst: types.Bool(true)}, nil
+		case "false":
+			p.i++
+			return algebra.Comparison{Left: left, Op: op, RightConst: types.Bool(false)}, nil
+		}
+		right, err := p.parseRef()
+		if err != nil {
+			return algebra.Comparison{}, err
+		}
+		return algebra.Comparison{Left: left, Op: op, RightAttr: &right}, nil
+	default:
+		return algebra.Comparison{}, p.errf("expected value or attribute on right of comparison")
+	}
+}
+
+func numConst(f float64) types.Constant {
+	if f == float64(int64(f)) {
+		return types.Int(int64(f))
+	}
+	return types.Float(f)
+}

@@ -1,0 +1,143 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+
+	"disco/internal/algebra"
+	"disco/internal/stats"
+)
+
+func TestParseSimple(t *testing.T) {
+	q, err := Parse(`SELECT name, salary FROM Employee WHERE salary > 1000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Items) != 2 || q.Items[0].Ref.Attr != "name" {
+		t.Errorf("items = %+v", q.Items)
+	}
+	if len(q.From) != 1 || q.From[0].Collection != "Employee" || q.From[0].Wrapper != "" {
+		t.Errorf("from = %+v", q.From)
+	}
+	c := q.Where.Conjuncts[0]
+	if c.Left.Attr != "salary" || c.Op != stats.CmpGT || c.RightConst.AsInt() != 1000 {
+		t.Errorf("where = %+v", c)
+	}
+}
+
+func TestParseStarAndWrapperPin(t *testing.T) {
+	q, err := Parse(`SELECT * FROM Employee@src1, Book@src2 WHERE Employee.id = Book.author`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Items[0].Star {
+		t.Error("star item")
+	}
+	if q.From[0].Wrapper != "src1" || q.From[1].Wrapper != "src2" {
+		t.Errorf("wrappers = %+v", q.From)
+	}
+	c := q.Where.Conjuncts[0]
+	if !c.IsJoin() || c.RightAttr.Collection != "Book" {
+		t.Errorf("join conjunct = %+v", c)
+	}
+}
+
+func TestParseAggregatesAndGroup(t *testing.T) {
+	q, err := Parse(`SELECT dept, count(*) AS n, avg(salary) FROM Employee GROUP BY dept ORDER BY dept DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Items[1].Agg == nil || q.Items[1].Agg.Func != algebra.AggCount || !q.Items[1].Agg.Star || q.Items[1].Agg.As != "n" {
+		t.Errorf("count item = %+v", q.Items[1].Agg)
+	}
+	if q.Items[2].Agg == nil || q.Items[2].Agg.Func != algebra.AggAvg || q.Items[2].Agg.Attr.Attr != "salary" {
+		t.Errorf("avg item = %+v", q.Items[2].Agg)
+	}
+	if len(q.GroupBy) != 1 || q.GroupBy[0].Attr != "dept" {
+		t.Errorf("group by = %+v", q.GroupBy)
+	}
+	if len(q.OrderBy) != 1 || !q.OrderBy[0].Desc {
+		t.Errorf("order by = %+v", q.OrderBy)
+	}
+}
+
+func TestParseDistinctAndStrings(t *testing.T) {
+	q, err := Parse(`SELECT DISTINCT name FROM Employee WHERE name = 'Adiba' AND dept <> "sales" AND active = true`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Distinct {
+		t.Error("distinct flag")
+	}
+	cs := q.Where.Conjuncts
+	if cs[0].RightConst.AsString() != "Adiba" || cs[1].Op != stats.CmpNE || !cs[2].RightConst.AsBool() {
+		t.Errorf("conjuncts = %+v", cs)
+	}
+}
+
+func TestParseNumbersAndOps(t *testing.T) {
+	q, err := Parse(`SELECT x FROM T WHERE a >= -5 AND b <= 2.5 AND c != 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := q.Where.Conjuncts
+	if cs[0].RightConst.AsInt() != -5 || cs[1].RightConst.AsFloat() != 2.5 || cs[2].Op != stats.CmpNE {
+		t.Errorf("conjuncts = %+v", cs)
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	if _, err := Parse(`select distinct name from Employee where x = 1 group by name order by name asc`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	src := `SELECT DISTINCT dept, count(*) AS n FROM Employee@src1 WHERE salary > 100 AND dept = 3 GROUP BY dept ORDER BY dept DESC`
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", q.String(), err)
+	}
+	if q2.String() != q.String() {
+		t.Errorf("round-trip mismatch:\n%s\n%s", q.String(), q2.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`FROM Employee`,
+		`SELECT FROM Employee`,
+		`SELECT * Employee`,
+		`SELECT * FROM`,
+		`SELECT * FROM Employee WHERE`,
+		`SELECT * FROM Employee WHERE x`,
+		`SELECT * FROM Employee WHERE x =`,
+		`SELECT * FROM Employee WHERE x = 'unterminated`,
+		`SELECT * FROM Employee extra garbage`,
+		`SELECT count( FROM Employee`,
+		`SELECT count(x FROM Employee`,
+		`SELECT * FROM Employee@`,
+		`SELECT * FROM Employee GROUP dept`,
+		`SELECT * FROM Employee ORDER dept`,
+		`SELECT x. FROM Employee`,
+		`SELECT * FROM Employee WHERE x ! 1`,
+		`SELECT * FROM Employee WHERE x = @`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseErrorsMentionOffset(t *testing.T) {
+	_, err := Parse(`SELECT * FROM Employee WHERE ^`)
+	if err == nil || !strings.Contains(err.Error(), "sqlparser") {
+		t.Errorf("err = %v", err)
+	}
+}

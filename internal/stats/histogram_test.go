@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"disco/internal/types"
+)
+
+func intVals(vs ...int64) []types.Constant {
+	out := make([]types.Constant, len(vs))
+	for i, v := range vs {
+		out[i] = types.Int(v)
+	}
+	return out
+}
+
+func TestEquiWidthBasics(t *testing.T) {
+	h := NewEquiWidth(intVals(0, 1, 2, 3, 4, 5, 6, 7, 8, 9), 2)
+	if h == nil || len(h.Buckets) != 2 || h.Total != 10 {
+		t.Fatalf("histogram = %+v", h)
+	}
+	if h.Buckets[0].Count+h.Buckets[1].Count != 10 {
+		t.Errorf("bucket counts should sum to total")
+	}
+	if NewEquiWidth(nil, 3) != nil {
+		t.Error("empty input should give nil")
+	}
+	if NewEquiWidth(intVals(1), 0) != nil {
+		t.Error("zero buckets should give nil")
+	}
+}
+
+func TestEquiWidthDegenerate(t *testing.T) {
+	// All-equal values: single point distribution.
+	h := NewEquiWidth(intVals(5, 5, 5, 5), 4)
+	if h == nil {
+		t.Fatal("nil histogram")
+	}
+	if got := h.Selectivity(CmpEQ, types.Int(5)); got < 0.2 {
+		t.Errorf("eq selectivity on point distribution = %v, want high", got)
+	}
+	if got := h.Selectivity(CmpEQ, types.Int(99)); got != 0 {
+		t.Errorf("eq selectivity off-distribution = %v, want 0", got)
+	}
+}
+
+func TestEquiDepthBasics(t *testing.T) {
+	vals := make([]types.Constant, 0, 100)
+	for i := int64(0); i < 100; i++ {
+		vals = append(vals, types.Int(i))
+	}
+	h := NewEquiDepth(vals, 4)
+	if h == nil || len(h.Buckets) != 4 {
+		t.Fatalf("histogram = %+v", h)
+	}
+	for _, b := range h.Buckets {
+		if b.Count != 25 {
+			t.Errorf("equi-depth bucket count = %d, want 25", b.Count)
+		}
+	}
+	if got := h.Selectivity(CmpLT, types.Int(50)); math.Abs(got-0.5) > 0.05 {
+		t.Errorf("lt 50 = %v, want ~0.5", got)
+	}
+	if NewEquiDepth(nil, 4) != nil {
+		t.Error("empty input should give nil")
+	}
+}
+
+func TestEquiDepthSkewBeatsUniform(t *testing.T) {
+	// Heavy skew: 90% of mass at value 0, tail uniform in [1,1000].
+	rng := rand.New(rand.NewSource(7))
+	var vals []types.Constant
+	for i := 0; i < 900; i++ {
+		vals = append(vals, types.Int(0))
+	}
+	for i := 0; i < 100; i++ {
+		vals = append(vals, types.Int(1+rng.Int63n(1000)))
+	}
+	h := NewEquiDepth(vals, 10)
+	truth := 0.9 // fraction with value < 1
+	est := h.Selectivity(CmpLT, types.Int(1))
+	uniform := AttributeStats{CountDistinct: 100, Min: types.Int(0), Max: types.Int(1000)}.
+		Selectivity(CmpLT, types.Int(1))
+	if math.Abs(est-truth) >= math.Abs(uniform-truth) {
+		t.Errorf("equi-depth est %v should beat uniform %v against truth %v", est, uniform, truth)
+	}
+}
+
+// Property: histogram selectivities are valid probabilities and
+// cumulativeBelow is monotone in the probe value.
+func TestHistogramSelectivityProperties(t *testing.T) {
+	vals := make([]types.Constant, 500)
+	rng := rand.New(rand.NewSource(42))
+	for i := range vals {
+		vals[i] = types.Int(rng.Int63n(1000))
+	}
+	for name, h := range map[string]*Histogram{
+		"width": NewEquiWidth(vals, 20),
+		"depth": NewEquiDepth(vals, 20),
+	} {
+		f := func(v1, v2 uint16) bool {
+			a := types.Int(int64(v1) % 1200)
+			b := types.Int(int64(v2) % 1200)
+			sa := h.Selectivity(CmpLT, a)
+			sb := h.Selectivity(CmpLT, b)
+			if sa < 0 || sa > 1 || sb < 0 || sb > 1 {
+				return false
+			}
+			if a.Less(b) && sa > sb+1e-9 {
+				return false
+			}
+			eq := h.Selectivity(CmpEQ, a)
+			ne := h.Selectivity(CmpNE, a)
+			return eq >= 0 && eq <= 1 && math.Abs(eq+ne-1) < 1e-9
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// Property: histogram range estimate approximates the true fraction on
+// uniform data within a bucket width.
+func TestHistogramAccuracyUniform(t *testing.T) {
+	vals := make([]types.Constant, 0, 10000)
+	for i := int64(0); i < 10000; i++ {
+		vals = append(vals, types.Int(i))
+	}
+	h := NewEquiDepth(vals, 50)
+	for _, probe := range []int64{100, 2500, 5000, 9000} {
+		truth := float64(probe) / 10000
+		est := h.Selectivity(CmpLT, types.Int(probe))
+		if math.Abs(est-truth) > 0.03 {
+			t.Errorf("probe %d: est %v truth %v", probe, est, truth)
+		}
+	}
+}
+
+func TestHistogramNilSafety(t *testing.T) {
+	var h *Histogram
+	if got := h.Selectivity(CmpEQ, types.Int(1)); got != 0.1 {
+		t.Errorf("nil histogram selectivity = %v", got)
+	}
+	if h.String() != "hist(nil)" {
+		t.Errorf("nil String = %q", h.String())
+	}
+}

@@ -1,0 +1,273 @@
+// Package types provides the value system shared by every layer of the
+// DISCO reproduction: the polymorphic Constant used to exchange statistics
+// between wrappers and the mediator (paper §3.2), tuple rows, and row
+// schemas. Constants are immutable value objects.
+package types
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Kind enumerates the dynamic type of a Constant.
+type Kind uint8
+
+// The supported constant kinds. The paper's IDL subset supports elementary
+// types (long, double, string, boolean); Null represents an absent
+// statistic (for instance a wrapper that does not know an attribute's Min).
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Constant is a polymorphic immutable value. The zero value is Null.
+// It plays the role of the paper's "special polymorphic Constant object"
+// used to encode attribute minima and maxima of arbitrary type.
+type Constant struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+	b    bool
+}
+
+// Null is the absent value.
+var Null = Constant{}
+
+// Int builds an integer constant.
+func Int(v int64) Constant { return Constant{kind: KindInt, i: v} }
+
+// Float builds a floating-point constant.
+func Float(v float64) Constant { return Constant{kind: KindFloat, f: v} }
+
+// String builds a string constant.
+func Str(v string) Constant { return Constant{kind: KindString, s: v} }
+
+// Bool builds a boolean constant.
+func Bool(v bool) Constant { return Constant{kind: KindBool, b: v} }
+
+// Kind reports the dynamic type of c.
+func (c Constant) Kind() Kind { return c.kind }
+
+// IsNull reports whether c is the absent value.
+func (c Constant) IsNull() bool { return c.kind == KindNull }
+
+// IsNumeric reports whether c is an int or float.
+func (c Constant) IsNumeric() bool { return c.kind == KindInt || c.kind == KindFloat }
+
+// AsInt returns the integer value of c. Floats are truncated, booleans map
+// to 0/1, and anything else returns 0.
+func (c Constant) AsInt() int64 {
+	switch c.kind {
+	case KindInt:
+		return c.i
+	case KindFloat:
+		return int64(c.f)
+	case KindBool:
+		if c.b {
+			return 1
+		}
+		return 0
+	default:
+		return 0
+	}
+}
+
+// AsFloat returns the numeric value of c as a float64. Strings and Null
+// return 0; booleans map to 0/1.
+func (c Constant) AsFloat() float64 {
+	switch c.kind {
+	case KindInt:
+		return float64(c.i)
+	case KindFloat:
+		return c.f
+	case KindBool:
+		if c.b {
+			return 1
+		}
+		return 0
+	default:
+		return 0
+	}
+}
+
+// AsString returns the string value, or the textual rendering for other
+// kinds.
+func (c Constant) AsString() string {
+	if c.kind == KindString {
+		return c.s
+	}
+	return c.String()
+}
+
+// AsBool returns the boolean value; numeric values are true when nonzero,
+// strings when non-empty, Null is false.
+func (c Constant) AsBool() bool {
+	switch c.kind {
+	case KindBool:
+		return c.b
+	case KindInt:
+		return c.i != 0
+	case KindFloat:
+		return c.f != 0
+	case KindString:
+		return c.s != ""
+	default:
+		return false
+	}
+}
+
+// String renders the constant for plan and rule printing.
+func (c Constant) String() string {
+	switch c.kind {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return strconv.FormatInt(c.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(c.f, 'g', -1, 64)
+	case KindString:
+		return strconv.Quote(c.s)
+	case KindBool:
+		return strconv.FormatBool(c.b)
+	default:
+		return "?"
+	}
+}
+
+// Equal reports deep value equality. Int and Float compare numerically, so
+// Int(3).Equal(Float(3)) is true — the rule matcher relies on this when
+// unifying predicate constants.
+func (c Constant) Equal(o Constant) bool {
+	if c.IsNumeric() && o.IsNumeric() {
+		return c.AsFloat() == o.AsFloat()
+	}
+	if c.kind != o.kind {
+		return false
+	}
+	switch c.kind {
+	case KindNull:
+		return true
+	case KindString:
+		return c.s == o.s
+	case KindBool:
+		return c.b == o.b
+	default:
+		return false
+	}
+}
+
+// Compare orders two constants: -1 when c < o, 0 when equal, +1 when
+// greater. Numeric kinds compare numerically; strings lexically; booleans
+// false < true. Null sorts before everything. Mixed incomparable kinds
+// order by kind tag so sorting is total and deterministic.
+func (c Constant) Compare(o Constant) int {
+	if c.IsNumeric() && o.IsNumeric() {
+		a, b := c.AsFloat(), o.AsFloat()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if c.kind != o.kind {
+		if c.kind < o.kind {
+			return -1
+		}
+		return 1
+	}
+	switch c.kind {
+	case KindString:
+		switch {
+		case c.s < o.s:
+			return -1
+		case c.s > o.s:
+			return 1
+		}
+	case KindBool:
+		switch {
+		case !c.b && o.b:
+			return -1
+		case c.b && !o.b:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Less reports c < o under Compare.
+func (c Constant) Less(o Constant) bool { return c.Compare(o) < 0 }
+
+// Fraction locates v within [lo, hi], returning a value in [0, 1]. It is
+// the primitive behind uniform-distribution selectivity estimation for
+// range predicates: sel(A < v) = (v - Min) / (Max - Min). For strings it
+// uses a prefix-based 64-bit embedding. Returns 0.5 when the bounds are
+// degenerate or incomparable.
+func Fraction(v, lo, hi Constant) float64 {
+	if v.IsNull() || lo.IsNull() || hi.IsNull() {
+		return 0.5
+	}
+	if v.IsNumeric() && lo.IsNumeric() && hi.IsNumeric() {
+		l, h, x := lo.AsFloat(), hi.AsFloat(), v.AsFloat()
+		if h <= l {
+			return 0.5
+		}
+		return clamp01((x - l) / (h - l))
+	}
+	if v.kind == KindString && lo.kind == KindString && hi.kind == KindString {
+		l, h, x := stringEmbed(lo.s), stringEmbed(hi.s), stringEmbed(v.s)
+		if h <= l {
+			return 0.5
+		}
+		return clamp01((x - l) / (h - l))
+	}
+	return 0.5
+}
+
+// stringEmbed maps a string to a float preserving lexicographic order for
+// the first eight bytes.
+func stringEmbed(s string) float64 {
+	var acc uint64
+	for i := 0; i < 8; i++ {
+		acc <<= 8
+		if i < len(s) {
+			acc |= uint64(s[i])
+		}
+	}
+	return float64(acc)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 || math.IsNaN(x) {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,162 @@
+package types
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstantKinds(t *testing.T) {
+	cases := []struct {
+		c    Constant
+		kind Kind
+		str  string
+	}{
+		{Null, KindNull, "null"},
+		{Int(42), KindInt, "42"},
+		{Int(-7), KindInt, "-7"},
+		{Float(2.5), KindFloat, "2.5"},
+		{Str("hi"), KindString, `"hi"`},
+		{Bool(true), KindBool, "true"},
+		{Bool(false), KindBool, "false"},
+	}
+	for _, c := range cases {
+		if c.c.Kind() != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.c, c.c.Kind(), c.kind)
+		}
+		if got := c.c.String(); got != c.str {
+			t.Errorf("String() = %q, want %q", got, c.str)
+		}
+	}
+}
+
+func TestConstantConversions(t *testing.T) {
+	if Int(3).AsFloat() != 3.0 {
+		t.Error("Int.AsFloat")
+	}
+	if Float(3.9).AsInt() != 3 {
+		t.Error("Float.AsInt should truncate")
+	}
+	if Bool(true).AsInt() != 1 || Bool(false).AsInt() != 0 {
+		t.Error("Bool.AsInt")
+	}
+	if Str("x").AsFloat() != 0 {
+		t.Error("Str.AsFloat should be 0")
+	}
+	if Str("x").AsString() != "x" {
+		t.Error("Str.AsString")
+	}
+	if Int(5).AsString() != "5" {
+		t.Error("Int.AsString")
+	}
+	if !Int(1).AsBool() || Int(0).AsBool() {
+		t.Error("Int.AsBool")
+	}
+	if Null.AsBool() {
+		t.Error("Null.AsBool should be false")
+	}
+}
+
+func TestConstantEqualNumericCrossKind(t *testing.T) {
+	if !Int(3).Equal(Float(3)) {
+		t.Error("Int(3) should equal Float(3)")
+	}
+	if Int(3).Equal(Float(3.5)) {
+		t.Error("Int(3) should not equal Float(3.5)")
+	}
+	if Int(3).Equal(Str("3")) {
+		t.Error("Int should not equal Str")
+	}
+	if !Null.Equal(Null) {
+		t.Error("Null equals Null")
+	}
+	if Null.Equal(Int(0)) {
+		t.Error("Null should not equal Int(0)")
+	}
+}
+
+func TestConstantCompare(t *testing.T) {
+	cases := []struct {
+		a, b Constant
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(1), 1},
+		{Int(2), Int(2), 0},
+		{Int(1), Float(1.5), -1},
+		{Float(2.5), Int(2), 1},
+		{Str("a"), Str("b"), -1},
+		{Str("b"), Str("a"), 1},
+		{Str("a"), Str("a"), 0},
+		{Bool(false), Bool(true), -1},
+		{Bool(true), Bool(false), 1},
+		{Null, Int(0), -1}, // null sorts first by kind tag
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Property: Compare is antisymmetric and consistent with Less over ints.
+func TestConstantCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		x, y := Int(a), Int(b)
+		return x.Compare(y) == -y.Compare(x) && x.Less(y) == (a < b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Fraction is within [0,1] and monotone in v for numerics.
+func TestFractionProperties(t *testing.T) {
+	f := func(v1, v2 int32) bool {
+		lo, hi := Int(0), Int(1000)
+		a := Fraction(Int(int64(v1)%1000), lo, hi)
+		b := Fraction(Int(int64(v2)%1000), lo, hi)
+		if a < 0 || a > 1 || b < 0 || b > 1 {
+			return false
+		}
+		x, y := int64(v1)%1000, int64(v2)%1000
+		if x < y && a > b {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFractionEdge(t *testing.T) {
+	if got := Fraction(Int(5), Int(0), Int(10)); got != 0.5 {
+		t.Errorf("Fraction mid = %v, want 0.5", got)
+	}
+	if got := Fraction(Int(-5), Int(0), Int(10)); got != 0 {
+		t.Errorf("Fraction below lo = %v, want 0", got)
+	}
+	if got := Fraction(Int(50), Int(0), Int(10)); got != 1 {
+		t.Errorf("Fraction above hi = %v, want 1", got)
+	}
+	if got := Fraction(Int(5), Int(7), Int(7)); got != 0.5 {
+		t.Errorf("degenerate bounds = %v, want 0.5", got)
+	}
+	if got := Fraction(Null, Int(0), Int(1)); got != 0.5 {
+		t.Errorf("null v = %v, want 0.5", got)
+	}
+	// string fraction ordering
+	a := Fraction(Str("Adiba"), Str("Adiba"), Str("Valduriez"))
+	b := Fraction(Str("Martin"), Str("Adiba"), Str("Valduriez"))
+	c := Fraction(Str("Valduriez"), Str("Adiba"), Str("Valduriez"))
+	if !(a <= b && b <= c && a == 0 && c == 1) {
+		t.Errorf("string fractions not ordered: %v %v %v", a, b, c)
+	}
+}
+
+func TestFractionNaNSafe(t *testing.T) {
+	if got := Fraction(Float(math.NaN()), Int(0), Int(1)); got != 0 {
+		t.Errorf("NaN fraction = %v, want clamped 0", got)
+	}
+}

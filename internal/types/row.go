@@ -1,0 +1,158 @@
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Field describes one column of a row schema.
+type Field struct {
+	// Name is the attribute name, unqualified ("salary").
+	Name string
+	// Collection qualifies the attribute with the collection it came from
+	// ("Employee"); empty for derived fields.
+	Collection string
+	// Type is the declared kind of the field's values.
+	Type Kind
+}
+
+// QualifiedName renders Collection.Name, or just Name when unqualified.
+func (f Field) QualifiedName() string {
+	if f.Collection == "" {
+		return f.Name
+	}
+	return f.Collection + "." + f.Name
+}
+
+// Schema is an ordered list of fields describing the rows an operator
+// produces. Schemas are immutable once built; operators derive new schemas
+// rather than mutating existing ones.
+type Schema struct {
+	fields []Field
+	index  map[string]int // lower-cased name and qualified name -> position
+}
+
+// NewSchema builds a schema from fields. Later duplicates of the same
+// unqualified name shadow earlier ones in unqualified lookup; qualified
+// lookup stays unambiguous.
+func NewSchema(fields ...Field) *Schema {
+	s := &Schema{fields: append([]Field(nil), fields...), index: make(map[string]int, 2*len(fields))}
+	for i, f := range s.fields {
+		s.index[strings.ToLower(f.Name)] = i
+		if f.Collection != "" {
+			s.index[strings.ToLower(f.QualifiedName())] = i
+		}
+	}
+	return s
+}
+
+// Len reports the number of fields.
+func (s *Schema) Len() int { return len(s.fields) }
+
+// Field returns the i-th field.
+func (s *Schema) Field(i int) Field { return s.fields[i] }
+
+// Fields returns a copy of the field list.
+func (s *Schema) Fields() []Field { return append([]Field(nil), s.fields...) }
+
+// Lookup resolves an attribute reference, qualified or not, case-
+// insensitively. It returns the field position and true when found.
+func (s *Schema) Lookup(name string) (int, bool) {
+	i, ok := s.index[strings.ToLower(name)]
+	return i, ok
+}
+
+// MustLookup is Lookup that panics on a miss; used where the planner has
+// already validated references.
+func (s *Schema) MustLookup(name string) int {
+	i, ok := s.Lookup(name)
+	if !ok {
+		panic(fmt.Sprintf("types: schema has no field %q (have %s)", name, s))
+	}
+	return i
+}
+
+// Concat builds the schema of a join: the fields of s followed by those of
+// o.
+func (s *Schema) Concat(o *Schema) *Schema {
+	return NewSchema(append(s.Fields(), o.Fields()...)...)
+}
+
+// Project builds a schema containing only the named fields, in order.
+func (s *Schema) Project(names []string) (*Schema, error) {
+	out := make([]Field, 0, len(names))
+	for _, n := range names {
+		i, ok := s.Lookup(n)
+		if !ok {
+			return nil, fmt.Errorf("types: unknown attribute %q in projection", n)
+		}
+		out = append(out, s.fields[i])
+	}
+	return NewSchema(out...), nil
+}
+
+// String renders the schema as (a:int, b:string).
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, f := range s.fields {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(f.QualifiedName())
+		b.WriteByte(':')
+		b.WriteString(f.Type.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Row is one tuple of constants, positionally aligned with a Schema.
+type Row []Constant
+
+// Clone returns an independent copy of the row.
+func (r Row) Clone() Row { return append(Row(nil), r...) }
+
+// Concat returns the concatenation of r and o as a new row.
+func (r Row) Concat(o Row) Row {
+	out := make(Row, 0, len(r)+len(o))
+	out = append(out, r...)
+	return append(out, o...)
+}
+
+// String renders the row as [v1, v2, ...].
+func (r Row) String() string {
+	parts := make([]string, len(r))
+	for i, c := range r {
+		parts[i] = c.String()
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// Equal reports positional value equality of two rows.
+func (r Row) Equal(o Row) bool {
+	if len(r) != len(o) {
+		return false
+	}
+	for i := range r {
+		if !r[i].Equal(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Key renders a canonical string usable as a map key for duplicate
+// elimination and grouping.
+func (r Row) Key() string {
+	var b strings.Builder
+	for i, c := range r {
+		if i > 0 {
+			b.WriteByte('\x00')
+		}
+		b.WriteString(c.Kind().String())
+		b.WriteByte(':')
+		b.WriteString(c.String())
+	}
+	return b.String()
+}

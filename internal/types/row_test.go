@@ -1,0 +1,130 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testSchema() *Schema {
+	return NewSchema(
+		Field{Name: "id", Collection: "Employee", Type: KindInt},
+		Field{Name: "name", Collection: "Employee", Type: KindString},
+		Field{Name: "salary", Collection: "Employee", Type: KindInt},
+	)
+}
+
+func TestSchemaLookup(t *testing.T) {
+	s := testSchema()
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	for _, name := range []string{"id", "Employee.id", "ID", "employee.ID"} {
+		if i, ok := s.Lookup(name); !ok || i != 0 {
+			t.Errorf("Lookup(%q) = %d, %v", name, i, ok)
+		}
+	}
+	if _, ok := s.Lookup("bogus"); ok {
+		t.Error("Lookup(bogus) should miss")
+	}
+	if i := s.MustLookup("salary"); i != 2 {
+		t.Errorf("MustLookup(salary) = %d", i)
+	}
+}
+
+func TestSchemaMustLookupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustLookup should panic on missing field")
+		}
+	}()
+	testSchema().MustLookup("nope")
+}
+
+func TestSchemaProjectConcat(t *testing.T) {
+	s := testSchema()
+	p, err := s.Project([]string{"salary", "name"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 || p.Field(0).Name != "salary" || p.Field(1).Name != "name" {
+		t.Errorf("Project = %s", p)
+	}
+	if _, err := s.Project([]string{"zzz"}); err == nil {
+		t.Error("Project of unknown attribute should fail")
+	}
+	other := NewSchema(Field{Name: "title", Collection: "Book", Type: KindString})
+	cat := s.Concat(other)
+	if cat.Len() != 4 {
+		t.Errorf("Concat len = %d", cat.Len())
+	}
+	if i, ok := cat.Lookup("Book.title"); !ok || i != 3 {
+		t.Errorf("Concat lookup title = %d, %v", i, ok)
+	}
+}
+
+func TestSchemaShadowing(t *testing.T) {
+	s := NewSchema(
+		Field{Name: "id", Collection: "A", Type: KindInt},
+		Field{Name: "id", Collection: "B", Type: KindInt},
+	)
+	// Unqualified lookup resolves to the later duplicate; qualified stays
+	// unambiguous.
+	if i, _ := s.Lookup("id"); i != 1 {
+		t.Errorf("unqualified id = %d, want 1", i)
+	}
+	if i, _ := s.Lookup("A.id"); i != 0 {
+		t.Errorf("A.id = %d, want 0", i)
+	}
+	if i, _ := s.Lookup("B.id"); i != 1 {
+		t.Errorf("B.id = %d, want 1", i)
+	}
+}
+
+func TestRowOps(t *testing.T) {
+	r := Row{Int(1), Str("ana")}
+	c := r.Clone()
+	c[0] = Int(2)
+	if r[0].AsInt() != 1 {
+		t.Error("Clone should be independent")
+	}
+	j := r.Concat(Row{Bool(true)})
+	if len(j) != 3 || !j[2].AsBool() {
+		t.Errorf("Concat = %v", j)
+	}
+	if !r.Equal(Row{Int(1), Str("ana")}) {
+		t.Error("Equal should hold")
+	}
+	if r.Equal(Row{Int(1)}) {
+		t.Error("different lengths should differ")
+	}
+	if r.String() != `[1, "ana"]` {
+		t.Errorf("String = %s", r.String())
+	}
+}
+
+// Property: Row.Key is injective over small integer rows (distinct rows
+// yield distinct keys) and Equal rows yield equal keys.
+func TestRowKeyProperties(t *testing.T) {
+	f := func(a, b int16, s1, s2 string) bool {
+		r1 := Row{Int(int64(a)), Str(s1)}
+		r2 := Row{Int(int64(b)), Str(s2)}
+		if r1.Equal(r2) != (r1.Key() == r2.Key()) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRowKeyKindDisambiguation(t *testing.T) {
+	// Int(1) and Str("1") must not collide even though both render "1"-ish.
+	if (Row{Int(1)}).Key() == (Row{Str("1")}).Key() {
+		t.Error("keys of different kinds should differ")
+	}
+	// Two fields "a","b" vs one field "a\x00b" handled by separator+kind.
+	if (Row{Str("a"), Str("b")}).Key() == (Row{Str("a\x00b")}).Key() {
+		t.Error("field boundaries should be preserved in keys")
+	}
+}

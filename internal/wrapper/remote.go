@@ -1,0 +1,273 @@
+package wrapper
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"disco/internal/algebra"
+	"disco/internal/netsim"
+	"disco/internal/proto"
+	"disco/internal/stats"
+	"disco/internal/types"
+)
+
+// RemoteWrapper exposes a wrapper running in another process (served by
+// Serve / cmd/wrapperd) to a local mediator. The registration payload is
+// fetched once at dial time; subplans are shipped as serialized plans and
+// the remote's measured virtual time is merged into the mediator's clock,
+// so response-time accounting stays consistent across processes.
+type RemoteWrapper struct {
+	clock *netsim.Clock
+
+	mu      sync.Mutex
+	conn    net.Conn
+	r       *proto.Reader
+	meta    *proto.WrapperMeta
+	schemas map[string]*types.Schema
+	caps    Capabilities
+}
+
+// DialRemote connects to a wrapper server and fetches its registration
+// payload. clock is the mediator's virtual clock.
+func DialRemote(addr string, clock *netsim.Clock) (*RemoteWrapper, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wrapper: dialing %s: %w", addr, err)
+	}
+	return NewRemoteWrapper(conn, clock)
+}
+
+// NewRemoteWrapper wraps an established connection (tests use net.Pipe).
+func NewRemoteWrapper(conn net.Conn, clock *netsim.Clock) (*RemoteWrapper, error) {
+	if clock == nil {
+		clock = netsim.NewClock()
+	}
+	w := &RemoteWrapper{clock: clock, conn: conn, r: proto.NewReader(conn)}
+	resp, err := w.roundtrip(&proto.WrapperRequest{Op: "meta"})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if resp.Meta == nil {
+		conn.Close()
+		return nil, fmt.Errorf("wrapper: remote returned no registration payload")
+	}
+	w.meta = resp.Meta
+	w.caps = Capabilities{
+		Select:    resp.Meta.Capabilities.Select,
+		Project:   resp.Meta.Capabilities.Project,
+		Join:      resp.Meta.Capabilities.Join,
+		Sort:      resp.Meta.Capabilities.Sort,
+		Aggregate: resp.Meta.Capabilities.Aggregate,
+		Union:     resp.Meta.Capabilities.Union,
+		DupElim:   resp.Meta.Capabilities.DupElim,
+	}
+	w.schemas = make(map[string]*types.Schema, len(resp.Meta.Collections))
+	for _, c := range resp.Meta.Collections {
+		schema, err := proto.DecodeSchema(c.Schema)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("wrapper: remote schema of %s: %w", c.Name, err)
+		}
+		w.schemas[c.Name] = schema
+	}
+	return w, nil
+}
+
+// Close shuts the connection down.
+func (w *RemoteWrapper) Close() error { return w.conn.Close() }
+
+func (w *RemoteWrapper) roundtrip(req *proto.WrapperRequest) (*proto.WrapperResponse, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := proto.Write(w.conn, req); err != nil {
+		return nil, fmt.Errorf("wrapper: remote send: %w", err)
+	}
+	resp, err := w.r.ReadWrapperResponse()
+	if err != nil {
+		return nil, fmt.Errorf("wrapper: remote receive: %w", err)
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("wrapper: remote: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// Name implements Wrapper.
+func (w *RemoteWrapper) Name() string { return w.meta.Name }
+
+// Clock implements Wrapper: the mediator's clock (remote time merges into
+// it on every execute).
+func (w *RemoteWrapper) Clock() *netsim.Clock { return w.clock }
+
+// Collections implements Wrapper.
+func (w *RemoteWrapper) Collections() []string {
+	out := make([]string, 0, len(w.meta.Collections))
+	for _, c := range w.meta.Collections {
+		out = append(out, c.Name)
+	}
+	return out
+}
+
+// Capabilities implements Wrapper.
+func (w *RemoteWrapper) Capabilities() Capabilities { return w.caps }
+
+// Schema implements Wrapper.
+func (w *RemoteWrapper) Schema(collection string) (*types.Schema, error) {
+	if s, ok := w.schemas[collection]; ok {
+		return s, nil
+	}
+	return nil, fmt.Errorf("wrapper: remote %s has no collection %q", w.meta.Name, collection)
+}
+
+func (w *RemoteWrapper) collMeta(collection string) (*proto.CollectionMeta, bool) {
+	for i := range w.meta.Collections {
+		if w.meta.Collections[i].Name == collection {
+			return &w.meta.Collections[i], true
+		}
+	}
+	return nil, false
+}
+
+// ExtentStats implements Wrapper.
+func (w *RemoteWrapper) ExtentStats(collection string) (stats.ExtentStats, bool) {
+	c, ok := w.collMeta(collection)
+	if !ok || c.Extent == nil {
+		return stats.ExtentStats{}, false
+	}
+	return stats.ExtentStats{
+		CountObject: c.Extent.CountObject,
+		TotalSize:   c.Extent.TotalSize,
+		ObjectSize:  c.Extent.ObjectSize,
+	}, true
+}
+
+// AttributeStats implements Wrapper.
+func (w *RemoteWrapper) AttributeStats(collection, attr string) (stats.AttributeStats, bool) {
+	c, ok := w.collMeta(collection)
+	if !ok {
+		return stats.AttributeStats{}, false
+	}
+	a, ok := c.Attrs[attr]
+	if !ok {
+		return stats.AttributeStats{}, false
+	}
+	return proto.DecodeAttrStats(a), true
+}
+
+// CostRules implements Wrapper.
+func (w *RemoteWrapper) CostRules() string { return w.meta.CostRules }
+
+// Execute implements Wrapper: ships the subplan, decodes the rows, and
+// advances the mediator clock by the remote's measured virtual time.
+func (w *RemoteWrapper) Execute(plan *algebra.Node) (*Result, error) {
+	resp, err := w.roundtrip(&proto.WrapperRequest{Op: "execute", Plan: proto.EncodePlan(plan)})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]types.Row, len(resp.Rows))
+	for i, enc := range resp.Rows {
+		row := make(types.Row, len(enc))
+		for j, v := range enc {
+			row[j] = proto.DecodeConstant(v)
+		}
+		rows[i] = row
+	}
+	w.clock.Advance(resp.VirtualMS)
+	return &Result{Rows: rows, Schema: plan.OutSchema, Bytes: resp.Bytes}, nil
+}
+
+// Serve answers the wrapper wire protocol for one local wrapper,
+// accepting connections until the listener closes. Each connection is
+// served on its own goroutine; execution within one wrapper is serialized
+// (the virtual clock is per-process state).
+func Serve(ln net.Listener, w Wrapper) error {
+	var execMu sync.Mutex
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go serveConn(conn, w, &execMu)
+	}
+}
+
+func serveConn(conn net.Conn, w Wrapper, execMu *sync.Mutex) {
+	defer conn.Close()
+	r := proto.NewReader(conn)
+	for {
+		req, err := r.ReadWrapperRequest()
+		if err != nil {
+			return
+		}
+		resp := handleWrapperRequest(req, w, execMu)
+		if err := proto.Write(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+func handleWrapperRequest(req *proto.WrapperRequest, w Wrapper, execMu *sync.Mutex) *proto.WrapperResponse {
+	switch req.Op {
+	case "ping":
+		return &proto.WrapperResponse{OK: true}
+
+	case "meta":
+		meta := &proto.WrapperMeta{Name: w.Name(), CostRules: w.CostRules()}
+		caps := w.Capabilities()
+		meta.Capabilities = proto.CapsJSON{
+			Select: caps.Select, Project: caps.Project, Join: caps.Join,
+			Sort: caps.Sort, Aggregate: caps.Aggregate, Union: caps.Union,
+			DupElim: caps.DupElim,
+		}
+		for _, coll := range w.Collections() {
+			schema, err := w.Schema(coll)
+			if err != nil {
+				return &proto.WrapperResponse{Error: err.Error()}
+			}
+			cm := proto.CollectionMeta{Name: coll, Schema: proto.EncodeSchema(schema)}
+			if ext, ok := w.ExtentStats(coll); ok {
+				cm.Extent = &proto.ExtentJSON{
+					CountObject: ext.CountObject, TotalSize: ext.TotalSize, ObjectSize: ext.ObjectSize,
+				}
+			}
+			for i := 0; i < schema.Len(); i++ {
+				attr := schema.Field(i).Name
+				if st, ok := w.AttributeStats(coll, attr); ok {
+					if cm.Attrs == nil {
+						cm.Attrs = make(map[string]proto.AttrStatsJSON)
+					}
+					cm.Attrs[attr] = proto.EncodeAttrStats(st)
+				}
+			}
+			meta.Collections = append(meta.Collections, cm)
+		}
+		return &proto.WrapperResponse{OK: true, Meta: meta}
+
+	case "execute":
+		plan, err := proto.DecodePlan(req.Plan)
+		if err != nil {
+			return &proto.WrapperResponse{Error: err.Error()}
+		}
+		if plan == nil {
+			return &proto.WrapperResponse{Error: "execute needs a plan"}
+		}
+		execMu.Lock()
+		start := w.Clock().Now()
+		res, err := w.Execute(plan)
+		elapsed := w.Clock().Now() - start
+		execMu.Unlock()
+		if err != nil {
+			return &proto.WrapperResponse{Error: err.Error()}
+		}
+		resp := &proto.WrapperResponse{OK: true, Bytes: res.Bytes, VirtualMS: elapsed}
+		for _, row := range res.Rows {
+			resp.Rows = append(resp.Rows, proto.EncodeRow(row))
+		}
+		return resp
+
+	default:
+		return &proto.WrapperResponse{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}

@@ -1,0 +1,239 @@
+// Package wrapper implements the DISCO wrapper framework (paper §2): the
+// interface a data source presents to the mediator — schema, capabilities,
+// statistics and cost rules exported at registration time (Figure 1), and
+// subplan execution during the query phase (Figure 2) — plus wrapper
+// implementations for the three source classes of the reproduction
+// (object store, relational store, record files).
+package wrapper
+
+import (
+	"fmt"
+
+	"disco/internal/algebra"
+	"disco/internal/netsim"
+	"disco/internal/rowops"
+	"disco/internal/stats"
+	"disco/internal/types"
+)
+
+// Capabilities lists the algebra operators a wrapper can execute locally.
+// The mediator pushes down only what a wrapper advertises (the paper
+// assumes all wrappers execute all operations and defers the general
+// problem to [KTV97]; the flag set keeps the reproduction honest about
+// the file source, which can only scan).
+type Capabilities struct {
+	Select    bool
+	Project   bool
+	Join      bool
+	Sort      bool
+	Aggregate bool
+	Union     bool
+	DupElim   bool
+}
+
+// AllCapabilities advertises every operator.
+func AllCapabilities() Capabilities {
+	return Capabilities{Select: true, Project: true, Join: true, Sort: true,
+		Aggregate: true, Union: true, DupElim: true}
+}
+
+// Supports reports whether the operator kind may be pushed into the
+// wrapper.
+func (c Capabilities) Supports(k algebra.OpKind) bool {
+	switch k {
+	case algebra.OpScan:
+		return true
+	case algebra.OpSelect:
+		return c.Select
+	case algebra.OpProject:
+		return c.Project
+	case algebra.OpJoin:
+		return c.Join
+	case algebra.OpSort:
+		return c.Sort
+	case algebra.OpAggregate:
+		return c.Aggregate
+	case algebra.OpUnion:
+		return c.Union
+	case algebra.OpDupElim:
+		return c.DupElim
+	default:
+		return false
+	}
+}
+
+// Result is the materialized answer of one wrapper subquery.
+type Result struct {
+	Rows   []types.Row
+	Schema *types.Schema
+	// Bytes is the estimated wire size the network layer ships.
+	Bytes int64
+}
+
+// Wrapper is the registration- and query-phase interface of a data source.
+type Wrapper interface {
+	// Name is the wrapper's registered identity.
+	Name() string
+	// Collections lists the exported collection names.
+	Collections() []string
+	// Schema returns the row schema of a collection.
+	Schema(collection string) (*types.Schema, error)
+	// Capabilities advertises the executable operator set.
+	Capabilities() Capabilities
+	// ExtentStats returns the exported extent statistics; ok is false
+	// when the wrapper exports none for the collection.
+	ExtentStats(collection string) (stats.ExtentStats, bool)
+	// AttributeStats returns the exported statistics of one attribute.
+	AttributeStats(collection, attr string) (stats.AttributeStats, bool)
+	// CostRules returns the wrapper's cost-language source exported at
+	// registration time; empty means the mediator's generic model alone
+	// covers this source.
+	CostRules() string
+	// Execute runs a resolved subplan against the source and returns the
+	// materialized result, advancing the source's virtual clock.
+	Execute(plan *algebra.Node) (*Result, error)
+	// Clock exposes the source's virtual clock.
+	Clock() *netsim.Clock
+}
+
+// planSource is the access-path interface the shared subplan evaluator
+// needs from a concrete store.
+type planSource interface {
+	scanAll(collection string) ([]types.Row, error)
+	// indexSelect attempts to answer `collection WHERE cmp` through an
+	// index; ok is false when no suitable access path exists.
+	indexSelect(collection string, cmp algebra.Comparison) ([]types.Row, bool, error)
+	deliver(n int)
+}
+
+// execPlan evaluates a resolved subplan against a source. Selections
+// directly over scans try an index access path for one sargable conjunct,
+// mirroring source autonomy: the wrapper, not the mediator, picks its
+// access method.
+func execPlan(src planSource, n *algebra.Node) ([]types.Row, error) {
+	if n.OutSchema == nil {
+		return nil, fmt.Errorf("wrapper: unresolved plan node %s", n.Kind)
+	}
+	switch n.Kind {
+	case algebra.OpScan:
+		return src.scanAll(n.Collection)
+
+	case algebra.OpSelect:
+		child := n.Children[0]
+		if child.Kind == algebra.OpScan && n.Pred != nil {
+			for i, cmp := range n.Pred.Conjuncts {
+				if cmp.IsJoin() {
+					continue
+				}
+				rows, ok, err := src.indexSelect(child.Collection, cmp)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+				rest := &algebra.Predicate{}
+				for j, c := range n.Pred.Conjuncts {
+					if j != i {
+						rest.Conjuncts = append(rest.Conjuncts, c.Clone())
+					}
+				}
+				return rowops.Filter(n.OutSchema, rows, rest), nil
+			}
+		}
+		rows, err := execPlan(src, child)
+		if err != nil {
+			return nil, err
+		}
+		return rowops.Filter(n.OutSchema, rows, n.Pred), nil
+
+	case algebra.OpProject:
+		rows, err := execPlan(src, n.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		return rowops.Project(n.Children[0].OutSchema, rows, n.Cols)
+
+	case algebra.OpSort:
+		rows, err := execPlan(src, n.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		return rowops.Sort(n.OutSchema, rows, n.Keys)
+
+	case algebra.OpDupElim:
+		rows, err := execPlan(src, n.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		return rowops.DupElim(rows), nil
+
+	case algebra.OpAggregate:
+		rows, err := execPlan(src, n.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		return rowops.Aggregate(n.Children[0].OutSchema, rows, n.GroupBy, n.Aggs)
+
+	case algebra.OpUnion:
+		left, err := execPlan(src, n.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		right, err := execPlan(src, n.Children[1])
+		if err != nil {
+			return nil, err
+		}
+		return rowops.Union(left, right), nil
+
+	case algebra.OpJoin:
+		left, err := execPlan(src, n.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		right, err := execPlan(src, n.Children[1])
+		if err != nil {
+			return nil, err
+		}
+		if rows, ok := rowops.HashJoin(n.Children[0].OutSchema, n.Children[1].OutSchema,
+			n.OutSchema, left, right, n.Pred, nil); ok {
+			return rows, nil
+		}
+		return rowops.NestedLoopJoin(n.OutSchema, left, right, n.Pred, nil), nil
+
+	case algebra.OpSubmit:
+		return nil, fmt.Errorf("wrapper: nested submit in a wrapper subplan")
+
+	default:
+		return nil, fmt.Errorf("wrapper: cannot execute operator %s", n.Kind)
+	}
+}
+
+// runSubplan executes a subplan and wraps the result, charging delivery.
+func runSubplan(src planSource, plan *algebra.Node) (*Result, error) {
+	rows, err := execPlan(src, plan)
+	if err != nil {
+		return nil, err
+	}
+	src.deliver(len(rows))
+	return &Result{Rows: rows, Schema: plan.OutSchema, Bytes: rowops.RowBytes(rows)}, nil
+}
+
+// checkCapabilities walks a subplan and verifies the wrapper advertises
+// every operator in it.
+func checkCapabilities(w Wrapper, plan *algebra.Node) error {
+	caps := w.Capabilities()
+	var bad algebra.OpKind
+	ok := true
+	plan.Walk(func(n *algebra.Node) bool {
+		if !caps.Supports(n.Kind) {
+			bad = n.Kind
+			ok = false
+		}
+		return ok
+	})
+	if !ok {
+		return fmt.Errorf("wrapper: %s does not support operator %s", w.Name(), bad)
+	}
+	return nil
+}
