@@ -2,7 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build test race bench experiments fmt vet clean
+# Packages whose concurrency the CI race job gates on (the parallel
+# optimizer search, the mediator that drives it, the wrapper server's
+# per-connection goroutines, and the shared virtual clock).
+RACE_PKGS = ./internal/optimizer ./internal/mediator ./internal/wrapper ./internal/netsim
+
+.PHONY: all build test race bench experiments fmt vet clean \
+	ci ci-build ci-test ci-vet ci-fmt ci-race ci-fuzz ci-bench
 
 all: build test
 
@@ -30,3 +36,36 @@ vet:
 
 clean:
 	$(GO) clean ./...
+	rm -f bench.out BENCH_pr.json
+
+# `make ci` runs exactly what .github/workflows/ci.yml runs; the workflow
+# invokes these ci-* targets so the two cannot drift. Run it before
+# pushing.
+ci: ci-build ci-test ci-vet ci-fmt ci-race ci-fuzz ci-bench
+
+ci-build:
+	$(GO) build ./...
+
+ci-test:
+	$(GO) test ./...
+
+ci-vet:
+	$(GO) vet ./...
+
+# Fails listing the offending files when anything is not gofmt-clean.
+ci-fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+ci-race:
+	$(GO) test -race $(RACE_PKGS)
+
+# 30-second native-fuzzer smoke over the cost-language parser.
+ci-fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/costlang
+
+# One iteration of every benchmark, archived as JSON for cross-commit
+# comparison (CI uploads BENCH_pr.json as an artifact).
+ci-bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . | tee bench.out
+	$(GO) run ./cmd/benchjson < bench.out > BENCH_pr.json

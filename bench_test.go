@@ -8,10 +8,22 @@
 package disco
 
 import (
+	"fmt"
 	"testing"
 
+	"disco/internal/algebra"
+	"disco/internal/catalog"
+	"disco/internal/core"
+	"disco/internal/costlang"
 	"disco/internal/experiments"
+	"disco/internal/netsim"
+	"disco/internal/objstore"
 	"disco/internal/oo7"
+	"disco/internal/optimizer"
+	"disco/internal/relstore"
+	"disco/internal/stats"
+	"disco/internal/types"
+	"disco/internal/wrapper"
 )
 
 // benchScale keeps the page/object geometry of the paper (70 objects per
@@ -194,4 +206,140 @@ func BenchmarkOO7Suite(b *testing.B) {
 			b.ReportMetric(res.MaxPct, "maxErr%")
 		}
 	}
+}
+
+// benchOptimizeFixture builds a 7-relation join chain spread across an
+// object and a relational wrapper — the search-space workload for the
+// BenchmarkOptimize* family. Relation cardinalities vary so join orders
+// have genuinely different costs and pruning has work to do.
+func benchOptimizeFixture(b *testing.B) (*optimizer.Optimizer, *optimizer.QueryBlock) {
+	b.Helper()
+	clock := netsim.NewClock()
+	ostore := objstore.Open(objstore.DefaultConfig(), clock)
+	rstore := relstore.Open(relstore.DefaultConfig(), clock)
+
+	const nrel = 7
+	sizes := []int{2000, 120, 900, 60, 1500, 300, 45}
+	rels := make([]optimizer.Rel, nrel)
+	var joins []algebra.Comparison
+	for i := 0; i < nrel; i++ {
+		name := fmt.Sprintf("C%d", i)
+		schema := types.NewSchema(
+			types.Field{Name: "id", Collection: name, Type: types.KindInt},
+			types.Field{Name: "fk", Collection: name, Type: types.KindInt},
+		)
+		row := func(r int) types.Row {
+			return types.Row{types.Int(int64(r)), types.Int(int64(r % 50))}
+		}
+		if i%2 == 0 {
+			coll, err := ostore.CreateCollection(name, schema, 64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for r := 0; r < sizes[i]; r++ {
+				coll.Insert(row(r))
+			}
+			rels[i] = optimizer.Rel{Wrapper: "obj1", Collection: name}
+		} else {
+			tbl, err := rstore.CreateTable(name, schema, 48)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for r := 0; r < sizes[i]; r++ {
+				tbl.Insert(row(r))
+			}
+			rels[i] = optimizer.Rel{Wrapper: "rel1", Collection: name}
+		}
+		if i > 0 {
+			r := algebra.Ref{Collection: name, Attr: "id"}
+			joins = append(joins, algebra.Comparison{
+				Left:      algebra.Ref{Collection: fmt.Sprintf("C%d", i-1), Attr: "fk"},
+				Op:        stats.CmpEQ,
+				RightAttr: &r,
+			})
+		}
+	}
+	// Two chords on top of the chain: the denser graph connects far more
+	// relation subsets, so the dynamic program prices enough candidates
+	// per level for the worker pool to amortize.
+	for _, chord := range [][2]string{{"C0", "C3"}, {"C2", "C6"}} {
+		r := algebra.Ref{Collection: chord[1], Attr: "id"}
+		joins = append(joins, algebra.Comparison{
+			Left:      algebra.Ref{Collection: chord[0], Attr: "fk"},
+			Op:        stats.CmpEQ,
+			RightAttr: &r,
+		})
+	}
+	rels[0].Pred = algebra.NewSelPred(algebra.Ref{Collection: "C0", Attr: "id"}, stats.CmpLT, types.Int(400))
+
+	cat := catalog.New()
+	reg := core.MustDefaultRegistry()
+	for _, w := range []wrapper.Wrapper{
+		wrapper.NewObjWrapper("obj1", ostore),
+		wrapper.NewRelWrapper("rel1", rstore),
+	} {
+		if err := cat.Register(w); err != nil {
+			b.Fatal(err)
+		}
+		if src := w.CostRules(); src != "" {
+			file, err := costlang.Parse(src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := reg.IntegrateWrapper(w.Name(), file, cat); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	est := core.NewEstimator(reg, cat, netsim.NewNetwork(netsim.Link{LatencyMS: 10, PerByteMS: 0.0005}, nil))
+	opt := optimizer.New(cat, est, optimizer.DefaultOptions())
+	return opt, &optimizer.QueryBlock{Relations: rels, JoinPreds: joins}
+}
+
+// benchmarkOptimize times full plan searches over the 7-relation chain
+// under the given search options, reporting candidate counts from the
+// last run.
+func benchmarkOptimize(b *testing.B, opts optimizer.Options) {
+	opt, qb := benchOptimizeFixture(b)
+	opt.Opt = opts
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := opt.Optimize(qb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(res.PlansCosted), "plans")
+			b.ReportMetric(float64(res.MemoHits), "memoHits")
+		}
+	}
+}
+
+// BenchmarkOptimizeSequential is the Workers=1 baseline of the parallel
+// search; compare against BenchmarkOptimizeWorkers4 on a multi-core
+// machine (GOMAXPROCS=1 makes them equivalent).
+func BenchmarkOptimizeSequential(b *testing.B) {
+	benchmarkOptimize(b, optimizer.Options{Pruning: true, MaxDPRelations: 10, Workers: 1})
+}
+
+// BenchmarkOptimizeWorkers4 shards the dynamic program across 4 workers.
+func BenchmarkOptimizeWorkers4(b *testing.B) {
+	benchmarkOptimize(b, optimizer.Options{Pruning: true, MaxDPRelations: 10, Workers: 4})
+}
+
+// BenchmarkOptimizeWorkers4Memo adds the plan-cost memo table.
+func BenchmarkOptimizeWorkers4Memo(b *testing.B) {
+	benchmarkOptimize(b, optimizer.Options{Pruning: true, MaxDPRelations: 10, Workers: 4, Memo: true})
+}
+
+// BenchmarkOptimizeBushySequential widens the search to bushy trees —
+// the heaviest sequential workload.
+func BenchmarkOptimizeBushySequential(b *testing.B) {
+	benchmarkOptimize(b, optimizer.Options{Pruning: true, MaxDPRelations: 10, Bushy: true, Workers: 1})
+}
+
+// BenchmarkOptimizeBushyWorkers4 is the bushy search on 4 workers, where
+// the larger per-level candidate count amortizes pool overhead best.
+func BenchmarkOptimizeBushyWorkers4(b *testing.B) {
+	benchmarkOptimize(b, optimizer.Options{Pruning: true, MaxDPRelations: 10, Bushy: true, Workers: 4})
 }

@@ -24,10 +24,14 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run: all, fig12, planquality, ruleoverhead, history, pruning, joincross, clustering, oo7suite")
 	scaleN := flag.Int("scale", 70000, "AtomicParts cardinality (70000 = paper scale)")
 	csv := flag.Bool("csv", false, "emit fig12 as CSV instead of a table (for plotting)")
+	workers := flag.Int("workers", 0, "optimizer search goroutines (0 = GOMAXPROCS, 1 = sequential)")
+	memo := flag.Bool("memo", false, "enable the optimizer's plan-cost memo table")
 	flag.Parse()
 
 	scale := oo7.PaperScale()
 	scale.AtomicParts = *scaleN
+	experiments.Search.Workers = *workers
+	experiments.Search.Memo = *memo
 
 	run := func(name string, fn func() (fmt.Stringer, error)) {
 		if *exp != "all" && *exp != name {

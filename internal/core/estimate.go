@@ -101,7 +101,8 @@ func (p *PlanCost) TotalTime() float64 { return p.Root.TotalTime() }
 
 // Estimator evaluates plan costs against the integrated rule hierarchy.
 // An Estimator is cheap to construct and safe for sequential reuse; use
-// one per goroutine.
+// one per goroutine — Clone makes an independent per-goroutine copy over
+// the same (read-only) registry, view and network model.
 type Estimator struct {
 	Registry *Registry
 	View     CatalogView
@@ -126,6 +127,22 @@ func NewEstimator(reg *Registry, view CatalogView, net NetProvider) *Estimator {
 		Globals:  DefaultCoefficients(),
 	}
 }
+
+// Clone returns an independent estimator for use on another goroutine.
+// The registry, catalog view, network model and globals are shared — they
+// are read-only during estimation — while Options (including the mutable
+// per-search pruning Budget) are copied, so concurrent estimations never
+// observe each other's option state. The parallel plan search clones one
+// estimator per worker.
+func (e *Estimator) Clone() *Estimator {
+	c := *e
+	c.Options.RootVars = append([]string(nil), e.Options.RootVars...)
+	return &c
+}
+
+// Reset clears the per-search option state (the branch-and-bound pruning
+// budget) so a reused or pooled estimator starts its next search clean.
+func (e *Estimator) Reset() { e.Options.Budget = 0 }
 
 // nodeCtx is the per-node working state of one estimation pass.
 type nodeCtx struct {

@@ -33,6 +33,34 @@ func TestParseNeverPanics(t *testing.T) {
 	}
 }
 
+// FuzzParse is the native fuzz target CI smoke-runs on every PR
+// (go test -fuzz=FuzzParse -fuzztime=30s). Beyond never panicking, a
+// successful parse must pretty-print to a source the parser accepts
+// again — the round-trip property the registry relies on when it
+// re-integrates wrapper rules.
+func FuzzParse(f *testing.F) {
+	f.Add(`scan(employee) { TotalTime = 120 + Employee.TotalSize * 12; }`)
+	f.Add(`select(C, A = V) {
+  CountObject = C.CountObject * selectivity(A, V);
+  TotalSize   = CountObject * C.ObjectSize;
+  TotalTime   = C.TotalTime + C.TotalSize * 25;
+}`)
+	f.Add(`join(C1, C2) { TotalTime = C1.TotalTime + C2.TotalTime ? 1 : 2; }`)
+	f.Add(`#comment
+/* block */ scan(x) { a = .5e3 <= 2 ; }`)
+	f.Add(`"unterminated`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := Parse(src)
+		if err != nil || file == nil {
+			return
+		}
+		if _, err := Parse(file.String()); err != nil {
+			t.Fatalf("accepted source %q pretty-prints to unparseable %q: %v", src, file.String(), err)
+		}
+	})
+}
+
 // TestLexNeverPanics feeds raw random bytes to the lexer.
 func TestLexNeverPanics(t *testing.T) {
 	f := func(src []byte) bool {

@@ -1,0 +1,60 @@
+package optimizer
+
+import (
+	"sync"
+
+	"disco/internal/algebra"
+)
+
+// memoShards is the shard count of the memo table; a small power of two
+// keeps the modulo cheap while spreading lock traffic across the worker
+// pool.
+const memoShards = 16
+
+// memoTable caches candidate objective costs by canonical plan signature
+// (algebra.Signature) for the duration of one Optimize call. The table is
+// sharded so the parallel search's workers rarely contend on one lock;
+// the full signature string is the map key, so a hit is exact — the
+// fingerprint only picks the shard, collisions there are harmless.
+//
+// Only complete estimations are stored. A branch-and-bound abort
+// (core.ErrOverBudget) is relative to the budget in place at the time and
+// must be re-estimated when a looser bound applies, so it is never
+// memoized. Stored costs are therefore final, which keeps memo hit/miss
+// patterns — which vary with worker timing — from ever changing the
+// winning plan.
+type memoTable struct {
+	shards [memoShards]memoShard
+}
+
+type memoShard struct {
+	mu sync.RWMutex
+	m  map[string]float64
+}
+
+func newMemoTable() *memoTable {
+	t := &memoTable{}
+	for i := range t.shards {
+		t.shards[i].m = make(map[string]float64)
+	}
+	return t
+}
+
+func (t *memoTable) shard(sig string) *memoShard {
+	return &t.shards[algebra.SignatureFingerprint(sig)%memoShards]
+}
+
+func (t *memoTable) get(sig string) (float64, bool) {
+	s := t.shard(sig)
+	s.mu.RLock()
+	c, ok := s.m[sig]
+	s.mu.RUnlock()
+	return c, ok
+}
+
+func (t *memoTable) put(sig string, cost float64) {
+	s := t.shard(sig)
+	s.mu.Lock()
+	s.m[sig] = cost
+	s.mu.Unlock()
+}

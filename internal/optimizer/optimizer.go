@@ -10,6 +10,7 @@ package optimizer
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
 
 	"disco/internal/algebra"
@@ -45,6 +46,9 @@ type QueryBlock struct {
 type Options struct {
 	// Pruning enables branch-and-bound: candidate estimation aborts as
 	// soon as a subcost exceeds the best complete plan (paper §4.3.2).
+	// The estimator's budget aborts on TotalTime, so pruning only
+	// applies under ObjectiveTotalTime; a TimeFirst search could
+	// otherwise discard its true optimum.
 	Pruning bool
 	// MaxDPRelations bounds the dynamic program; blocks with more
 	// relations use a greedy fallback.
@@ -59,6 +63,19 @@ type Options struct {
 	// to the first tuple — the paper's TimeFirst variable exists exactly
 	// for response-time-to-first optimization.
 	Objective Objective
+	// Workers is the number of goroutines the dynamic program shards its
+	// subset enumeration across: 0 uses GOMAXPROCS, 1 forces the
+	// sequential search. Each worker prices candidates on its own
+	// core.Estimator clone; a shared atomic best-cost bound keeps
+	// branch-and-bound pruning effective across workers. The parallel
+	// search chooses bit-identical plans to the sequential one.
+	Workers int
+	// Memo enables the plan-cost memo table: candidate costs are cached
+	// by canonical plan signature (algebra.Signature) for the duration of
+	// one Optimize call, so structurally identical candidates — the
+	// greedy search re-prices surviving pairs every round — are estimated
+	// once. The table is shared by all workers.
+	Memo bool
 }
 
 // Objective is the plan-ranking metric.
@@ -80,7 +97,8 @@ func (o Objective) metric(pc *core.PlanCost) float64 {
 	return pc.TotalTime()
 }
 
-// DefaultOptions enables pruning with DP up to 10 relations.
+// DefaultOptions enables pruning with DP up to 10 relations, searching on
+// every available CPU (Workers = 0).
 func DefaultOptions() Options { return Options{Pruning: true, MaxDPRelations: 10} }
 
 // Result carries the chosen plan and search metrics.
@@ -90,7 +108,13 @@ type Result struct {
 	// PlansCosted counts full or partial candidate estimations.
 	PlansCosted int
 	// PrunedEstimations counts estimations aborted by branch-and-bound.
+	// Under parallel search the count depends on worker timing (a tighter
+	// or looser bound may be in place when a candidate is priced); the
+	// chosen plan does not.
 	PrunedEstimations int
+	// MemoHits counts candidate estimations answered from the memo table
+	// (always 0 with Options.Memo disabled).
+	MemoHits int
 }
 
 // Optimizer searches plans for query blocks.
@@ -107,6 +131,10 @@ func New(cat *catalog.Catalog, est *core.Estimator, opt Options) *Optimizer {
 
 // Optimize picks the cheapest plan for the query block. The returned plan
 // is resolved and ready for execution.
+//
+// With Options.Workers != 1 the dynamic program runs on a worker pool;
+// the chosen plan and its cost are guaranteed bit-identical to the
+// sequential search (see dpJoinParallel for the argument).
 func (o *Optimizer) Optimize(qb *QueryBlock) (*Result, error) {
 	if len(qb.Relations) == 0 {
 		return nil, fmt.Errorf("optimizer: query block has no relations")
@@ -114,7 +142,7 @@ func (o *Optimizer) Optimize(qb *QueryBlock) (*Result, error) {
 	if len(qb.Relations) > 63 {
 		return nil, fmt.Errorf("optimizer: too many relations (%d)", len(qb.Relations))
 	}
-	res := &Result{}
+	s := newSearch(o)
 
 	// Access paths: one pushed-down subplan per relation.
 	base := make([]*tagged, len(qb.Relations))
@@ -132,25 +160,48 @@ func (o *Optimizer) Optimize(qb *QueryBlock) (*Result, error) {
 	case len(base) == 1:
 		joined = base[0]
 	case len(qb.Relations) <= o.Opt.MaxDPRelations:
-		joined, err = o.dpJoin(qb, base, res)
+		if w := o.workerCount(); w > 1 {
+			joined, err = s.dpJoinParallel(qb, base, w)
+		} else {
+			joined, err = s.dpJoin(qb, base)
+		}
 	default:
-		joined, err = o.greedyJoin(qb, base, res)
+		joined, err = s.greedyJoin(qb, base)
 	}
 	if err != nil {
 		return nil, err
 	}
 
-	plan, err := o.finalize(qb, joined, res)
+	plan, err := o.finalize(qb, joined)
 	if err != nil {
 		return nil, err
 	}
-	cost, err := o.costPlan(plan, 0, res)
+	cost, err := s.costPlan(o.Est, plan, 0)
 	if err != nil {
 		return nil, err
 	}
+	res := s.result()
 	res.Plan = plan
 	res.Cost = cost
 	return res, nil
+}
+
+// workerCount resolves Options.Workers (0 = GOMAXPROCS).
+func (o *Optimizer) workerCount() int {
+	if o.Opt.Workers > 0 {
+		return o.Opt.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// pruneEnabled reports whether branch-and-bound pruning applies. The
+// estimator's budget aborts estimation when any node's TotalTime exceeds
+// it, so a bound is only sound when the objective itself is TotalTime;
+// pruning a TimeFirst search against a TimeFirst bound could abort the
+// true optimum (its TotalTime may dwarf its TimeFirst) and would also
+// break the sequential/parallel equivalence guarantee.
+func (o *Optimizer) pruneEnabled() bool {
+	return o.Opt.Pruning && o.Opt.Objective == ObjectiveTotalTime
 }
 
 // tagged is a candidate subplan with its execution site: site != "" means
@@ -200,17 +251,72 @@ func (o *Optimizer) accessPath(rel Rel) (*tagged, error) {
 	return &tagged{plan: plan, site: site}, nil
 }
 
-// dpJoin runs dynamic programming over relation subsets, producing the
-// cheapest left-deep join tree.
-func (o *Optimizer) dpJoin(qb *QueryBlock, base []*tagged, res *Result) (*tagged, error) {
-	n := len(base)
-	type entry struct {
-		t    *tagged
-		cost float64
+// entry is one memoized dynamic-program solution: the cheapest subplan
+// covering a relation subset and its objective value.
+type entry struct {
+	t    *tagged
+	cost float64
+}
+
+// subsetCandidates enumerates every join candidate of one relation subset
+// in the canonical deterministic order — bushy partitions (both build
+// orders) or left-deep splits, each expanded through joinCandidates. The
+// order is the contract that lets the sequential and parallel searches
+// choose bit-identical plans: ties on cost are always broken towards the
+// earlier candidate.
+func (s *search) subsetCandidates(qb *QueryBlock, base []*tagged, best map[uint64]*entry, set uint64, size, n int) []*tagged {
+	o := s.o
+	var out []*tagged
+	if o.Opt.Bushy {
+		// All partitions into two non-empty halves; iterate the
+		// sub-subsets of set directly.
+		for sub := (set - 1) & set; sub > 0; sub = (sub - 1) & set {
+			other := set &^ sub
+			if sub > other {
+				continue // each unordered partition once
+			}
+			left, okL := best[sub]
+			right, okR := best[other]
+			if !okL || !okR {
+				continue
+			}
+			pred := connectingPred(qb, sub, other)
+			if pred == nil && size < n {
+				continue
+			}
+			out = append(out, o.joinCandidates(left.t, right.t, pred)...)
+			// Also the mirrored build order (outer/inner roles differ in
+			// the cost formulas).
+			out = append(out, o.joinCandidates(right.t, left.t, flipPred(pred))...)
+		}
+	} else {
+		// Left-deep: split into (set minus one relation, relation).
+		for i := 0; i < n; i++ {
+			bit := uint64(1) << uint(i)
+			if set&bit == 0 {
+				continue
+			}
+			left, ok := best[set&^bit]
+			if !ok {
+				continue
+			}
+			pred := connectingPred(qb, set&^bit, bit)
+			if pred == nil && size < n {
+				continue
+			}
+			out = append(out, o.joinCandidates(left.t, base[i], pred)...)
+		}
 	}
+	return out
+}
+
+// dpJoin runs the sequential dynamic program over relation subsets,
+// producing the cheapest left-deep (or bushy) join tree.
+func (s *search) dpJoin(qb *QueryBlock, base []*tagged) (*tagged, error) {
+	n := len(base)
 	best := make(map[uint64]*entry, 1<<uint(n))
 	for i, b := range base {
-		c, err := o.costTagged(b, 0, res)
+		c, err := s.costTagged(s.o.Est, b, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -218,6 +324,7 @@ func (o *Optimizer) dpJoin(qb *QueryBlock, base []*tagged, res *Result) (*tagged
 	}
 
 	full := uint64(1)<<uint(n) - 1
+	prune := s.o.pruneEnabled()
 	// Enumerate subsets in increasing popcount by iterating sizes.
 	for size := 2; size <= n; size++ {
 		for set := uint64(1); set <= full; set++ {
@@ -225,70 +332,21 @@ func (o *Optimizer) dpJoin(qb *QueryBlock, base []*tagged, res *Result) (*tagged
 				continue
 			}
 			var bestEntry *entry
-			consider := func(left, right *entry, pred *algebra.Predicate) error {
-				for _, cand := range o.joinCandidates(left.t, right.t, pred) {
-					budget := math.Inf(1)
-					if o.Opt.Pruning && bestEntry != nil {
-						budget = bestEntry.cost
-					}
-					c, err := o.costTagged(cand, budget, res)
-					if err == core.ErrOverBudget {
-						res.PrunedEstimations++
-						continue
-					}
-					if err != nil {
-						return err
-					}
-					if bestEntry == nil || c < bestEntry.cost {
-						bestEntry = &entry{t: cand, cost: c}
-					}
+			for _, cand := range s.subsetCandidates(qb, base, best, set, size, n) {
+				budget := math.Inf(1)
+				if prune && bestEntry != nil {
+					budget = bestEntry.cost
 				}
-				return nil
-			}
-			if o.Opt.Bushy {
-				// All partitions into two non-empty halves; iterate the
-				// sub-subsets of set directly.
-				for sub := (set - 1) & set; sub > 0; sub = (sub - 1) & set {
-					other := set &^ sub
-					if sub > other {
-						continue // each unordered partition once
-					}
-					left, okL := best[sub]
-					right, okR := best[other]
-					if !okL || !okR {
-						continue
-					}
-					pred := connectingPred(qb, sub, other)
-					if pred == nil && size < n {
-						continue
-					}
-					if err := consider(left, right, pred); err != nil {
-						return nil, err
-					}
-					// Also the mirrored build order (outer/inner roles
-					// differ in the cost formulas).
-					if err := consider(right, left, flipPred(pred)); err != nil {
-						return nil, err
-					}
+				c, err := s.costTagged(s.o.Est, cand, budget)
+				if err == core.ErrOverBudget {
+					s.pruned.Add(1)
+					continue
 				}
-			} else {
-				// Left-deep: split into (set minus one relation, relation).
-				for i := 0; i < n; i++ {
-					bit := uint64(1) << uint(i)
-					if set&bit == 0 {
-						continue
-					}
-					left, ok := best[set&^bit]
-					if !ok {
-						continue
-					}
-					pred := connectingPred(qb, set&^bit, bit)
-					if pred == nil && size < n {
-						continue
-					}
-					if err := consider(left, &entry{t: base[i]}, pred); err != nil {
-						return nil, err
-					}
+				if err != nil {
+					return nil, err
+				}
+				if bestEntry == nil || c < bestEntry.cost {
+					bestEntry = &entry{t: cand, cost: c}
 				}
 			}
 			if bestEntry != nil {
@@ -304,8 +362,9 @@ func (o *Optimizer) dpJoin(qb *QueryBlock, base []*tagged, res *Result) (*tagged
 }
 
 // greedyJoin joins the cheapest pair first, repeatedly — the fallback for
-// very large blocks.
-func (o *Optimizer) greedyJoin(qb *QueryBlock, base []*tagged, res *Result) (*tagged, error) {
+// very large blocks. It reprices the surviving pairs every round, which
+// is exactly the access pattern the memo table collapses.
+func (s *search) greedyJoin(qb *QueryBlock, base []*tagged) (*tagged, error) {
 	type item struct {
 		t    *tagged
 		set  uint64
@@ -313,7 +372,7 @@ func (o *Optimizer) greedyJoin(qb *QueryBlock, base []*tagged, res *Result) (*ta
 	}
 	items := make([]*item, len(base))
 	for i, b := range base {
-		c, err := o.costTagged(b, 0, res)
+		c, err := s.costTagged(s.o.Est, b, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -332,10 +391,10 @@ func (o *Optimizer) greedyJoin(qb *QueryBlock, base []*tagged, res *Result) (*ta
 				if pred == nil && len(items) > 2 {
 					continue
 				}
-				for _, cand := range o.joinCandidates(items[i].t, items[j].t, pred) {
-					c, err := o.costTagged(cand, bc, res)
+				for _, cand := range s.o.joinCandidates(items[i].t, items[j].t, pred) {
+					c, err := s.costTagged(s.o.Est, cand, bc)
 					if err == core.ErrOverBudget {
-						res.PrunedEstimations++
+						s.pruned.Add(1)
 						continue
 					}
 					if err != nil {
@@ -431,7 +490,7 @@ func relIndexOf(qb *QueryBlock, r algebra.Ref) int {
 
 // finalize applies the post-join shape and places the final submit.
 // Single-wrapper plans are pushed entirely when capabilities allow.
-func (o *Optimizer) finalize(qb *QueryBlock, t *tagged, res *Result) (*algebra.Node, error) {
+func (o *Optimizer) finalize(qb *QueryBlock, t *tagged) (*algebra.Node, error) {
 	plan := t.plan
 	site := t.site
 	caps, _ := o.Cat.Capabilities(site)
@@ -468,28 +527,50 @@ func (o *Optimizer) finalize(qb *QueryBlock, t *tagged, res *Result) (*algebra.N
 	return plan, nil
 }
 
-// costTagged estimates a candidate as it would run (submits placed).
-func (o *Optimizer) costTagged(t *tagged, budget float64, res *Result) (float64, error) {
-	pc, err := o.costPlan(t.materialize().Clone(), budget, res)
+// costTagged estimates a candidate as it would run (submits placed) on
+// the given estimator, consulting the memo table when enabled. Memoized
+// results are final costs — a memo hit never depends on the budget, so
+// hit/miss patterns cannot change which plan wins.
+func (s *search) costTagged(est *core.Estimator, t *tagged, budget float64) (float64, error) {
+	plan := t.materialize().Clone()
+	var sig string
+	if s.memo != nil {
+		sig = plan.Signature()
+		if c, ok := s.memo.get(sig); ok {
+			s.memoHits.Add(1)
+			return c, nil
+		}
+	}
+	pc, err := s.costPlan(est, plan, budget)
 	if err != nil {
 		return 0, err
 	}
-	return o.Opt.Objective.metric(pc), nil
+	c := s.o.Opt.Objective.metric(pc)
+	if s.memo != nil {
+		// Only complete estimations are cached; an ErrOverBudget abort is
+		// budget-relative and must re-estimate under a looser bound.
+		s.memo.put(sig, c)
+	}
+	return c, nil
 }
 
-func (o *Optimizer) costPlan(plan *algebra.Node, budget float64, res *Result) (*core.PlanCost, error) {
-	if err := algebra.Resolve(plan, o.Cat); err != nil {
+// costPlan resolves and estimates one plan on the given estimator,
+// applying the branch-and-bound budget when pruning is sound for the
+// objective. The estimator must be private to the calling goroutine;
+// its budget is saved and restored around the call.
+func (s *search) costPlan(est *core.Estimator, plan *algebra.Node, budget float64) (*core.PlanCost, error) {
+	if err := algebra.Resolve(plan, s.o.Cat); err != nil {
 		return nil, err
 	}
-	res.PlansCosted++
-	saved := o.Est.Options.Budget
-	if o.Opt.Pruning && budget > 0 && !math.IsInf(budget, 1) {
-		o.Est.Options.Budget = budget
+	s.plansCosted.Add(1)
+	saved := est.Options.Budget
+	if s.o.pruneEnabled() && budget > 0 && !math.IsInf(budget, 1) {
+		est.Options.Budget = budget
 	} else {
-		o.Est.Options.Budget = 0
+		est.Options.Budget = 0
 	}
-	pc, err := o.Est.Estimate(plan)
-	o.Est.Options.Budget = saved
+	pc, err := est.Estimate(plan)
+	est.Options.Budget = saved
 	return pc, err
 }
 

@@ -1,0 +1,217 @@
+package optimizer
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"disco/internal/core"
+)
+
+// search carries the state of one Optimize call that both the sequential
+// and parallel paths share: the owning optimizer, the optional memo
+// table, and the search counters. Counters are atomics so parallel
+// workers update them without coordination.
+type search struct {
+	o           *Optimizer
+	memo        *memoTable
+	plansCosted atomic.Int64
+	pruned      atomic.Int64
+	memoHits    atomic.Int64
+}
+
+func newSearch(o *Optimizer) *search {
+	s := &search{o: o}
+	if o.Opt.Memo {
+		s.memo = newMemoTable()
+	}
+	return s
+}
+
+// result snapshots the counters into a fresh Result.
+func (s *search) result() *Result {
+	return &Result{
+		PlansCosted:       int(s.plansCosted.Load()),
+		PrunedEstimations: int(s.pruned.Load()),
+		MemoHits:          int(s.memoHits.Load()),
+	}
+}
+
+// subsetState accumulates the winner of one relation subset during a
+// parallel level. The winner is selected under the mutex by lexicographic
+// (cost, candidate index) minimum — exactly the candidate the sequential
+// scan's "first strict improvement" rule keeps — so worker timing cannot
+// change the outcome. The atomic bits mirror the best cost seen so far
+// for lock-free branch-and-bound reads; Float64bits ordering agrees with
+// float ordering on the non-negative costs the estimator produces.
+type subsetState struct {
+	set  uint64
+	bits atomic.Uint64 // Float64bits of cost, mirrored for lock-free reads
+
+	mu   sync.Mutex
+	t    *tagged
+	cost float64
+	idx  int
+}
+
+func newSubsetState(set uint64) *subsetState {
+	st := &subsetState{set: set, cost: math.Inf(1), idx: -1}
+	st.bits.Store(math.Float64bits(math.Inf(1)))
+	return st
+}
+
+// bound returns the current pruning budget for this subset: the cheapest
+// fully-costed candidate so far, +Inf before the first one lands.
+func (st *subsetState) bound() float64 { return math.Float64frombits(st.bits.Load()) }
+
+// offer records a fully-costed candidate.
+func (st *subsetState) offer(t *tagged, cost float64, idx int) {
+	st.mu.Lock()
+	if cost < st.cost || (cost == st.cost && idx < st.idx) {
+		st.t, st.cost, st.idx = t, cost, idx
+		st.bits.Store(math.Float64bits(cost))
+	}
+	st.mu.Unlock()
+}
+
+// winner returns the selected entry, or nil when every candidate was
+// pruned away.
+func (st *subsetState) winner() *entry {
+	if st.idx < 0 {
+		return nil
+	}
+	return &entry{t: st.t, cost: st.cost}
+}
+
+// dpJob is one unit of parallel work: price candidate t (the idx-th
+// candidate of its subset in canonical order) and offer it to state.
+type dpJob struct {
+	state *subsetState
+	idx   int
+	t     *tagged
+}
+
+// dpJoinParallel is the level-synchronous parallel form of dpJoin. Each
+// popcount level depends only on the winners of strictly smaller subsets,
+// so the level's candidates are enumerated up front (in the sequential
+// order) and priced by a worker pool, with a barrier before the winners
+// are frozen into the best table.
+//
+// Why the chosen plan is bit-identical to dpJoin's:
+//
+//  1. Workers only read the best table, which is frozen between levels —
+//     every candidate is built from exactly the subplans the sequential
+//     scan would use.
+//  2. Each candidate carries its index in the sequential enumeration
+//     order, and the per-subset winner is the lexicographic minimum of
+//     (cost, index). The sequential loop keeps the first strict
+//     improvement, i.e. the lowest-index candidate achieving the minimum
+//     cost — the same plan.
+//  3. Branch-and-bound prunes a candidate only when the estimator's
+//     running cost strictly exceeds the bound in place when it is priced.
+//     The bound is always >= the subset's final minimum, so only
+//     candidates strictly worse than the winner can be pruned, whatever
+//     the worker timing. (PrunedEstimations does vary with timing; the
+//     plan and its cost do not.)
+//
+// Each worker prices candidates on its own estimator clone; worker 0
+// reuses the optimizer's own estimator, which is idle during the search.
+func (s *search) dpJoinParallel(qb *QueryBlock, base []*tagged, workers int) (*tagged, error) {
+	n := len(base)
+	best := make(map[uint64]*entry, 1<<uint(n))
+	for i, b := range base {
+		c, err := s.costTagged(s.o.Est, b, 0)
+		if err != nil {
+			return nil, err
+		}
+		best[1<<uint(i)] = &entry{t: b, cost: c}
+	}
+
+	ests := make([]*core.Estimator, workers)
+	ests[0] = s.o.Est
+	for i := 1; i < workers; i++ {
+		ests[i] = s.o.Est.Clone()
+	}
+
+	full := uint64(1)<<uint(n) - 1
+	prune := s.o.pruneEnabled()
+	var states []*subsetState
+	var jobs []dpJob
+	for size := 2; size <= n; size++ {
+		states = states[:0]
+		jobs = jobs[:0]
+		for set := uint64(1); set <= full; set++ {
+			if popcount(set) != size {
+				continue
+			}
+			cands := s.subsetCandidates(qb, base, best, set, size, n)
+			if len(cands) == 0 {
+				continue
+			}
+			st := newSubsetState(set)
+			states = append(states, st)
+			for i, t := range cands {
+				jobs = append(jobs, dpJob{state: st, idx: i, t: t})
+			}
+		}
+		if len(jobs) == 0 {
+			continue
+		}
+
+		var next atomic.Int64
+		var failed atomic.Bool
+		var errOnce sync.Once
+		var firstErr error
+		w := workers
+		if len(jobs) < w {
+			w = len(jobs)
+		}
+		var wg sync.WaitGroup
+		for wi := 0; wi < w; wi++ {
+			wg.Add(1)
+			go func(est *core.Estimator) {
+				defer wg.Done()
+				for {
+					if failed.Load() {
+						return
+					}
+					j := int(next.Add(1)) - 1
+					if j >= len(jobs) {
+						return
+					}
+					job := jobs[j]
+					budget := math.Inf(1)
+					if prune {
+						budget = job.state.bound()
+					}
+					c, err := s.costTagged(est, job.t, budget)
+					if err == core.ErrOverBudget {
+						s.pruned.Add(1)
+						continue
+					}
+					if err != nil {
+						errOnce.Do(func() { firstErr = err })
+						failed.Store(true)
+						return
+					}
+					job.state.offer(job.t, c, job.idx)
+				}
+			}(ests[wi])
+		}
+		wg.Wait()
+		if failed.Load() {
+			return nil, firstErr
+		}
+		for _, st := range states {
+			if e := st.winner(); e != nil {
+				best[st.set] = e
+			}
+		}
+	}
+	e, ok := best[full]
+	if !ok {
+		return nil, fmt.Errorf("optimizer: no join order found (disconnected join graph)")
+	}
+	return e.t, nil
+}

@@ -45,3 +45,15 @@ func TestParseNeverPanics(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// FuzzParse is the native fuzz target: the SQL parser must reject or
+// accept every input without panicking.
+func FuzzParse(f *testing.F) {
+	f.Add(`SELECT Employee.name FROM Employee@obj1 WHERE Employee.id < 10`)
+	f.Add(`SELECT DISTINCT count(*) AS n FROM a@w, b@w WHERE a.x = b.y GROUP BY a.x ORDER BY n`)
+	f.Add(`SELECT`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = Parse(src)
+	})
+}

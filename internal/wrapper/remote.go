@@ -180,20 +180,28 @@ func (w *RemoteWrapper) Execute(plan *algebra.Node) (*Result, error) {
 
 // Serve answers the wrapper wire protocol for one local wrapper,
 // accepting connections until the listener closes. Each connection is
-// served on its own goroutine; execution within one wrapper is serialized
-// (the virtual clock is per-process state).
+// served on its own goroutine.
+//
+// Locking is scoped per request type. Only "execute" takes clockMu: the
+// virtual clock is per-process state shared by every connection, and the
+// elapsed-time measurement (Now, Execute, Now) must not interleave with
+// another execute or both would bill each other's virtual time — so the
+// lock is process-wide by design, not an accident of plumbing. "meta" and
+// "ping" read only the wrapper's immutable registration state and run
+// lock-free, so catalog refreshes on one connection never stall behind a
+// long-running execute on another.
 func Serve(ln net.Listener, w Wrapper) error {
-	var execMu sync.Mutex
+	var clockMu sync.Mutex
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			return err
 		}
-		go serveConn(conn, w, &execMu)
+		go serveConn(conn, w, &clockMu)
 	}
 }
 
-func serveConn(conn net.Conn, w Wrapper, execMu *sync.Mutex) {
+func serveConn(conn net.Conn, w Wrapper, clockMu *sync.Mutex) {
 	defer conn.Close()
 	r := proto.NewReader(conn)
 	for {
@@ -201,14 +209,14 @@ func serveConn(conn net.Conn, w Wrapper, execMu *sync.Mutex) {
 		if err != nil {
 			return
 		}
-		resp := handleWrapperRequest(req, w, execMu)
+		resp := handleWrapperRequest(req, w, clockMu)
 		if err := proto.Write(conn, resp); err != nil {
 			return
 		}
 	}
 }
 
-func handleWrapperRequest(req *proto.WrapperRequest, w Wrapper, execMu *sync.Mutex) *proto.WrapperResponse {
+func handleWrapperRequest(req *proto.WrapperRequest, w Wrapper, clockMu *sync.Mutex) *proto.WrapperResponse {
 	switch req.Op {
 	case "ping":
 		return &proto.WrapperResponse{OK: true}
@@ -253,11 +261,13 @@ func handleWrapperRequest(req *proto.WrapperRequest, w Wrapper, execMu *sync.Mut
 		if plan == nil {
 			return &proto.WrapperResponse{Error: "execute needs a plan"}
 		}
-		execMu.Lock()
+		// Plan decoding stays outside the critical section; only the
+		// clock-bracketed execution is serialized.
+		clockMu.Lock()
 		start := w.Clock().Now()
 		res, err := w.Execute(plan)
 		elapsed := w.Clock().Now() - start
-		execMu.Unlock()
+		clockMu.Unlock()
 		if err != nil {
 			return &proto.WrapperResponse{Error: err.Error()}
 		}

@@ -1,0 +1,132 @@
+package wrapper
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"disco/internal/algebra"
+	"disco/internal/netsim"
+	"disco/internal/stats"
+	"disco/internal/types"
+)
+
+// blockingWrapper delegates to a real wrapper but parks every Execute
+// until released, so tests can hold the server's clock lock open.
+type blockingWrapper struct {
+	Wrapper
+	entered chan struct{} // receives one value per Execute that started
+	release chan struct{} // closed to let executes proceed
+}
+
+func (b *blockingWrapper) Execute(plan *algebra.Node) (*Result, error) {
+	b.entered <- struct{}{}
+	<-b.release
+	return b.Wrapper.Execute(plan)
+}
+
+// TestMetaNotSerializedBehindExecute is the regression test for the
+// Serve lock scoping: "meta" (and "ping") must not queue behind the
+// clock lock an in-flight "execute" holds. A blocked execute on one
+// connection must not stall a fresh dial — which performs a meta
+// roundtrip — on another.
+func TestMetaNotSerializedBehindExecute(t *testing.T) {
+	backend := newObjWrapper(t, 50)
+	bw := &blockingWrapper{
+		Wrapper: backend,
+		entered: make(chan struct{}, 1),
+		release: make(chan struct{}),
+	}
+	addr := startRemote(t, bw)
+
+	rw, err := DialRemote(addr, netsim.NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rw.Close()
+	plan := algebra.Select(algebra.Scan("obj1", "Employee"),
+		algebra.NewSelPred(algebra.Ref{Collection: "Employee", Attr: "id"}, stats.CmpLT, types.Int(5)))
+	if err := algebra.Resolve(plan, wrapperSchemaSource{rw}); err != nil {
+		t.Fatal(err)
+	}
+
+	execDone := make(chan error, 1)
+	go func() {
+		_, err := rw.Execute(plan)
+		execDone <- err
+	}()
+	<-bw.entered // the execute now holds clockMu on the server
+
+	// A second connection's dial-time meta must complete while the
+	// execute is parked.
+	dialed := make(chan error, 1)
+	go func() {
+		rw2, err := DialRemote(addr, netsim.NewClock())
+		if err == nil {
+			rw2.Close()
+		}
+		dialed <- err
+	}()
+	select {
+	case err := <-dialed:
+		if err != nil {
+			t.Fatalf("meta during blocked execute: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("meta request queued behind the execute clock lock")
+	}
+
+	close(bw.release)
+	if err := <-execDone; err != nil {
+		t.Fatalf("released execute: %v", err)
+	}
+}
+
+// TestConcurrentExecutesSerializeOnClock drives executes from several
+// connections at once: the shared virtual clock must stay race-free (run
+// under -race) and every connection must get its full result set.
+func TestConcurrentExecutesSerializeOnClock(t *testing.T) {
+	backend := newObjWrapper(t, 300)
+	addr := startRemote(t, backend)
+
+	const conns = 4
+	clock := netsim.NewClock()
+	var wg sync.WaitGroup
+	errs := make([]error, conns)
+	rows := make([]int, conns)
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rw, err := DialRemote(addr, clock)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer rw.Close()
+			plan := algebra.Select(algebra.Scan("obj1", "Employee"),
+				algebra.NewSelPred(algebra.Ref{Collection: "Employee", Attr: "id"}, stats.CmpLT, types.Int(10)))
+			if err := algebra.Resolve(plan, wrapperSchemaSource{rw}); err != nil {
+				errs[i] = err
+				return
+			}
+			for k := 0; k < 5; k++ {
+				res, err := rw.Execute(plan)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				rows[i] += len(res.Rows)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < conns; i++ {
+		if errs[i] != nil {
+			t.Fatalf("conn %d: %v", i, errs[i])
+		}
+		if rows[i] != 50 {
+			t.Errorf("conn %d: %d rows, want 50", i, rows[i])
+		}
+	}
+}
