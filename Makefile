@@ -8,7 +8,7 @@ GO ?= go
 RACE_PKGS = ./internal/optimizer ./internal/mediator ./internal/wrapper ./internal/netsim
 
 .PHONY: all build test race bench experiments fmt vet clean \
-	ci ci-build ci-test ci-vet ci-fmt ci-race ci-fuzz ci-bench
+	ci ci-build ci-test ci-vet ci-fmt ci-race ci-faultmatrix ci-fuzz ci-bench
 
 all: build test
 
@@ -41,7 +41,7 @@ clean:
 # `make ci` runs exactly what .github/workflows/ci.yml runs; the workflow
 # invokes these ci-* targets so the two cannot drift. Run it before
 # pushing.
-ci: ci-build ci-test ci-vet ci-fmt ci-race ci-fuzz ci-bench
+ci: ci-build ci-test ci-vet ci-fmt ci-race ci-faultmatrix ci-fuzz ci-bench
 
 ci-build:
 	$(GO) build ./...
@@ -60,9 +60,19 @@ ci-fmt:
 ci-race:
 	$(GO) test -race $(RACE_PKGS)
 
-# 30-second native-fuzzer smoke over the cost-language parser.
+# The fault matrix under the race detector: every injected failure mode
+# (drop, transient error, delay, permanent outage) must recover or
+# degrade to a partial answer — never hang, panic, or corrupt state.
+ci-faultmatrix:
+	$(GO) test -race -run 'Fault|Remote|Injector|Resilience' ./internal/mediator ./internal/wrapper ./internal/netsim ./internal/experiments
+
+# 30-second native-fuzzer smokes: the cost-language parser, the fault-spec
+# parser (accepted specs must render/re-parse to the same plan), and the
+# wire-protocol frame decoder (arbitrary bytes must never panic a reader).
 ci-fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/costlang
+	$(GO) test -fuzz=FuzzParseFaultSpec -fuzztime=30s ./internal/netsim
+	$(GO) test -fuzz=FuzzFrameDecode -fuzztime=30s ./internal/proto
 
 # One iteration of every benchmark, archived as JSON for cross-commit
 # comparison (CI uploads BENCH_pr.json as an artifact).

@@ -132,5 +132,10 @@ func printTable(resp *proto.Response) {
 		}
 		fmt.Println()
 	}
+	if resp.Partial {
+		fmt.Printf("(%d rows, %.1f virtual ms; PARTIAL — unavailable: %s)\n",
+			len(resp.Rows), resp.ElapsedMS, strings.Join(resp.Excluded, ", "))
+		return
+	}
 	fmt.Printf("(%d rows, %.1f virtual ms)\n", len(resp.Rows), resp.ElapsedMS)
 }

@@ -153,7 +153,8 @@ func (s *server) handle(req *proto.Request) *proto.Response {
 		if err != nil {
 			return &proto.Response{Error: err.Error()}
 		}
-		resp := &proto.Response{OK: true, ElapsedMS: res.ElapsedMS}
+		resp := &proto.Response{OK: true, ElapsedMS: res.ElapsedMS,
+			Partial: res.Partial, Excluded: res.Excluded}
 		for i := 0; i < res.Schema.Len(); i++ {
 			resp.Columns = append(resp.Columns, res.Schema.Field(i).QualifiedName())
 		}

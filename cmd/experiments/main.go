@@ -4,10 +4,13 @@
 //
 // Usage:
 //
-//	experiments [-exp all|fig12|planquality|ruleoverhead|history|pruning|joincross] [-scale N]
+//	experiments [-exp all|fig12|planquality|ruleoverhead|history|pruning|joincross|resilience] [-scale N]
 //
 // -scale sets the AtomicParts cardinality (default: the paper's 70000;
-// use a smaller value like 14000 for quick runs).
+// use a smaller value like 14000 for quick runs). -faults feeds the
+// resilience study custom fault scenarios in netsim.ParseFaultSpec syntax
+// (e.g. "flaky:drop=0.3,seed=7;slow:delay=100"); without it the study
+// runs the built-in matrix.
 package main
 
 import (
@@ -17,16 +20,24 @@ import (
 	"strings"
 
 	"disco/internal/experiments"
+	"disco/internal/netsim"
 	"disco/internal/oo7"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig12, planquality, ruleoverhead, history, pruning, joincross, clustering, oo7suite")
+	exp := flag.String("exp", "all", "experiment to run: all, fig12, planquality, ruleoverhead, history, pruning, joincross, clustering, oo7suite, resilience")
 	scaleN := flag.Int("scale", 70000, "AtomicParts cardinality (70000 = paper scale)")
 	csv := flag.Bool("csv", false, "emit fig12 as CSV instead of a table (for plotting)")
 	workers := flag.Int("workers", 0, "optimizer search goroutines (0 = GOMAXPROCS, 1 = sequential)")
 	memo := flag.Bool("memo", false, "enable the optimizer's plan-cost memo table")
+	faults := flag.String("faults", "", "fault scenarios for -exp resilience (wrapper:drop=0.1,delay=50,...;... syntax)")
 	flag.Parse()
+
+	faultSet, err := netsim.ParseFaultSpec(*faults)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: -faults: %v\n", err)
+		os.Exit(1)
+	}
 
 	scale := oo7.PaperScale()
 	scale.AtomicParts = *scaleN
@@ -80,6 +91,15 @@ func main() {
 		r, err := experiments.OO7Suite(scale)
 		return tbl{r}, err
 	})
+	// The resilience study injects faults by definition, so it only runs
+	// when asked for explicitly — "-exp all" keeps producing exactly the
+	// fault-free evaluation artifacts.
+	if *exp == "resilience" {
+		run("resilience", func() (fmt.Stringer, error) {
+			r, err := experiments.Resilience(experiments.ScenariosFromSpec(faultSet))
+			return tbl{r}, err
+		})
+	}
 }
 
 // csvFig12 renders the figure's series as CSV for external plotting.

@@ -6,9 +6,12 @@
 //
 // Usage:
 //
-//	wrapperd [-listen :4078] [-name oo7] [-parts 14000]
+//	wrapperd [-listen :4078] [-name oo7] [-parts 14000] [-faults spec]
 //
-// The served source is an OO7 object database.
+// The served source is an OO7 object database. -faults injects failures
+// at the transport for resilience experiments, in netsim.ParseFaultSpec
+// syntax: "oo7:drop=0.1,error=0.05,delay=20,seed=7" (or "*:..." to match
+// any name). Entries for other wrapper names are ignored.
 package main
 
 import (
@@ -26,7 +29,18 @@ func main() {
 	listen := flag.String("listen", ":4078", "address to listen on")
 	name := flag.String("name", "oo7", "registered wrapper name")
 	parts := flag.Int("parts", 14000, "OO7 AtomicParts cardinality")
+	faults := flag.String("faults", "", "fault injection spec (wrapper:drop=0.1,delay=50,...)")
 	flag.Parse()
+
+	faultSet, err := netsim.ParseFaultSpec(*faults)
+	if err != nil {
+		log.Fatalf("wrapperd: -faults: %v", err)
+	}
+	var inj *netsim.Injector
+	if plan, ok := faultSet.PlanFor(*name); ok && !plan.IsZero() {
+		inj = netsim.NewInjector(plan)
+		log.Printf("wrapperd: injecting faults: %s", plan)
+	}
 
 	clock := netsim.NewClock()
 	cfg := objstore.DefaultConfig()
@@ -44,7 +58,7 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("wrapperd: serving wrapper %q (%d parts) on %s", *name, *parts, ln.Addr())
-	if err := wrapper.Serve(ln, w); err != nil {
+	if err := wrapper.ServeFaulty(ln, w, inj); err != nil {
 		log.Fatal(err)
 	}
 }

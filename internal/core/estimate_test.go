@@ -181,6 +181,30 @@ select(C, A = V) {
 	approx(t, "ObjectSize", v["ObjectSize"], 120, 1e-9)
 }
 
+func TestMalformedWrapperRuleFallsBackToGeneric(t *testing.T) {
+	e := newTestEstimator(t)
+	// A wrapper ships a rule whose formula divides by zero at evaluation
+	// time (the `1 - 1` denominator folds to 0 only after the non-literal
+	// numerator blocks compile-time folding). The estimator must treat the
+	// failing formula like an inapplicable rule — degrade to the generic
+	// model — not panic or poison the estimate.
+	src := `
+select(C, A = V) {
+  TotalTime = C.TotalTime / (1 - 1);
+}`
+	if err := e.Registry.IntegrateWrapper("src1", mustParse(t, src), e.View); err != nil {
+		t.Fatal(err)
+	}
+	plan := resolve(t, algebra.Select(
+		algebra.Scan("src1", "Employee"),
+		algebra.NewSelPred(ref("Employee", "salary"), stats.CmpEQ, types.Int(10000))))
+	pc := estimate(t, e, plan)
+	// Same numbers as TestGenericIndexSelect: the broken wrapper rule
+	// contributed nothing.
+	approx(t, "TotalTime", pc.Root.Vars["TotalTime"], 130+1*9.4, 1e-6)
+	approx(t, "CountObject", pc.Root.Vars["CountObject"], 1, 1e-9)
+}
+
 func TestCollectionScopeBeatsWrapperScope(t *testing.T) {
 	e := newTestEstimator(t)
 	src := `

@@ -263,12 +263,29 @@ func (p *Program) EvalStack(env Env, stack []types.Constant) (types.Constant, er
 	return p.evalWith(env, stack[:0])
 }
 
-func (p *Program) evalWith(env Env, stack []types.Constant) (types.Constant, error) {
+func (p *Program) evalWith(env Env, stack []types.Constant) (val types.Constant, err error) {
+	// A Program normally comes out of Compile and is well-formed, but
+	// wrapper-supplied rules travel through registration and could arrive
+	// corrupt (bad pool index, underflowing code, a panicking Env.Call).
+	// Evaluation must never panic out into the optimizer — a malformed
+	// rule becomes an error, and the caller falls back to a less specific
+	// cost model.
+	defer func() {
+		if r := recover(); r != nil {
+			val, err = types.Null, fmt.Errorf("costvm: panic evaluating %q: %v", p.Source, r)
+		}
+	}()
 	for _, in := range p.Code {
 		switch in.Op {
 		case opConst:
+			if int(in.A) >= len(p.Consts) {
+				return types.Null, fmt.Errorf("costvm: constant index %d out of range in %q", in.A, p.Source)
+			}
 			stack = append(stack, p.Consts[in.A])
 		case opLoad:
+			if int(in.A) >= len(p.Paths) {
+				return types.Null, fmt.Errorf("costvm: path index %d out of range in %q", in.A, p.Source)
+			}
 			v, ok := env.Lookup(p.Paths[in.A])
 			if !ok {
 				return types.Null, fmt.Errorf("costvm: unknown parameter %s in %q",
@@ -277,6 +294,9 @@ func (p *Program) evalWith(env Env, stack []types.Constant) (types.Constant, err
 			stack = append(stack, v)
 		case opNeg:
 			top := len(stack) - 1
+			if top < 0 {
+				return types.Null, fmt.Errorf("costvm: stack underflow in %q", p.Source)
+			}
 			v := stack[top]
 			if !v.IsNumeric() {
 				return types.Null, fmt.Errorf("costvm: negation of non-numeric %s in %q", v, p.Source)
@@ -284,6 +304,9 @@ func (p *Program) evalWith(env Env, stack []types.Constant) (types.Constant, err
 			stack[top] = types.Float(-v.AsFloat())
 		case opAdd, opSub, opMul, opDiv:
 			top := len(stack) - 1
+			if top < 1 {
+				return types.Null, fmt.Errorf("costvm: stack underflow in %q", p.Source)
+			}
 			a, b := stack[top-1], stack[top]
 			stack = stack[:top]
 			v, err := arith(in.Op, a, b, p.Source)
@@ -293,6 +316,12 @@ func (p *Program) evalWith(env Env, stack []types.Constant) (types.Constant, err
 			stack[top-1] = v
 		case opCall:
 			n := int(in.B)
+			if int(in.A) >= len(p.Names) {
+				return types.Null, fmt.Errorf("costvm: name index %d out of range in %q", in.A, p.Source)
+			}
+			if n > len(stack) {
+				return types.Null, fmt.Errorf("costvm: stack underflow in %q", p.Source)
+			}
 			args := stack[len(stack)-n:]
 			v, err := env.Call(p.Names[in.A], args)
 			if err != nil {

@@ -320,3 +320,68 @@ func TestConstantFolding(t *testing.T) {
 		t.Errorf("negated constant should fold: %d instructions", len(p5.Code))
 	}
 }
+
+// panicEnv panics on every call, standing in for a buggy per-wrapper
+// function binding.
+type panicEnv struct{}
+
+func (panicEnv) Lookup(path []string) (types.Constant, bool) { return types.Int(1), true }
+func (panicEnv) Call(name string, args []types.Constant) (types.Constant, error) {
+	panic("boom: " + name)
+}
+
+// Corrupt programs (bad pool indexes, underflowing code) and panicking
+// environments must surface as returned errors, never as panics escaping
+// into the optimizer.
+func TestEvalCorruptProgramsError(t *testing.T) {
+	env := newMapEnv(nil)
+	cases := []struct {
+		name string
+		p    *Program
+	}{
+		{"const index out of range", &Program{
+			Code: []Instr{{Op: opConst, A: 7}}, MaxStack: 1, Source: "corrupt-const"}},
+		{"path index out of range", &Program{
+			Code: []Instr{{Op: opLoad, A: 3}}, MaxStack: 1, Source: "corrupt-load"}},
+		{"name index out of range", &Program{
+			Code: []Instr{{Op: opCall, A: 2, B: 0}}, MaxStack: 1, Source: "corrupt-call"}},
+		{"neg underflow", &Program{
+			Code: []Instr{{Op: opNeg}}, Source: "corrupt-neg"}},
+		{"arith underflow", &Program{
+			Code:   []Instr{{Op: opConst, A: 0}, {Op: opAdd}},
+			Consts: []types.Constant{types.Int(1)}, MaxStack: 1, Source: "corrupt-add"}},
+		{"call arg underflow", &Program{
+			Code:  []Instr{{Op: opCall, A: 0, B: 4}},
+			Names: []string{"min"}, MaxStack: 1, Source: "corrupt-argc"}},
+		{"empty program", &Program{Source: "corrupt-empty"}},
+		{"bad opcode", &Program{
+			Code: []Instr{{Op: Op(200)}}, Source: "corrupt-op"}},
+		{"leftover stack", &Program{
+			Code:   []Instr{{Op: opConst, A: 0}, {Op: opConst, A: 0}},
+			Consts: []types.Constant{types.Int(1)}, MaxStack: 2, Source: "corrupt-left"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := c.p.Eval(env); err == nil {
+				t.Errorf("%s: Eval should return an error", c.name)
+			}
+		})
+	}
+}
+
+func TestEvalRecoversEnvPanic(t *testing.T) {
+	p, err := CompileString("1 + f(2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := p.Eval(panicEnv{})
+	if err == nil {
+		t.Fatal("panicking Env.Call should become an error")
+	}
+	if !strings.Contains(err.Error(), "boom") {
+		t.Errorf("error should carry the panic value: %v", err)
+	}
+	if v != types.Null {
+		t.Errorf("value on error = %v, want Null", v)
+	}
+}

@@ -7,7 +7,10 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
+	"sort"
+	"sync"
 
 	"disco/internal/algebra"
 	"disco/internal/netsim"
@@ -47,10 +50,20 @@ type Engine struct {
 	clock    *netsim.Clock
 	costs    Costs
 
+	// downMu guards down: submits consult it, and a wrapper failing
+	// mid-query updates it.
+	downMu sync.Mutex
+	down   map[string]bool
+
 	// SubmitHook, when set, observes every executed wrapper subquery
 	// with its measured virtual time; the history recorder (§4.3.1)
 	// hangs off it.
 	SubmitHook func(wrapper string, subplan *algebra.Node, elapsedMS float64, rows int, bytes int64)
+	// OnUnavailable, when set, is notified the first time a wrapper is
+	// marked down (submit failed with wrapper.ErrUnavailable). The
+	// mediator uses it to drop the wrapper's cost rules so estimation
+	// falls back to the generic model.
+	OnUnavailable func(wrapper string)
 }
 
 // New builds an engine over the registered wrappers. All wrappers must
@@ -62,31 +75,100 @@ func New(clock *netsim.Clock, net *netsim.Network, wrappers map[string]wrapper.W
 			return nil, fmt.Errorf("engine: wrapper %s does not share the engine clock", name)
 		}
 	}
-	return &Engine{wrappers: wrappers, net: net, clock: clock, costs: costs}, nil
+	return &Engine{wrappers: wrappers, net: net, clock: clock, costs: costs, down: make(map[string]bool)}, nil
 }
 
 // Clock returns the shared virtual clock.
 func (e *Engine) Clock() *netsim.Clock { return e.clock }
+
+// MarkUnavailable records a wrapper as down: later submits to it are
+// excluded (partial answers) without re-attempting the transport.
+func (e *Engine) MarkUnavailable(name string) {
+	e.downMu.Lock()
+	already := e.down[name]
+	e.down[name] = true
+	e.downMu.Unlock()
+	if !already && e.OnUnavailable != nil {
+		e.OnUnavailable(name)
+	}
+}
+
+// MarkAvailable clears a wrapper's down mark (an administrative revival;
+// re-registration rebuilds the engine and clears marks anyway).
+func (e *Engine) MarkAvailable(name string) {
+	e.downMu.Lock()
+	delete(e.down, name)
+	e.downMu.Unlock()
+}
+
+// Unavailable lists the wrappers currently marked down, sorted.
+func (e *Engine) Unavailable() []string {
+	e.downMu.Lock()
+	defer e.downMu.Unlock()
+	out := make([]string, 0, len(e.down))
+	for n := range e.down {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (e *Engine) isDown(name string) bool {
+	e.downMu.Lock()
+	defer e.downMu.Unlock()
+	return e.down[name]
+}
 
 // Result is a materialized query answer with its measured virtual time.
 type Result struct {
 	Rows      []types.Row
 	Schema    *types.Schema
 	ElapsedMS float64
+	// Partial reports that at least one wrapper was unavailable and the
+	// rows its subplans would have contributed are missing from the
+	// answer (the paper's unavailable-source scenario: the mediator
+	// answers with what the surviving sources provide).
+	Partial bool
+	// Excluded lists the unavailable wrappers, sorted.
+	Excluded []string
+}
+
+// execState accumulates per-execution degradation facts.
+type execState struct {
+	excluded map[string]bool
+}
+
+func (st *execState) exclude(name string) {
+	if st.excluded == nil {
+		st.excluded = make(map[string]bool)
+	}
+	st.excluded[name] = true
 }
 
 // Execute runs a resolved, optimized plan and returns the answer with the
-// virtual time it took.
+// virtual time it took. A submit whose wrapper is (or becomes) unavailable
+// does not fail the query: its subtree contributes no rows and the result
+// is marked Partial with the wrapper listed in Excluded.
 func (e *Engine) Execute(plan *algebra.Node) (*Result, error) {
 	watch := netsim.StartWatch(e.clock)
-	rows, err := e.exec(plan)
+	var st execState
+	rows, err := e.exec(plan, &st)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Rows: rows, Schema: plan.OutSchema, ElapsedMS: watch.ElapsedMS()}, nil
+	res := &Result{Rows: rows, Schema: plan.OutSchema, ElapsedMS: watch.ElapsedMS()}
+	if len(st.excluded) > 0 {
+		res.Partial = true
+		res.Excluded = make([]string, 0, len(st.excluded))
+		for n := range st.excluded {
+			res.Excluded = append(res.Excluded, n)
+		}
+		sort.Strings(res.Excluded)
+	}
+	return res, nil
 }
 
-func (e *Engine) exec(n *algebra.Node) ([]types.Row, error) {
+func (e *Engine) exec(n *algebra.Node, st *execState) ([]types.Row, error) {
 	if n.OutSchema == nil {
 		return nil, fmt.Errorf("engine: unresolved plan node %s", n.Kind)
 	}
@@ -96,9 +178,22 @@ func (e *Engine) exec(n *algebra.Node) ([]types.Row, error) {
 		if !ok {
 			return nil, fmt.Errorf("engine: submit to unknown wrapper %q", n.Wrapper)
 		}
+		if e.isDown(n.Wrapper) {
+			// Known-dead source: exclude without touching the transport.
+			st.exclude(n.Wrapper)
+			return nil, nil
+		}
 		start := e.clock.Now()
 		res, err := w.Execute(n.Children[0])
 		if err != nil {
+			if errors.Is(err, wrapper.ErrUnavailable) {
+				// The source died mid-query: degrade to a partial answer
+				// rather than failing, per the paper's unavailable-source
+				// discussion.
+				e.MarkUnavailable(n.Wrapper)
+				st.exclude(n.Wrapper)
+				return nil, nil
+			}
 			return nil, fmt.Errorf("engine: wrapper %s: %w", n.Wrapper, err)
 		}
 		if e.net != nil {
@@ -113,7 +208,7 @@ func (e *Engine) exec(n *algebra.Node) ([]types.Row, error) {
 		return nil, fmt.Errorf("engine: scan of %s@%s not placed under a submit", n.Collection, n.Wrapper)
 
 	case algebra.OpSelect:
-		rows, err := e.exec(n.Children[0])
+		rows, err := e.exec(n.Children[0], st)
 		if err != nil {
 			return nil, err
 		}
@@ -121,7 +216,7 @@ func (e *Engine) exec(n *algebra.Node) ([]types.Row, error) {
 		return rowops.Filter(n.OutSchema, rows, n.Pred), nil
 
 	case algebra.OpProject:
-		rows, err := e.exec(n.Children[0])
+		rows, err := e.exec(n.Children[0], st)
 		if err != nil {
 			return nil, err
 		}
@@ -129,7 +224,7 @@ func (e *Engine) exec(n *algebra.Node) ([]types.Row, error) {
 		return rowops.Project(n.Children[0].OutSchema, rows, n.Cols)
 
 	case algebra.OpSort:
-		rows, err := e.exec(n.Children[0])
+		rows, err := e.exec(n.Children[0], st)
 		if err != nil {
 			return nil, err
 		}
@@ -137,7 +232,7 @@ func (e *Engine) exec(n *algebra.Node) ([]types.Row, error) {
 		return rowops.Sort(n.OutSchema, rows, n.Keys)
 
 	case algebra.OpDupElim:
-		rows, err := e.exec(n.Children[0])
+		rows, err := e.exec(n.Children[0], st)
 		if err != nil {
 			return nil, err
 		}
@@ -145,7 +240,7 @@ func (e *Engine) exec(n *algebra.Node) ([]types.Row, error) {
 		return rowops.DupElim(rows), nil
 
 	case algebra.OpAggregate:
-		rows, err := e.exec(n.Children[0])
+		rows, err := e.exec(n.Children[0], st)
 		if err != nil {
 			return nil, err
 		}
@@ -158,11 +253,11 @@ func (e *Engine) exec(n *algebra.Node) ([]types.Row, error) {
 		return out, nil
 
 	case algebra.OpUnion:
-		left, err := e.exec(n.Children[0])
+		left, err := e.exec(n.Children[0], st)
 		if err != nil {
 			return nil, err
 		}
-		right, err := e.exec(n.Children[1])
+		right, err := e.exec(n.Children[1], st)
 		if err != nil {
 			return nil, err
 		}
@@ -171,11 +266,11 @@ func (e *Engine) exec(n *algebra.Node) ([]types.Row, error) {
 		return out, nil
 
 	case algebra.OpJoin:
-		left, err := e.exec(n.Children[0])
+		left, err := e.exec(n.Children[0], st)
 		if err != nil {
 			return nil, err
 		}
-		right, err := e.exec(n.Children[1])
+		right, err := e.exec(n.Children[1], st)
 		if err != nil {
 			return nil, err
 		}

@@ -231,3 +231,38 @@ func TestOO7SuiteAccuracy(t *testing.T) {
 		}
 	}
 }
+
+func TestResilienceMatrix(t *testing.T) {
+	res, err := Resilience(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make(map[string]ResilienceRow, len(res.Rows))
+	for _, row := range res.Rows {
+		rows[row.Scenario] = row
+		if row.Answered+row.Partial != row.Queries {
+			t.Errorf("%s: %d answered + %d partial != %d queries",
+				row.Scenario, row.Answered, row.Partial, row.Queries)
+		}
+	}
+	base, ok := rows["baseline"]
+	if !ok {
+		t.Fatal("no baseline scenario")
+	}
+	if base.Partial != 0 || base.Retries != 0 || base.Redials != 0 {
+		t.Errorf("baseline should need no healing: %+v", base)
+	}
+	if r := rows["drop"]; r.Redials == 0 || r.Partial != 0 {
+		t.Errorf("drop scenario should redial and still answer fully: %+v", r)
+	}
+	if r := rows["error"]; r.Retries == 0 || r.Partial != 0 {
+		t.Errorf("error scenario should retry and still answer fully: %+v", r)
+	}
+	if r := rows["delay"]; r.VirtualMS <= base.VirtualMS {
+		t.Errorf("delay scenario should cost more virtual time than baseline (%v vs %v)",
+			r.VirtualMS, base.VirtualMS)
+	}
+	if r := rows["outage"]; r.Partial == 0 {
+		t.Errorf("outage scenario should degrade to partial answers: %+v", r)
+	}
+}

@@ -8,6 +8,7 @@ package mediator
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"disco/internal/algebra"
@@ -68,6 +69,13 @@ type Mediator struct {
 	History   *history.Recorder
 
 	wrappers map[string]wrapper.Wrapper
+	// unavailable records wrappers that exhausted the transport's
+	// self-healing (engine submits failed with wrapper.ErrUnavailable).
+	// Their collections are excluded from answers (partial results),
+	// binding prefers surviving owners, and their cost rules are dropped
+	// so estimation falls back to the generic calibrated model — the
+	// paper's behaviour for sources that are only partially registered.
+	unavailable map[string]bool
 }
 
 // New builds an empty mediator.
@@ -86,12 +94,13 @@ func New(cfg Config) (*Mediator, error) {
 		return nil, err
 	}
 	m := &Mediator{
-		cfg:      cfg,
-		Clock:    cfg.Clock,
-		Net:      cfg.Net,
-		Catalog:  catalog.New(),
-		Registry: reg,
-		wrappers: make(map[string]wrapper.Wrapper),
+		cfg:         cfg,
+		Clock:       cfg.Clock,
+		Net:         cfg.Net,
+		Catalog:     catalog.New(),
+		Registry:    reg,
+		wrappers:    make(map[string]wrapper.Wrapper),
+		unavailable: make(map[string]bool),
 	}
 	m.Estimator = core.NewEstimator(reg, m.Catalog, cfg.Net)
 	m.Optimizer = optimizer.New(m.Catalog, m.Estimator, cfg.OptimizerOptions)
@@ -116,8 +125,37 @@ func (m *Mediator) rebuildEngine() error {
 			_ = rec.Record(w, subplan, elapsed, int64(rows), bytes)
 		}
 	}
+	eng.OnUnavailable = m.markUnavailable
 	m.Engine = eng
 	return nil
+}
+
+// markUnavailable degrades the mediator after a source outage: the
+// wrapper's collections stop being preferred at bind time and its
+// wrapper-specific cost rules are dropped, so estimation for plans over
+// surviving copies falls back to the generic calibrated model.
+func (m *Mediator) markUnavailable(name string) {
+	if m.unavailable[name] {
+		return
+	}
+	m.unavailable[name] = true
+	m.Registry.DropWrapper(name)
+}
+
+// Available reports whether a registered wrapper is currently usable.
+func (m *Mediator) Available(name string) bool {
+	_, registered := m.wrappers[name]
+	return registered && !m.unavailable[name]
+}
+
+// Unavailable lists the wrappers marked down, sorted.
+func (m *Mediator) Unavailable() []string {
+	out := make([]string, 0, len(m.unavailable))
+	for n := range m.unavailable {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Register runs the registration phase for one wrapper: catalog upload
@@ -144,6 +182,10 @@ func (m *Mediator) Register(w wrapper.Wrapper) error {
 		}
 	}
 	m.wrappers[w.Name()] = w
+	// (Re-)registration revives a wrapper previously marked unavailable:
+	// the rebuilt engine starts with clean down-marks and the rules just
+	// integrated above are live again.
+	delete(m.unavailable, w.Name())
 	return m.rebuildEngine()
 }
 
@@ -228,6 +270,13 @@ func (m *Mediator) bind(q *sqlparser.Query) (*optimizer.QueryBlock, error) {
 		wrapperName := tr.Wrapper
 		if wrapperName == "" {
 			owners := m.Catalog.FindCollection(tr.Collection)
+			// Prefer surviving owners: a replica at a live wrapper
+			// disambiguates away the dead ones. Only when no owner is
+			// alive does the unfiltered list apply (the engine will then
+			// return a partial answer with the dead wrapper excluded).
+			if alive := availableOwners(owners, m.unavailable); len(alive) > 0 {
+				owners = alive
+			}
 			switch len(owners) {
 			case 0:
 				return nil, fmt.Errorf("mediator: unknown collection %q", tr.Collection)
@@ -296,6 +345,20 @@ func (m *Mediator) bind(q *sqlparser.Query) (*optimizer.QueryBlock, error) {
 		}
 	}
 	return block, nil
+}
+
+// availableOwners filters a FindCollection result down to live wrappers.
+func availableOwners(owners []string, unavailable map[string]bool) []string {
+	if len(unavailable) == 0 {
+		return owners
+	}
+	out := make([]string, 0, len(owners))
+	for _, o := range owners {
+		if !unavailable[o] {
+			out = append(out, o)
+		}
+	}
+	return out
 }
 
 func inGroupBy(groupBy []algebra.Ref, r algebra.Ref) bool {

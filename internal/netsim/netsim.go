@@ -71,9 +71,12 @@ func (l Link) TransferMS(bytes int64) float64 {
 // Network models the communication substrate: a default link plus
 // per-wrapper overrides. The paper assumes uniform communication costs
 // (§2.3); per-wrapper links are the extension its future-work section
-// motivates. Network implements the cost model's NetProvider.
+// motivates. Network implements the cost model's NetProvider and is safe
+// for concurrent use: parallel optimizer workers read links while an
+// administrator (or a test) reconfigures them with SetLink.
 type Network struct {
 	Default Link
+	mu      sync.RWMutex
 	links   map[string]Link
 	clock   *Clock
 }
@@ -85,10 +88,16 @@ func NewNetwork(def Link, clock *Clock) *Network {
 }
 
 // SetLink overrides the link of one wrapper.
-func (n *Network) SetLink(wrapper string, l Link) { n.links[wrapper] = l }
+func (n *Network) SetLink(wrapper string, l Link) {
+	n.mu.Lock()
+	n.links[wrapper] = l
+	n.mu.Unlock()
+}
 
 // LinkFor returns the wrapper's link.
 func (n *Network) LinkFor(wrapper string) Link {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	if l, ok := n.links[wrapper]; ok {
 		return l
 	}

@@ -79,3 +79,38 @@ func TestNetworkNilClock(t *testing.T) {
 	n := NewNetwork(Link{LatencyMS: 1}, nil)
 	n.Ship("w", 100) // must not panic
 }
+
+// TestNetworkConcurrentReconfigure is the regression test for the links
+// race: since PR 1 parallel optimizer workers call LatencyMS/PerByteMS
+// concurrently, which used to race with SetLink on the unguarded map
+// (caught only under -race, which CI runs on this package).
+func TestNetworkConcurrentReconfigure(t *testing.T) {
+	n := NewNetwork(Link{LatencyMS: 10, PerByteMS: 0.001}, NewClock())
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = n.LatencyMS("w")
+				_ = n.PerByteMS("w")
+				_ = n.LinkFor("other")
+				n.Ship("w", 64)
+			}
+		}()
+	}
+	for i := 0; i < 500; i++ {
+		n.SetLink("w", Link{LatencyMS: float64(i), PerByteMS: 0.01})
+	}
+	close(stop)
+	wg.Wait()
+	if got := n.LatencyMS("w"); got != 499 {
+		t.Errorf("final latency = %v, want 499", got)
+	}
+}

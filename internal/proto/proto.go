@@ -30,6 +30,10 @@ type Response struct {
 	Columns   []string `json:"columns,omitempty"`
 	Rows      [][]any  `json:"rows,omitempty"`
 	ElapsedMS float64  `json:"elapsedMs,omitempty"`
+	// Partial marks an answer missing the contribution of unavailable
+	// wrappers, listed in Excluded.
+	Partial  bool     `json:"partial,omitempty"`
+	Excluded []string `json:"excluded,omitempty"`
 	// Free-form text payload (explain output, catalog dump, ...).
 	Text string `json:"text,omitempty"`
 }
@@ -89,14 +93,46 @@ func DecodeConstant(v any) types.Constant {
 	}
 }
 
+// EncodeFrame renders one message as its wire frame: the JSON encoding
+// followed by the newline delimiter.
+func EncodeFrame(v any) ([]byte, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
 // Write sends one message as a JSON line.
 func Write(w io.Writer, v any) error {
-	data, err := json.Marshal(v)
+	data, err := EncodeFrame(v)
 	if err != nil {
 		return err
 	}
-	data = append(data, '\n')
 	_, err = w.Write(data)
+	return err
+}
+
+// WriteTruncated writes only a prefix of the message's frame — at least
+// one byte, never the whole frame — leaving the peer mid-read. The fault
+// injector uses it to model a connection dropped while a response is in
+// flight, the failure mode that used to desync RemoteWrapper's stream.
+func WriteTruncated(w io.Writer, v any, frac float64) error {
+	data, err := EncodeFrame(v)
+	if err != nil {
+		return err
+	}
+	// Cut inside the JSON body, not merely before the newline: a frame
+	// missing only its delimiter would still decode once the connection
+	// closes and the reader sees EOF.
+	n := int(float64(len(data)) * frac)
+	if n > len(data)-2 {
+		n = len(data) - 2
+	}
+	if n < 1 {
+		n = 1
+	}
+	_, err = w.Write(data[:n])
 	return err
 }
 

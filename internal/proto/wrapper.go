@@ -105,6 +105,13 @@ type WrapperMeta struct {
 type WrapperResponse struct {
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
+	// Retryable marks a failed response as transient: the client may
+	// retry the same request (with backoff) and expect it to succeed.
+	// Semantic failures (bad plan, unknown op) are not retryable.
+	Retryable bool `json:"retryable,omitempty"`
+	// Unavailable marks the wrapper as permanently gone for this run;
+	// the client should stop retrying and report the source as down.
+	Unavailable bool `json:"unavailable,omitempty"`
 	// Meta answers "meta".
 	Meta *WrapperMeta `json:"meta,omitempty"`
 	// Execute results.

@@ -139,12 +139,12 @@ func (h *Histogram) Selectivity(op CmpOp, value types.Constant) float64 {
 		for _, b := range h.Buckets {
 			if h.inBucket(b, value) {
 				if b.Distinct <= 0 {
-					return 0
+					return h.eqFloor()
 				}
 				return clamp01(float64(b.Count) / float64(b.Distinct) / float64(h.Total))
 			}
 		}
-		return 0
+		return h.eqFloor()
 	case CmpNE:
 		return clamp01(1 - h.Selectivity(CmpEQ, value))
 	case CmpLT, CmpLE:
@@ -154,6 +154,19 @@ func (h *Histogram) Selectivity(op CmpOp, value types.Constant) float64 {
 	default:
 		return 1.0 / 3.0
 	}
+}
+
+// eqFloor is the selectivity floor for an equality probe that misses
+// every bucket or lands in a degenerate (zero-distinct) one. A hard zero
+// here zeroes out the cardinality of every operator above the selection,
+// collapsing all plans containing it to the same cost and hiding real
+// join work from the optimizer. The floor is 1/Total — the selectivity
+// of matching a single object, the smallest nonzero answer the histogram
+// can express — consistent with the 1/CountDistinct uniform path used
+// when no histogram exists (the two coincide when all values are
+// distinct).
+func (h *Histogram) eqFloor() float64 {
+	return clamp01(1 / float64(h.Total))
 }
 
 func (h *Histogram) inBucket(b Bucket, v types.Constant) bool {

@@ -42,8 +42,42 @@ func TestEquiWidthDegenerate(t *testing.T) {
 	if got := h.Selectivity(CmpEQ, types.Int(5)); got < 0.2 {
 		t.Errorf("eq selectivity on point distribution = %v, want high", got)
 	}
-	if got := h.Selectivity(CmpEQ, types.Int(99)); got != 0 {
-		t.Errorf("eq selectivity off-distribution = %v, want 0", got)
+	// Off-distribution probes floor at one object's worth of selectivity
+	// instead of a hard 0 (a zero here would zero out every join above).
+	if got := h.Selectivity(CmpEQ, types.Int(99)); got != 0.25 {
+		t.Errorf("eq selectivity off-distribution = %v, want the 1/Total floor 0.25", got)
+	}
+}
+
+func TestEqualityFloor(t *testing.T) {
+	// A hand-built histogram with a zero-distinct bucket (as a stale or
+	// corrupted catalog entry could carry): an equality probe landing in
+	// it must not report an impossible hard 0.
+	h := &Histogram{
+		Total: 100,
+		Buckets: []Bucket{
+			{Lo: types.Float(0), Hi: types.Float(10), Count: 50, Distinct: 0},
+			{Lo: types.Float(10), Hi: types.Float(20), Count: 50, Distinct: 5},
+		},
+	}
+	if got := h.Selectivity(CmpEQ, types.Int(3)); got != 0.01 {
+		t.Errorf("zero-distinct bucket eq = %v, want 1/Total floor 0.01", got)
+	}
+	// Probe past every bucket: same floor.
+	if got := h.Selectivity(CmpEQ, types.Int(40)); got != 0.01 {
+		t.Errorf("all-bucket miss eq = %v, want 1/Total floor 0.01", got)
+	}
+	// When every value is distinct the floor coincides with the
+	// 1/CountDistinct uniform path used when no histogram exists.
+	vals := make([]types.Constant, 0, 50)
+	for i := int64(0); i < 50; i++ {
+		vals = append(vals, types.Int(i))
+	}
+	hd := NewEquiDepth(vals, 5)
+	uniform := AttributeStats{CountDistinct: 50, Min: types.Int(0), Max: types.Int(49)}.
+		Selectivity(CmpEQ, types.Int(-7))
+	if got := hd.Selectivity(CmpEQ, types.Int(-7)); math.Abs(got-uniform) > 1e-12 {
+		t.Errorf("miss floor = %v, want the no-histogram estimate %v", got, uniform)
 	}
 }
 

@@ -1,9 +1,11 @@
 package wrapper
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"disco/internal/algebra"
 	"disco/internal/netsim"
@@ -12,45 +14,129 @@ import (
 	"disco/internal/types"
 )
 
+// ErrUnavailable marks a wrapper as unreachable after the self-healing
+// machinery gave up: retries were exhausted, redialing failed, or the
+// remote declared itself down. The engine treats a submit failing with
+// this error as a source outage and degrades to a partial answer rather
+// than failing the query.
+var ErrUnavailable = errors.New("wrapper unavailable")
+
+// RetryPolicy governs RemoteWrapper's per-request resilience: every
+// request runs under a wall-clock I/O deadline, transport failures tear
+// the connection down and redial, and retries back off exponentially.
+// Backoff is charged to the mediator's virtual clock so that waiting out
+// a flaky source costs simulated time, exactly like any other work.
+type RetryPolicy struct {
+	// MaxAttempts bounds the total tries per request (minimum 1).
+	MaxAttempts int
+	// BackoffMS is the virtual-clock backoff before the first retry.
+	BackoffMS float64
+	// BackoffMult scales the backoff on each further retry.
+	BackoffMult float64
+	// MaxBackoffMS caps the per-retry backoff.
+	MaxBackoffMS float64
+	// IOTimeout is the wall-clock deadline for one send+receive; zero
+	// disables deadlines (not recommended outside tests).
+	IOTimeout time.Duration
+}
+
+// DefaultRetryPolicy absorbs transient faults without masking a truly
+// dead source for long: four attempts, 25 ms starting backoff doubling to
+// a 400 ms ceiling, 5 s I/O deadline.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BackoffMS: 25, BackoffMult: 2, MaxBackoffMS: 400, IOTimeout: 5 * time.Second}
+}
+
+// backoffMS returns the virtual backoff before the given retry (1-based).
+func (p RetryPolicy) backoffMS(retry int) float64 {
+	b := p.BackoffMS
+	for i := 1; i < retry; i++ {
+		b *= p.BackoffMult
+	}
+	if p.MaxBackoffMS > 0 && b > p.MaxBackoffMS {
+		b = p.MaxBackoffMS
+	}
+	return b
+}
+
+// RemoteStats counts the self-healing machinery's interventions.
+type RemoteStats struct {
+	// Retries is the number of request re-attempts (any cause).
+	Retries int
+	// Redials is the number of reconnects after a torn-down transport.
+	Redials int
+}
+
 // RemoteWrapper exposes a wrapper running in another process (served by
 // Serve / cmd/wrapperd) to a local mediator. The registration payload is
 // fetched once at dial time; subplans are shipped as serialized plans and
 // the remote's measured virtual time is merged into the mediator's clock,
 // so response-time accounting stays consistent across processes.
+//
+// The transport self-heals: requests run under an I/O deadline, any
+// send/receive failure discards the connection (never reusing a half-read
+// stream) and redials, and failed attempts retry with exponential backoff
+// until RetryPolicy.MaxAttempts is exhausted — at which point the error
+// wraps ErrUnavailable so the mediator can degrade gracefully.
 type RemoteWrapper struct {
-	clock *netsim.Clock
+	clock  *netsim.Clock
+	policy RetryPolicy
+	dial   func() (net.Conn, error) // nil: connection cannot be re-established
 
 	mu      sync.Mutex
 	conn    net.Conn
 	r       *proto.Reader
+	stats   RemoteStats
 	meta    *proto.WrapperMeta
 	schemas map[string]*types.Schema
 	caps    Capabilities
 }
 
-// DialRemote connects to a wrapper server and fetches its registration
-// payload. clock is the mediator's virtual clock.
+// DialRemote connects to a wrapper server with the default retry policy
+// and fetches its registration payload. clock is the mediator's virtual
+// clock.
 func DialRemote(addr string, clock *netsim.Clock) (*RemoteWrapper, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialRemotePolicy(addr, clock, DefaultRetryPolicy())
+}
+
+// DialRemotePolicy is DialRemote with an explicit retry policy.
+func DialRemotePolicy(addr string, clock *netsim.Clock, policy RetryPolicy) (*RemoteWrapper, error) {
+	dial := func() (net.Conn, error) { return net.Dial("tcp", addr) }
+	conn, err := dial()
 	if err != nil {
 		return nil, fmt.Errorf("wrapper: dialing %s: %w", addr, err)
 	}
-	return NewRemoteWrapper(conn, clock)
+	return newRemote(conn, clock, dial, policy)
 }
 
 // NewRemoteWrapper wraps an established connection (tests use net.Pipe).
+// Without a dialer the wrapper cannot redial: the first transport failure
+// after the initial handshake makes it unavailable.
 func NewRemoteWrapper(conn net.Conn, clock *netsim.Clock) (*RemoteWrapper, error) {
+	return newRemote(conn, clock, nil, DefaultRetryPolicy())
+}
+
+// NewRemoteWrapperPolicy wraps an established connection with an explicit
+// redial function (nil disables reconnecting) and retry policy.
+func NewRemoteWrapperPolicy(conn net.Conn, clock *netsim.Clock, dial func() (net.Conn, error), policy RetryPolicy) (*RemoteWrapper, error) {
+	return newRemote(conn, clock, dial, policy)
+}
+
+func newRemote(conn net.Conn, clock *netsim.Clock, dial func() (net.Conn, error), policy RetryPolicy) (*RemoteWrapper, error) {
 	if clock == nil {
 		clock = netsim.NewClock()
 	}
-	w := &RemoteWrapper{clock: clock, conn: conn, r: proto.NewReader(conn)}
+	if policy.MaxAttempts < 1 {
+		policy.MaxAttempts = 1
+	}
+	w := &RemoteWrapper{clock: clock, policy: policy, dial: dial, conn: conn, r: proto.NewReader(conn)}
 	resp, err := w.roundtrip(&proto.WrapperRequest{Op: "meta"})
 	if err != nil {
-		conn.Close()
+		w.Close()
 		return nil, err
 	}
 	if resp.Meta == nil {
-		conn.Close()
+		w.Close()
 		return nil, fmt.Errorf("wrapper: remote returned no registration payload")
 	}
 	w.meta = resp.Meta
@@ -67,7 +153,7 @@ func NewRemoteWrapper(conn net.Conn, clock *netsim.Clock) (*RemoteWrapper, error
 	for _, c := range resp.Meta.Collections {
 		schema, err := proto.DecodeSchema(c.Schema)
 		if err != nil {
-			conn.Close()
+			w.Close()
 			return nil, fmt.Errorf("wrapper: remote schema of %s: %w", c.Name, err)
 		}
 		w.schemas[c.Name] = schema
@@ -76,20 +162,103 @@ func NewRemoteWrapper(conn net.Conn, clock *netsim.Clock) (*RemoteWrapper, error
 }
 
 // Close shuts the connection down.
-func (w *RemoteWrapper) Close() error { return w.conn.Close() }
+func (w *RemoteWrapper) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.conn == nil {
+		return nil
+	}
+	err := w.conn.Close()
+	w.conn, w.r = nil, nil
+	return err
+}
 
+// Stats reports how often the transport retried and redialed.
+func (w *RemoteWrapper) Stats() RemoteStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
+}
+
+// teardown discards the connection after a transport failure. The stream
+// may hold a half-written request or a half-read response; reusing it
+// would desync every subsequent exchange (the next reply would answer the
+// previous request), so the connection is closed and redialed instead.
+func (w *RemoteWrapper) teardown() {
+	if w.conn != nil {
+		w.conn.Close()
+	}
+	w.conn, w.r = nil, nil
+}
+
+// roundtrip sends one request and decodes its response, healing the
+// transport as needed: backoff (virtual time) between attempts, redial
+// after teardown, bounded by the retry policy. Responses marked
+// Unavailable, and exhausted retries, return an error wrapping
+// ErrUnavailable.
 func (w *RemoteWrapper) roundtrip(req *proto.WrapperRequest) (*proto.WrapperResponse, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	var lastErr error
+	for attempt := 1; attempt <= w.policy.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			// Waiting out a flaky source costs simulated time.
+			w.clock.Advance(w.policy.backoffMS(attempt - 1))
+			w.stats.Retries++
+		}
+		if w.conn == nil {
+			if w.dial == nil {
+				return nil, fmt.Errorf("wrapper: connection lost and no redial target (last error: %v): %w",
+					lastErr, ErrUnavailable)
+			}
+			conn, err := w.dial()
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			w.conn, w.r = conn, proto.NewReader(conn)
+			w.stats.Redials++
+		}
+		resp, err := w.attempt(req)
+		if err != nil {
+			// Transport failure: the stream state is unknown — discard it.
+			lastErr = err
+			w.teardown()
+			continue
+		}
+		// The remote measured virtual time even for failed attempts;
+		// merge it so injected delays and wasted work stay accounted.
+		w.clock.Advance(resp.VirtualMS)
+		switch {
+		case resp.Unavailable:
+			w.teardown()
+			return nil, fmt.Errorf("wrapper: remote declared itself down: %s: %w", resp.Error, ErrUnavailable)
+		case resp.OK:
+			return resp, nil
+		case resp.Retryable:
+			lastErr = fmt.Errorf("wrapper: remote transient error: %s", resp.Error)
+		default:
+			// Semantic failure: retrying cannot help.
+			return nil, fmt.Errorf("wrapper: remote: %s", resp.Error)
+		}
+	}
+	return nil, fmt.Errorf("wrapper: request failed after %d attempts (last error: %v): %w",
+		w.policy.MaxAttempts, lastErr, ErrUnavailable)
+}
+
+// attempt performs one deadline-bounded send+receive on the live
+// connection.
+func (w *RemoteWrapper) attempt(req *proto.WrapperRequest) (*proto.WrapperResponse, error) {
+	if w.policy.IOTimeout > 0 {
+		w.conn.SetDeadline(time.Now().Add(w.policy.IOTimeout))
+		defer w.conn.SetDeadline(time.Time{})
+	}
 	if err := proto.Write(w.conn, req); err != nil {
 		return nil, fmt.Errorf("wrapper: remote send: %w", err)
 	}
 	resp, err := w.r.ReadWrapperResponse()
 	if err != nil {
 		return nil, fmt.Errorf("wrapper: remote receive: %w", err)
-	}
-	if !resp.OK {
-		return nil, fmt.Errorf("wrapper: remote: %s", resp.Error)
 	}
 	return resp, nil
 }
@@ -159,8 +328,9 @@ func (w *RemoteWrapper) AttributeStats(collection, attr string) (stats.Attribute
 // CostRules implements Wrapper.
 func (w *RemoteWrapper) CostRules() string { return w.meta.CostRules }
 
-// Execute implements Wrapper: ships the subplan, decodes the rows, and
-// advances the mediator clock by the remote's measured virtual time.
+// Execute implements Wrapper: ships the subplan and decodes the rows. The
+// remote's measured virtual time (roundtrip merges it) advances the
+// mediator clock.
 func (w *RemoteWrapper) Execute(plan *algebra.Node) (*Result, error) {
 	resp, err := w.roundtrip(&proto.WrapperRequest{Op: "execute", Plan: proto.EncodePlan(plan)})
 	if err != nil {
@@ -174,13 +344,21 @@ func (w *RemoteWrapper) Execute(plan *algebra.Node) (*Result, error) {
 		}
 		rows[i] = row
 	}
-	w.clock.Advance(resp.VirtualMS)
 	return &Result{Rows: rows, Schema: plan.OutSchema, Bytes: resp.Bytes}, nil
 }
 
 // Serve answers the wrapper wire protocol for one local wrapper,
 // accepting connections until the listener closes. Each connection is
 // served on its own goroutine.
+func Serve(ln net.Listener, w Wrapper) error { return ServeFaulty(ln, w, nil) }
+
+// ServeFaulty is Serve through a fault injector: each request first
+// consults inj (nil injects nothing) and the decided fault is applied at
+// the transport — delays are billed as wrapper virtual time, errors
+// answer with a retryable failure, drops cut the connection mid-frame,
+// and unavailability refuses the request and every later one. cmd/wrapperd
+// wires its -faults flag here; in-process test servers drive the fault
+// matrix through the same path.
 //
 // Locking is scoped per request type. Only "execute" takes clockMu: the
 // virtual clock is per-process state shared by every connection, and the
@@ -190,18 +368,18 @@ func (w *RemoteWrapper) Execute(plan *algebra.Node) (*Result, error) {
 // "ping" read only the wrapper's immutable registration state and run
 // lock-free, so catalog refreshes on one connection never stall behind a
 // long-running execute on another.
-func Serve(ln net.Listener, w Wrapper) error {
+func ServeFaulty(ln net.Listener, w Wrapper, inj *netsim.Injector) error {
 	var clockMu sync.Mutex
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			return err
 		}
-		go serveConn(conn, w, &clockMu)
+		go serveConn(conn, w, &clockMu, inj)
 	}
 }
 
-func serveConn(conn net.Conn, w Wrapper, clockMu *sync.Mutex) {
+func serveConn(conn net.Conn, w Wrapper, clockMu *sync.Mutex, inj *netsim.Injector) {
 	defer conn.Close()
 	r := proto.NewReader(conn)
 	for {
@@ -209,7 +387,33 @@ func serveConn(conn net.Conn, w Wrapper, clockMu *sync.Mutex) {
 		if err != nil {
 			return
 		}
+		fault := inj.Next()
+		switch fault.Kind {
+		case netsim.FaultUnavailable:
+			// Answer once so the client can stop retrying, then cut the
+			// connection; later connections hit the latched injector too.
+			proto.Write(conn, &proto.WrapperResponse{
+				Error: "injected fault: wrapper unavailable", Unavailable: true,
+			})
+			return
+		case netsim.FaultError:
+			resp := &proto.WrapperResponse{
+				Error: "injected fault: transient error", Retryable: true, VirtualMS: fault.DelayMS,
+			}
+			if err := proto.Write(conn, resp); err != nil {
+				return
+			}
+			continue
+		}
 		resp := handleWrapperRequest(req, w, clockMu)
+		// A slow source bills its delay as virtual time the client merges.
+		resp.VirtualMS += fault.DelayMS
+		if fault.Kind == netsim.FaultDrop {
+			// The connection dies while the response is in flight: the
+			// client observes a mid-frame cut and must discard the stream.
+			proto.WriteTruncated(conn, resp, 0.5)
+			return
+		}
 		if err := proto.Write(conn, resp); err != nil {
 			return
 		}
