@@ -8,7 +8,7 @@ GO ?= go
 RACE_PKGS = ./internal/optimizer ./internal/mediator ./internal/wrapper ./internal/netsim
 
 .PHONY: all build test race bench experiments fmt vet clean \
-	ci ci-build ci-test ci-vet ci-fmt ci-race ci-faultmatrix ci-fuzz ci-bench
+	ci ci-build ci-test ci-vet ci-fmt ci-race ci-alloc ci-faultmatrix ci-fuzz ci-bench
 
 all: build test
 
@@ -21,8 +21,19 @@ test:
 race:
 	$(GO) test -race ./...
 
+# `make bench` sweeps every benchmark. Setting PROFILE=<dir> additionally
+# reruns the paper-scale root suite with CPU and heap profiles for
+# `go tool pprof` (profiles are per-process, so the ./... sweep cannot
+# write them itself); `go run ./cmd/experiments -cpuprofile/-memprofile`
+# profiles a full evaluation run instead — see EXPERIMENTS.md.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+ifdef PROFILE
+	mkdir -p $(PROFILE)
+	$(GO) test -run '^$$' -bench . -benchmem \
+		-cpuprofile $(PROFILE)/cpu.pprof -memprofile $(PROFILE)/mem.pprof \
+		-o $(PROFILE)/bench.test .
+endif
 
 # Full paper-scale evaluation tables (see EXPERIMENTS.md).
 experiments:
@@ -41,7 +52,7 @@ clean:
 # `make ci` runs exactly what .github/workflows/ci.yml runs; the workflow
 # invokes these ci-* targets so the two cannot drift. Run it before
 # pushing.
-ci: ci-build ci-test ci-vet ci-fmt ci-race ci-faultmatrix ci-fuzz ci-bench
+ci: ci-build ci-test ci-vet ci-fmt ci-race ci-alloc ci-faultmatrix ci-fuzz ci-bench
 
 ci-build:
 	$(GO) build ./...
@@ -59,6 +70,13 @@ ci-fmt:
 
 ci-race:
 	$(GO) test -race $(RACE_PKGS)
+
+# Steady-state allocation gates (testing.AllocsPerRun): pricing a warm
+# plan through EstimateRoot must not allocate at all, and memo probes
+# must stay allocation-free. Run without -race — the detector changes
+# allocation behaviour, so the tests skip themselves under it.
+ci-alloc:
+	$(GO) test -run 'Alloc' -count=1 ./internal/core ./internal/optimizer
 
 # The fault matrix under the race detector: every injected failure mode
 # (drop, transient error, delay, permanent outage) must recover or

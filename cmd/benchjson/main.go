@@ -28,9 +28,16 @@ type report struct {
 }
 
 type benchResult struct {
-	Name    string             `json:"name"`
-	Runs    int64              `json:"runs"`
-	Metrics map[string]float64 `json:"metrics"`
+	Name string `json:"name"`
+	Runs int64  `json:"runs"`
+	// The three standard testing metrics are promoted to named fields so
+	// cross-commit diffs of time and allocation behaviour need no map
+	// spelunking. Pointers distinguish "not reported" (absent, e.g. a run
+	// without -benchmem) from a genuine zero (a zero-allocation path).
+	NsPerOp     *float64           `json:"ns_per_op,omitempty"`
+	BytesPerOp  *float64           `json:"b_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics"`
 }
 
 func main() {
@@ -62,6 +69,14 @@ func main() {
 				break
 			}
 			res.Metrics[fields[i+1]] = v
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = &v
+			case "B/op":
+				res.BytesPerOp = &v
+			case "allocs/op":
+				res.AllocsPerOp = &v
+			}
 		}
 		rep.Benchmarks = append(rep.Benchmarks, res)
 	}

@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"disco/internal/experiments"
@@ -31,7 +33,38 @@ func main() {
 	workers := flag.Int("workers", 0, "optimizer search goroutines (0 = GOMAXPROCS, 1 = sequential)")
 	memo := flag.Bool("memo", false, "enable the optimizer's plan-cost memo table")
 	faults := flag.String("faults", "", "fault scenarios for -exp resilience (wrapper:drop=0.1,delay=50,...;... syntax)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file when the run completes")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // report live objects, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	faultSet, err := netsim.ParseFaultSpec(*faults)
 	if err != nil {

@@ -152,6 +152,13 @@ type Node struct {
 
 	// OutSchema is filled by Resolve; nil until then.
 	OutSchema *types.Schema
+
+	// Cached structural hash (see hash.go): filled lazily by
+	// StructuralHash, copied by Clone, cleared by InvalidateHashes. It
+	// covers only the structural fields above — never OutSchema — so
+	// Resolve does not invalidate it.
+	hashLo, hashHi uint64
+	hashOK         bool
 }
 
 // Convenience constructors. They keep plan-building code in the optimizer
@@ -214,6 +221,11 @@ func (n *Node) Clone() *Node {
 		Wrapper:    n.Wrapper,
 		Pred:       n.Pred.Clone(),
 		OutSchema:  n.OutSchema,
+		// A clone is structurally equal by construction, so the cached
+		// hash transfers.
+		hashLo: n.hashLo,
+		hashHi: n.hashHi,
+		hashOK: n.hashOK,
 	}
 	out.Cols = append([]string(nil), n.Cols...)
 	out.Keys = append([]SortKey(nil), n.Keys...)

@@ -18,9 +18,19 @@ type SchemaSource interface {
 // bottom-up, validating attribute references along the way. It must be run
 // before execution and before cost estimation (estimation uses attribute
 // positions for statistics lookups).
+//
+// Resolve is idempotent: a node with an output schema is skipped, subtree
+// included. The optimizer relies on this — candidate plans share resolved
+// subplans, and re-resolution must neither reallocate their schemas nor
+// write to nodes other goroutines are reading. The flip side is an
+// invariant on callers: structurally mutating a resolved node requires
+// clearing its OutSchema (and its ancestors') before resolving again.
 func Resolve(n *Node, src SchemaSource) error {
 	if n == nil {
 		return fmt.Errorf("algebra: resolve of nil plan")
+	}
+	if n.OutSchema != nil {
+		return nil
 	}
 	for _, c := range n.Children {
 		if err := Resolve(c, src); err != nil {

@@ -1,0 +1,22 @@
+package core
+
+import "testing"
+
+// BenchmarkEstimateRootSteady measures the steady-state pricing loop the
+// optimizer runs per candidate: same plan, warm scratch arena. The
+// companion AllocsPerRun tests in alloc_test.go gate it at zero
+// allocations; this benchmark tracks the time side.
+func BenchmarkEstimateRootSteady(b *testing.B) {
+	e := newTestEstimator(b)
+	plan := allocPlan(b)
+	if _, err := e.EstimateRoot(plan); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.EstimateRoot(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -19,11 +19,13 @@ import (
 //	Net.Latency          communication parameters of the executing wrapper
 //	Arity, C.Arity       schema widths (extension)
 type evalEnv struct {
-	est    *Estimator
-	ctx    *nodeCtx
-	rule   *Rule
-	match  *matchResult
-	locals map[string]types.Constant // the owning rule's evaluated lets
+	est   *Estimator
+	ctx   *nodeCtx
+	rule  *Rule
+	match *matchResult
+	// locals are the owning rule's evaluated lets (exact-name lookup, the
+	// same rule the map they replace used for its keys).
+	locals []letVal
 }
 
 // Lookup resolves a dotted path. Resolution order for the first segment:
@@ -33,15 +35,21 @@ func (e *evalEnv) Lookup(path []string) (types.Constant, bool) {
 	head := path[0]
 
 	// Rule-local lets (per node, per rule).
-	if v, ok := e.locals[head]; ok && len(path) == 1 {
-		return v, true
+	if len(path) == 1 {
+		for i := range e.locals {
+			if e.locals[i].name == head {
+				return e.locals[i].val, true
+			}
+		}
 	}
 	// Self result variables, computed earlier in canonical order.
-	if len(path) == 1 && isVarName(head) {
-		if v, ok := e.ctx.vars[canonVar(head)]; ok {
-			return types.Float(v), true
+	if len(path) == 1 {
+		if vi := varIndex(head); vi >= 0 {
+			if e.ctx.varsSet.Has(vi) {
+				return types.Float(e.ctx.vars[vi]), true
+			}
+			return types.Null, false
 		}
-		return types.Null, false
 	}
 	// Self arity.
 	if len(path) == 1 && strings.EqualFold(head, "Arity") {
@@ -65,10 +73,10 @@ func (e *evalEnv) Lookup(path []string) (types.Constant, bool) {
 	}
 	// Net parameters of the executing site.
 	if strings.EqualFold(head, "Net") && len(path) == 2 {
-		switch strings.ToLower(path[1]) {
-		case "latency":
+		switch {
+		case strings.EqualFold(path[1], "latency"):
 			return types.Float(e.est.Net.LatencyMS(e.ctx.wrapper)), true
-		case "perbyte":
+		case strings.EqualFold(path[1], "perbyte"):
 			return types.Float(e.est.Net.PerByteMS(e.ctx.wrapper)), true
 		}
 		return types.Null, false
@@ -115,9 +123,9 @@ func (e *evalEnv) resolveCollPath(b binding, tail []string) (types.Constant, boo
 	case 1:
 		name := tail[0]
 		// Child result variable (TotalTime of the input, etc.).
-		if b.ctx != nil && isVarName(name) {
-			if v, ok := b.ctx.vars[canonVar(name)]; ok {
-				return types.Float(v), true
+		if b.ctx != nil {
+			if vi := varIndex(name); vi >= 0 && b.ctx.varsSet.Has(vi) {
+				return types.Float(b.ctx.vars[vi]), true
 			}
 			// Fall through: an unestimated child (leaf collection
 			// target) may still answer from base statistics.
@@ -132,14 +140,14 @@ func (e *evalEnv) resolveCollPath(b binding, tail []string) (types.Constant, boo
 		if !ok {
 			return types.Null, false
 		}
-		switch strings.ToLower(name) {
-		case "countobject":
+		switch {
+		case strings.EqualFold(name, "countobject"):
 			return types.Int(ext.CountObject), true
-		case "totalsize":
+		case strings.EqualFold(name, "totalsize"):
 			return types.Int(ext.TotalSize), true
-		case "objectsize":
+		case strings.EqualFold(name, "objectsize"):
 			return types.Int(ext.ObjectSize), true
-		case "countpage":
+		case strings.EqualFold(name, "countpage"):
 			return types.Int(ext.CountPage(e.pageSize())), true
 		default:
 			return types.Null, false
@@ -155,19 +163,19 @@ func (e *evalEnv) resolveCollPath(b binding, tail []string) (types.Constant, boo
 		if !ok {
 			return types.Null, false
 		}
-		switch strings.ToLower(tail[1]) {
-		case "indexed":
+		switch {
+		case strings.EqualFold(tail[1], "indexed"):
 			return types.Bool(ast.Indexed), true
-		case "clustered":
+		case strings.EqualFold(tail[1], "clustered"):
 			return types.Bool(ast.Clustered), true
-		case "countdistinct":
+		case strings.EqualFold(tail[1], "countdistinct"):
 			return types.Int(ast.CountDistinct), true
-		case "min":
+		case strings.EqualFold(tail[1], "min"):
 			if ast.Min.IsNull() {
 				return types.Null, false
 			}
 			return ast.Min, true
-		case "max":
+		case strings.EqualFold(tail[1], "max"):
 			if ast.Max.IsNull() {
 				return types.Null, false
 			}
@@ -200,17 +208,23 @@ func (e *evalEnv) extentOf(b binding) (stats.ExtentStats, bool) {
 		return DefaultExtent, true
 	}
 	// Intermediate result: answer from the child's computed variables.
-	if b.ctx != nil && b.ctx.vars != nil {
+	if b.ctx != nil {
 		ext := stats.ExtentStats{}
-		co, ok1 := b.ctx.vars["CountObject"]
-		ts, ok2 := b.ctx.vars["TotalSize"]
-		os, ok3 := b.ctx.vars["ObjectSize"]
+		set := b.ctx.varsSet
+		ok1, ok2, ok3 := set.Has(idxCountObject), set.Has(idxTotalSize), set.Has(idxObjectSize)
+		co, ts, os := b.ctx.vars[idxCountObject], b.ctx.vars[idxTotalSize], b.ctx.vars[idxObjectSize]
 		if !ok1 && !ok2 {
 			return ext, false
 		}
-		ext.CountObject = int64(co)
-		ext.TotalSize = int64(ts)
-		ext.ObjectSize = int64(os)
+		if ok1 {
+			ext.CountObject = int64(co)
+		}
+		if ok2 {
+			ext.TotalSize = int64(ts)
+		}
+		if ok3 {
+			ext.ObjectSize = int64(os)
+		}
 		if !ok3 && ok1 && ok2 && co > 0 {
 			ext.ObjectSize = int64(ts / co)
 		}
@@ -235,11 +249,15 @@ func (e *evalEnv) attrStats(b binding, attr string) (stats.AttributeStats, bool)
 	return stats.AttributeStats{}, false
 }
 
-// attrStatsUnder searches the scans under a node for one exporting
-// statistics for the attribute.
+// attrStatsUnder searches the scans under a node, in walk order, for one
+// exporting statistics for the attribute (direct recursion rather than
+// materializing the scan list — this runs per formula evaluation).
 func attrStatsUnder(view CatalogView, n *algebra.Node, attr string) (stats.AttributeStats, bool) {
-	for _, scan := range n.Scans() {
-		if st, ok := view.Attribute(scan.Wrapper, scan.Collection, attr); ok {
+	if n.Kind == algebra.OpScan {
+		return view.Attribute(n.Wrapper, n.Collection, attr)
+	}
+	for _, c := range n.Children {
+		if st, ok := attrStatsUnder(view, c, attr); ok {
 			return st, true
 		}
 	}
@@ -252,14 +270,14 @@ func (e *evalEnv) Call(name string, args []types.Constant) (types.Constant, erro
 	if e.rule.Funcs != nil && e.rule.Funcs.Has(name) {
 		return e.rule.Funcs.Call(name, args)
 	}
-	switch strings.ToLower(name) {
-	case "selectivity":
+	switch {
+	case strings.EqualFold(name, "selectivity"):
 		return e.callSelectivity(args)
-	case "predsel":
+	case strings.EqualFold(name, "predsel"):
 		return types.Float(e.predSelectivity(e.ctx.node.Pred)), nil
-	case "joinsel":
+	case strings.EqualFold(name, "joinsel"):
 		return types.Float(e.joinSelectivity()), nil
-	case "groups":
+	case strings.EqualFold(name, "groups"):
 		return types.Float(e.groupEstimate()), nil
 	}
 	return types.Null, fmt.Errorf("unknown function %q", name)
@@ -337,24 +355,25 @@ func (e *evalEnv) joinSelectivity() float64 {
 	}
 	sel := 1.0
 	matched := false
-	for _, c := range p.JoinComparisons() {
-		l, okL := e.inputAttrStats(c.Left.Attr)
-		r, okR := e.inputAttrStats(c.RightAttr.Attr)
-		if !okL {
-			l = DefaultAttribute
+	for i := range p.Conjuncts {
+		c := &p.Conjuncts[i]
+		if c.IsJoin() {
+			l, okL := e.inputAttrStats(c.Left.Attr)
+			r, okR := e.inputAttrStats(c.RightAttr.Attr)
+			if !okL {
+				l = DefaultAttribute
+			}
+			if !okR {
+				r = DefaultAttribute
+			}
+			sel *= stats.JoinSelectivity(l, r)
+		} else {
+			st, ok := e.inputAttrStats(c.Left.Attr)
+			if !ok {
+				st = DefaultAttribute
+			}
+			sel *= st.Selectivity(c.Op, c.RightConst)
 		}
-		if !okR {
-			r = DefaultAttribute
-		}
-		sel *= stats.JoinSelectivity(l, r)
-		matched = true
-	}
-	for _, c := range p.SelectionComparisons() {
-		st, ok := e.inputAttrStats(c.Left.Attr)
-		if !ok {
-			st = DefaultAttribute
-		}
-		sel *= st.Selectivity(c.Op, c.RightConst)
 		matched = true
 	}
 	if !matched {
@@ -371,8 +390,8 @@ func (e *evalEnv) groupEstimate() float64 {
 	}
 	childCount := 1e9
 	if len(e.ctx.children) > 0 {
-		if v, ok := e.ctx.children[0].vars["CountObject"]; ok {
-			childCount = v
+		if c := e.ctx.children[0]; c.varsSet.Has(idxCountObject) {
+			childCount = c.vars[idxCountObject]
 		}
 	}
 	groups := 1.0

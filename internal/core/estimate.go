@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"disco/internal/algebra"
+	"disco/internal/costvm"
 	"disco/internal/types"
 )
 
@@ -99,10 +100,47 @@ type PlanCost struct {
 // TotalTime returns the root TotalTime in milliseconds.
 func (p *PlanCost) TotalTime() float64 { return p.Root.TotalTime() }
 
+// RootCost is the root-only result of EstimateRoot: the plan's computed
+// result variables without the per-node maps of PlanCost. The optimizer's
+// candidate pricing loop needs nothing more, and building it allocates
+// nothing.
+type RootCost struct {
+	vars [NumVars]float64
+	set  VarSet
+}
+
+// Var returns a computed root variable, or def when it was not computed.
+func (r RootCost) Var(name string, def float64) float64 {
+	if vi := varIndex(name); vi >= 0 && r.set.Has(vi) {
+		return r.vars[vi]
+	}
+	return def
+}
+
+// TotalTime returns the root TotalTime estimate in milliseconds.
+func (r RootCost) TotalTime() float64 {
+	if r.set.Has(idxTotalTime) {
+		return r.vars[idxTotalTime]
+	}
+	return 0
+}
+
+// TimeFirst returns the root TimeFirst estimate, falling back to
+// TotalTime when it was not computed.
+func (r RootCost) TimeFirst() float64 {
+	if r.set.Has(idxTimeFirst) {
+		return r.vars[idxTimeFirst]
+	}
+	return r.TotalTime()
+}
+
 // Estimator evaluates plan costs against the integrated rule hierarchy.
 // An Estimator is cheap to construct and safe for sequential reuse; use
 // one per goroutine — Clone makes an independent per-goroutine copy over
-// the same (read-only) registry, view and network model.
+// the same (read-only) registry, view and network model. Reuse is what
+// makes estimation fast: the estimator keeps a private scratch arena of
+// node contexts, match results and VM stacks that reaches a steady state
+// after the first few plans, after which estimation allocates nothing.
 type Estimator struct {
 	Registry *Registry
 	View     CatalogView
@@ -112,6 +150,10 @@ type Estimator struct {
 	// globals shadow them.
 	Globals map[string]types.Constant
 	Options Options
+
+	// scr is the reusable per-estimator scratch arena; lazily initialized
+	// so zero-value and literal-constructed estimators work.
+	scr *scratch
 }
 
 // NewEstimator builds an estimator with the generic-model default
@@ -131,11 +173,13 @@ func NewEstimator(reg *Registry, view CatalogView, net NetProvider) *Estimator {
 // Clone returns an independent estimator for use on another goroutine.
 // The registry, catalog view, network model and globals are shared — they
 // are read-only during estimation — while Options (including the mutable
-// per-search pruning Budget) are copied, so concurrent estimations never
-// observe each other's option state. The parallel plan search clones one
+// per-search pruning Budget) are copied and the scratch arena is dropped
+// (each clone lazily grows its own), so concurrent estimations never
+// observe each other's state. The parallel plan search clones one
 // estimator per worker.
 func (e *Estimator) Clone() *Estimator {
 	c := *e
+	c.scr = nil
 	c.Options.RootVars = append([]string(nil), e.Options.RootVars...)
 	return &c
 }
@@ -144,7 +188,67 @@ func (e *Estimator) Clone() *Estimator {
 // budget) so a reused or pooled estimator starts its next search clean.
 func (e *Estimator) Reset() { e.Options.Budget = 0 }
 
-// nodeCtx is the per-node working state of one estimation pass.
+// scratch is the estimator's reusable working memory. Node contexts and
+// match results are pooled behind stable pointers (used counters reset per
+// estimation, the objects and their inner slice capacities survive), and
+// one VM evaluation stack plus one eval environment are shared by every
+// formula evaluation. Estimation metrics accumulate here and are copied
+// into PlanCost at the end.
+type scratch struct {
+	ctxs    []*nodeCtx
+	ctxUsed int
+
+	matches   []*matchResult
+	matchUsed int
+
+	vmStack []types.Constant
+	env     evalEnv
+
+	nodesVisited int
+	formulaEvals int
+	rulesMatched int
+}
+
+func (s *scratch) reset() {
+	s.ctxUsed = 0
+	s.matchUsed = 0
+	s.nodesVisited = 0
+	s.formulaEvals = 0
+	s.rulesMatched = 0
+}
+
+func (s *scratch) newCtx() *nodeCtx {
+	if s.ctxUsed < len(s.ctxs) {
+		c := s.ctxs[s.ctxUsed]
+		s.ctxUsed++
+		c.reset()
+		return c
+	}
+	c := &nodeCtx{}
+	s.ctxs = append(s.ctxs, c)
+	s.ctxUsed++
+	return c
+}
+
+// takeMatch hands out a reset pooled match result; untakeMatch returns
+// the most recent one (a failed unification) to the pool.
+func (s *scratch) takeMatch() *matchResult {
+	if s.matchUsed < len(s.matches) {
+		m := s.matches[s.matchUsed]
+		s.matchUsed++
+		m.reset()
+		return m
+	}
+	m := &matchResult{}
+	s.matches = append(s.matches, m)
+	s.matchUsed++
+	return m
+}
+
+func (s *scratch) untakeMatch() { s.matchUsed-- }
+
+// nodeCtx is the per-node working state of one estimation pass. Contexts
+// are pooled on the estimator scratch; reset keeps the slice capacities.
 type nodeCtx struct {
 	node     *algebra.Node
 	wrapper  string // executing site: "" = mediator
@@ -155,54 +259,153 @@ type nodeCtx struct {
 	derivedColl    string
 	derivedWrapper string
 
-	vars     map[string]float64 // computed result variables
-	trace    map[string]string  // variable -> chosen rule (Options.Trace)
-	letCache map[*Rule]map[string]types.Constant
-	levels   []matchLevel // phase-1 association result
-	need     map[string]bool
+	vars    [NumVars]float64  // computed result variables, indexed like varOrder
+	varsSet VarSet            // which entries of vars are computed
+	trace   map[string]string // variable -> chosen rule (Options.Trace)
+	need    VarSet
+
+	// Phase-1 association result: matched (rule, bindings) pairs in
+	// most-specific-first order, flat, with levels delimiting the runs of
+	// equal (scope, specificity).
+	levels   []matchLevel
+	mrules   []*Rule
+	mmatches []*matchResult
+
+	// Per-rule evaluated lets of this node (small linear-scanned cache).
+	lets []letEntry
 }
 
-// matchLevel groups the matched rules of one (scope, specificity) level.
+func (c *nodeCtx) reset() {
+	c.node = nil
+	c.wrapper = ""
+	c.children = c.children[:0]
+	c.derivedColl = ""
+	c.derivedWrapper = ""
+	c.vars = [NumVars]float64{}
+	c.varsSet = 0
+	c.trace = nil
+	c.need = 0
+	c.levels = c.levels[:0]
+	c.mrules = c.mrules[:0]
+	c.mmatches = c.mmatches[:0]
+	c.lets = c.lets[:0]
+}
+
+// matchLevel delimits the matched rules of one (scope, specificity) level:
+// indexes [start, end) into the context's flat mrules/mmatches.
 type matchLevel struct {
 	scope       Scope
 	specificity int
-	rules       []*Rule
-	matches     []*matchResult
+	start, end  int
+}
+
+// letEntry caches one rule's evaluated lets for the current node.
+type letEntry struct {
+	rule *Rule
+	vals []letVal
+}
+
+// letVal is one evaluated let, keyed by its exact source spelling.
+type letVal struct {
+	name string
+	val  types.Constant
+}
+
+// letsFor returns the cached lets of a rule, if already evaluated.
+func (c *nodeCtx) letsFor(r *Rule) ([]letVal, bool) {
+	for i := range c.lets {
+		if c.lets[i].rule == r {
+			return c.lets[i].vals, true
+		}
+	}
+	return nil, false
+}
+
+// addLets appends a (reused-capacity) cache entry for a rule's lets.
+func (c *nodeCtx) addLets(r *Rule) *letEntry {
+	if len(c.lets) < cap(c.lets) {
+		c.lets = c.lets[:len(c.lets)+1]
+	} else {
+		c.lets = append(c.lets, letEntry{})
+	}
+	e := &c.lets[len(c.lets)-1]
+	e.rule = r
+	e.vals = e.vals[:0]
+	return e
+}
+
+// dropLastLets removes the entry addLets just created (a let failed to
+// evaluate; failures are not cached, matching the fallback semantics).
+func (c *nodeCtx) dropLastLets() { c.lets = c.lets[:len(c.lets)-1] }
+
+// run executes the two-phase algorithm over a resolved plan and returns
+// the root context; the context tree is valid until the estimator's next
+// estimation.
+func (e *Estimator) run(plan *algebra.Node) (*nodeCtx, error) {
+	if e.scr == nil {
+		e.scr = &scratch{}
+	}
+	sc := e.scr
+	sc.reset()
+	root := e.buildCtx(sc, plan, "")
+	var need VarSet
+	if e.Options.RequiredVarsOnly && len(e.Options.RootVars) > 0 {
+		for _, v := range e.Options.RootVars {
+			if vi := varIndex(v); vi >= 0 {
+				need = need.With(vi)
+			}
+		}
+	} else {
+		need = allVarSet
+	}
+	if err := e.estimateNode(sc, root, need); err != nil {
+		return nil, err
+	}
+	return root, nil
 }
 
 // Estimate runs the two-phase algorithm of Figure 11 over a resolved plan
 // and returns per-node costs. The plan must have been resolved
 // (algebra.Resolve) so schemas are available.
 func (e *Estimator) Estimate(plan *algebra.Node) (*PlanCost, error) {
-	pc := &PlanCost{ByNode: make(map[*algebra.Node]*NodeCost)}
-	root, err := e.buildCtx(plan, "")
+	root, err := e.run(plan)
 	if err != nil {
 		return nil, err
 	}
-	need := map[string]bool{}
-	if e.Options.RequiredVarsOnly && len(e.Options.RootVars) > 0 {
-		for _, v := range e.Options.RootVars {
-			need[v] = true
-		}
-	} else {
-		for _, v := range varOrder {
-			need[v] = true
-		}
-	}
-	if err := e.estimateNode(root, need, pc); err != nil {
-		return nil, err
+	sc := e.scr
+	pc := &PlanCost{
+		ByNode:       make(map[*algebra.Node]*NodeCost, sc.ctxUsed),
+		NodesVisited: sc.nodesVisited,
+		FormulaEvals: sc.formulaEvals,
+		RulesMatched: sc.rulesMatched,
 	}
 	collect(root, pc)
 	pc.Root = pc.ByNode[plan]
 	return pc, nil
 }
 
-func collect(ctx *nodeCtx, pc *PlanCost) {
-	nc := &NodeCost{Vars: ctx.vars, ChosenRules: ctx.trace}
-	if nc.Vars == nil {
-		nc.Vars = map[string]float64{}
+// EstimateRoot estimates a resolved plan and returns only the root result
+// variables. It is the optimizer's candidate-pricing fast path: the same
+// algorithm as Estimate, without materializing the per-node cost maps —
+// in steady state it performs no heap allocation at all.
+func (e *Estimator) EstimateRoot(plan *algebra.Node) (RootCost, error) {
+	root, err := e.run(plan)
+	if err != nil {
+		return RootCost{}, err
 	}
-	pc.ByNode[ctx.node] = nc
+	return RootCost{vars: root.vars, set: root.varsSet}, nil
+}
+
+// collect copies the pooled context tree into the long-lived PlanCost
+// maps (the contexts themselves are reused by the next estimation).
+func collect(ctx *nodeCtx, pc *PlanCost) {
+	vars := make(map[string]float64, NumVars)
+	for vi := 0; vi < NumVars; vi++ {
+		if ctx.varsSet.Has(vi) {
+			vars[varOrder[vi]] = ctx.vars[vi]
+		}
+	}
+	pc.ByNode[ctx.node] = &NodeCost{Vars: vars, ChosenRules: ctx.trace}
 	for _, c := range ctx.children {
 		collect(c, pc)
 	}
@@ -210,8 +413,10 @@ func collect(ctx *nodeCtx, pc *PlanCost) {
 
 // buildCtx computes the static per-node context: executing wrapper and
 // derived collection.
-func (e *Estimator) buildCtx(n *algebra.Node, wrapper string) (*nodeCtx, error) {
-	ctx := &nodeCtx{node: n, wrapper: wrapper}
+func (e *Estimator) buildCtx(sc *scratch, n *algebra.Node, wrapper string) *nodeCtx {
+	ctx := sc.newCtx()
+	ctx.node = n
+	ctx.wrapper = wrapper
 	// A scan always executes at the wrapper that owns its collection,
 	// whether or not a submit boundary has been placed above it yet; and
 	// a submit node models the target wrapper's boundary (delivery and
@@ -225,11 +430,7 @@ func (e *Estimator) buildCtx(n *algebra.Node, wrapper string) (*nodeCtx, error) 
 		childWrapper = n.Wrapper
 	}
 	for _, c := range n.Children {
-		cc, err := e.buildCtx(c, childWrapper)
-		if err != nil {
-			return nil, err
-		}
-		ctx.children = append(ctx.children, cc)
+		ctx.children = append(ctx.children, e.buildCtx(sc, c, childWrapper))
 	}
 	// Site inference: an operator with no submit boundary above it
 	// executes where its inputs live — if every child runs at the same
@@ -259,134 +460,109 @@ func (e *Estimator) buildCtx(n *algebra.Node, wrapper string) (*nodeCtx, error) 
 	default:
 		// joins, unions, aggregates derive from no single collection
 	}
-	return ctx, nil
+	return ctx
 }
 
 // estimateNode is the recursive step of Figure 11: (1) associate formulas
 // with the node, (2) recurse into children that owe variables, (3) apply
 // the formulas bottom-up.
-func (e *Estimator) estimateNode(ctx *nodeCtx, need map[string]bool, pc *PlanCost) error {
-	pc.NodesVisited++
+func (e *Estimator) estimateNode(sc *scratch, ctx *nodeCtx, need VarSet) error {
+	sc.nodesVisited++
 	// Step 1: associate cost formulas with node (most specific rules).
-	e.associate(ctx, pc)
+	e.associate(sc, ctx)
 
 	// Close `need` under self-references: a needed variable's candidate
 	// formulas may read earlier self variables.
 	ctx.need = e.closeNeed(ctx, need)
 
 	// Determine what each child must compute for the selected formulas.
-	childNeeds := e.childRequirements(ctx)
+	var childNeeds [2]VarSet
+	e.childRequirements(ctx, &childNeeds)
 
 	// Step 2: recursive traversal (cut when a child owes nothing).
 	for i, child := range ctx.children {
 		cn := childNeeds[i]
-		if e.Options.RequiredVarsOnly && len(cn) == 0 {
+		if e.Options.RequiredVarsOnly && cn.Empty() {
 			continue // traversal cut (§4.2 optimization ii)
 		}
-		if err := e.estimateNode(child, cn, pc); err != nil {
+		if err := e.estimateNode(sc, child, cn); err != nil {
 			return err
 		}
 	}
 
 	// Step 3: apply formulas to node.
-	if err := e.apply(ctx, pc); err != nil {
-		return err
-	}
-	if e.Options.Budget > 0 {
-		if t, ok := ctx.vars["TotalTime"]; ok && t > e.Options.Budget {
-			return ErrOverBudget
-		}
+	e.apply(sc, ctx)
+	if e.Options.Budget > 0 &&
+		ctx.varsSet.Has(idxTotalTime) && ctx.vars[idxTotalTime] > e.Options.Budget {
+		return ErrOverBudget
 	}
 	return nil
 }
 
 // associate matches the node against the rule hierarchy and stores the
 // matching levels, most specific first (paper §4.2 Step 1).
-func (e *Estimator) associate(ctx *nodeCtx, pc *PlanCost) {
-	var candidates []*Rule
-	if ctx.wrapper != "" {
-		candidates = e.Registry.WrapperRulesFor(ctx.wrapper, ctx.node.Kind)
-	}
+func (e *Estimator) associate(sc *scratch, ctx *nodeCtx) {
 	ctx.levels = ctx.levels[:0]
-	appendMatches := func(rules []*Rule, skipLocal, skipDefaultSiteMismatch bool) {
-		for _, r := range rules {
-			if skipLocal && r.Scope == ScopeLocal {
-				continue
-			}
-			_ = skipDefaultSiteMismatch
-			m, ok := matchRule(r, ctx)
-			pc.RulesMatched++
-			if !ok {
-				continue
-			}
-			n := len(ctx.levels)
-			if n > 0 && ctx.levels[n-1].scope == r.Scope && ctx.levels[n-1].specificity == r.Specificity {
-				ctx.levels[n-1].rules = append(ctx.levels[n-1].rules, r)
-				ctx.levels[n-1].matches = append(ctx.levels[n-1].matches, m)
-			} else {
-				ctx.levels = append(ctx.levels, matchLevel{
-					scope: r.Scope, specificity: r.Specificity,
-					rules: []*Rule{r}, matches: []*matchResult{m},
-				})
-			}
-		}
-	}
+	ctx.mrules = ctx.mrules[:0]
+	ctx.mmatches = ctx.mmatches[:0]
 	// Wrapper-site nodes consult the wrapper's own rules first, then the
 	// defaults; mediator-site nodes consult local-scope then default.
-	appendMatches(candidates, false, false)
 	if ctx.wrapper != "" {
-		appendMatches(e.Registry.DefaultRulesFor(ctx.node.Kind), true, false)
+		e.appendMatches(sc, ctx, e.Registry.WrapperRulesFor(ctx.wrapper, ctx.node.Kind), false)
+		e.appendMatches(sc, ctx, e.Registry.DefaultRulesFor(ctx.node.Kind), true)
 	} else {
-		appendMatches(e.Registry.DefaultRulesFor(ctx.node.Kind), false, false)
+		e.appendMatches(sc, ctx, e.Registry.DefaultRulesFor(ctx.node.Kind), false)
+	}
+}
+
+func (e *Estimator) appendMatches(sc *scratch, ctx *nodeCtx, rules []*Rule, skipLocal bool) {
+	for _, r := range rules {
+		if skipLocal && r.Scope == ScopeLocal {
+			continue
+		}
+		m := sc.takeMatch()
+		sc.rulesMatched++
+		if !matchRule(r, ctx, m) {
+			sc.untakeMatch()
+			continue
+		}
+		n := len(ctx.levels)
+		if n > 0 && ctx.levels[n-1].scope == r.Scope && ctx.levels[n-1].specificity == r.Specificity {
+			ctx.levels[n-1].end++
+		} else {
+			ctx.levels = append(ctx.levels, matchLevel{
+				scope: r.Scope, specificity: r.Specificity,
+				start: len(ctx.mrules), end: len(ctx.mrules) + 1,
+			})
+		}
+		ctx.mrules = append(ctx.mrules, r)
+		ctx.mmatches = append(ctx.mmatches, m)
 	}
 }
 
 // closeNeed extends the needed-variable set with self-referenced earlier
-// variables of the candidate formulas.
-func (e *Estimator) closeNeed(ctx *nodeCtx, need map[string]bool) map[string]bool {
-	out := make(map[string]bool, len(need))
-	for v := range need {
-		out[v] = true
-	}
+// variables of the candidate formulas. The per-rule closures are
+// precomputed at integration time (Rule.Finalize), so the fixpoint is a
+// handful of bitmask folds.
+func (e *Estimator) closeNeed(ctx *nodeCtx, need VarSet) VarSet {
 	if !e.Options.RequiredVarsOnly {
-		for _, v := range varOrder {
-			out[v] = true
-		}
-		return out
+		return allVarSet
 	}
 	// A formula that fails at evaluation time falls through to lower
 	// levels, so the closure must consider every level providing the
 	// variable, not only the most specific one.
+	out := need
 	for changed := true; changed; {
 		changed = false
-		for _, v := range varOrder {
-			if !out[v] {
-				continue
-			}
-			for li := range ctx.levels {
-				for _, r := range ctx.levels[li].rules {
-					if !r.Provides(v) {
-						continue
-					}
-					for _, f := range r.Formulas {
-						if f.Var != v {
-							continue
-						}
-						for _, p := range f.Prog.Paths {
-							if len(p) == 1 && isVarName(p[0]) && !out[canonVar(p[0])] {
-								out[canonVar(p[0])] = true
-								changed = true
-							}
-						}
-					}
-					for _, f := range r.Lets {
-						for _, p := range f.Prog.Paths {
-							if len(p) == 1 && isVarName(p[0]) && !out[canonVar(p[0])] {
-								out[canonVar(p[0])] = true
-								changed = true
-							}
-						}
-					}
+		for _, r := range ctx.mrules {
+			avail := r.provides & out
+			for vi := 0; vi < NumVars; vi++ {
+				if !avail.Has(vi) {
+					continue
+				}
+				if nw := out | r.closure[vi]; nw != out {
+					out = nw
+					changed = true
 				}
 			}
 		}
@@ -396,78 +572,56 @@ func (e *Estimator) closeNeed(ctx *nodeCtx, need map[string]bool) map[string]boo
 
 // childRequirements inspects the selected formulas' parameter paths and
 // computes, for each child, the set of result variables the formulas will
-// read from it (paper §4.2 optimization i).
-func (e *Estimator) childRequirements(ctx *nodeCtx) []map[string]bool {
-	reqs := make([]map[string]bool, len(ctx.children))
-	for i := range reqs {
-		reqs[i] = map[string]bool{}
-	}
+// read from it (paper §4.2 optimization i). Children number at most two,
+// so the result lives in a caller-provided array.
+func (e *Estimator) childRequirements(ctx *nodeCtx, reqs *[2]VarSet) {
 	if len(ctx.children) == 0 {
-		return reqs
+		return
 	}
 	if !e.Options.RequiredVarsOnly {
-		for i := range reqs {
-			for _, v := range varOrder {
-				reqs[i][v] = true
-			}
+		for i := range ctx.children {
+			reqs[i] = allVarSet
 		}
-		return reqs
-	}
-	addPathReq := func(m *matchResult, p []string) {
-		if len(p) != 2 || !isVarName(p[1]) {
-			return
-		}
-		b, ok := m.lookup(p[0])
-		if !ok || b.kind != bindColl || b.ctx == nil {
-			return
-		}
-		for i, c := range ctx.children {
-			if c == b.ctx {
-				reqs[i][canonVar(p[1])] = true
-			}
-		}
+		return
 	}
 	// Union the references of every level a needed variable's evaluation
 	// could fall through to: evaluation tries lower levels when a
 	// formula fails (missing stats, unsatisfied require()), so lower
 	// levels count too — until a level holds an infallible formula,
 	// which is guaranteed to stop the fallback there.
-	for _, v := range varOrder {
-		if !ctx.need[v] {
+	for vi := 0; vi < NumVars; vi++ {
+		if !ctx.need.Has(vi) {
 			continue
 		}
-	levelLoop:
 		for li := range ctx.levels {
-			level := &ctx.levels[li]
+			lv := &ctx.levels[li]
 			settled := false
-			for ri, r := range level.rules {
-				if !r.Provides(v) {
+			for ri := lv.start; ri < lv.end; ri++ {
+				r := ctx.mrules[ri]
+				if !r.provides.Has(vi) {
 					continue
 				}
-				m := level.matches[ri]
-				for _, f := range r.Formulas {
-					if f.Var != v {
+				if r.settles.Has(vi) {
+					settled = true
+				}
+				m := ctx.mmatches[ri]
+				for _, cr := range r.childRefs[vi] {
+					b, ok := m.lookup(cr.name)
+					if !ok || b.kind != bindColl || b.ctx == nil {
 						continue
 					}
-					if formulaInfallible(f) && len(r.Lets) == 0 {
-						settled = true
-					}
-					for _, p := range f.Prog.Paths {
-						addPathReq(m, p)
-					}
-				}
-				for _, f := range r.Lets {
-					for _, p := range f.Prog.Paths {
-						addPathReq(m, p)
+					for i, c := range ctx.children {
+						if c == b.ctx {
+							reqs[i] = reqs[i].With(cr.vi)
+						}
 					}
 				}
 			}
 			if settled {
-				break levelLoop
+				break
 			}
 		}
 	}
-	return reqs
 }
 
 // formulaInfallible reports whether a formula can never fail at
@@ -482,16 +636,16 @@ func formulaInfallible(f Formula) bool {
 // that fail (missing statistics, arithmetic errors) are skipped, and if a
 // whole level fails the next, less specific level is tried. The default
 // scope guarantees termination with a value for every variable.
-func (e *Estimator) apply(ctx *nodeCtx, pc *PlanCost) error {
-	ctx.vars = make(map[string]float64, len(varOrder))
-	ctx.letCache = nil
+func (e *Estimator) apply(sc *scratch, ctx *nodeCtx) {
+	ctx.varsSet = 0
+	ctx.lets = ctx.lets[:0]
 
 	var trace map[string]string
 	if e.Options.Trace {
 		trace = make(map[string]string)
 	}
-	for _, v := range varOrder {
-		if !ctx.need[v] {
+	for vi := 0; vi < NumVars; vi++ {
+		if !ctx.need.Has(vi) {
 			continue
 		}
 		best := 0.0
@@ -500,22 +654,29 @@ func (e *Estimator) apply(ctx *nodeCtx, pc *PlanCost) error {
 		// Walk levels most-specific-first; the first level where at
 		// least one formula evaluates wins.
 		for li := range ctx.levels {
-			level := &ctx.levels[li]
+			lv := &ctx.levels[li]
 			levelHas := false
-			for ri, r := range level.rules {
-				m := level.matches[ri]
-				for _, f := range r.Formulas {
-					if f.Var != v {
+			for ri := lv.start; ri < lv.end; ri++ {
+				r := ctx.mrules[ri]
+				if !r.provides.Has(vi) {
+					continue
+				}
+				m := ctx.mmatches[ri]
+				for fi := range r.Formulas {
+					f := &r.Formulas[fi]
+					if f.varIdx != vi {
 						continue
 					}
 					levelHas = true
-					val, err := e.evalFormula(ctx, r, m, f, pc)
+					val, err := e.evalFormula(sc, ctx, r, m, f)
 					if err != nil {
 						continue
 					}
 					if !found || val < best {
 						best = val
-						src = r.String()
+						if trace != nil {
+							src = r.String()
+						}
 					}
 					found = true
 				}
@@ -525,44 +686,52 @@ func (e *Estimator) apply(ctx *nodeCtx, pc *PlanCost) error {
 			}
 		}
 		if found {
-			ctx.vars[v] = best
+			ctx.vars[vi] = best
+			ctx.varsSet = ctx.varsSet.With(vi)
 			if trace != nil {
-				trace[v] = src
+				trace[varOrder[vi]] = src
 			}
 		}
 	}
 	ctx.trace = trace
-	return nil
 }
 
 // evalFormula evaluates one formula against the node, lazily evaluating
-// the owning rule's lets first.
-func (e *Estimator) evalFormula(ctx *nodeCtx, r *Rule, m *matchResult, f Formula, pc *PlanCost) (float64, error) {
-	env := &evalEnv{est: e, ctx: ctx, rule: r, match: m}
+// the owning rule's lets first. The eval environment and VM stack come
+// from the estimator scratch, so steady-state evaluation is allocation
+// free.
+func (e *Estimator) evalFormula(sc *scratch, ctx *nodeCtx, r *Rule, m *matchResult, f *Formula) (float64, error) {
+	env := &sc.env
+	env.est = e
+	env.ctx = ctx
+	env.rule = r
+	env.match = m
+	env.locals = nil
 	// Per-rule lets, evaluated once per (node, rule) and cached so that
-	// same-named lets of different rules cannot clash.
+	// same-named lets of different rules cannot clash. Failed lets are
+	// not cached: the next formula of the rule retries (and fails the
+	// same way), preserving the fallback semantics.
 	if len(r.Lets) > 0 {
-		if ctx.letCache == nil {
-			ctx.letCache = make(map[*Rule]map[string]types.Constant)
-		}
-		locals, done := ctx.letCache[r]
-		if !done {
-			locals = make(map[string]types.Constant, len(r.Lets))
-			env.locals = locals
+		if vals, ok := ctx.letsFor(r); ok {
+			env.locals = vals
+		} else {
+			entry := ctx.addLets(r)
 			for _, let := range r.Lets {
-				pc.FormulaEvals++
-				v, err := let.Prog.Eval(env)
+				sc.formulaEvals++
+				v, err := e.evalProg(sc, env, let.Prog)
 				if err != nil {
+					ctx.dropLastLets()
 					return 0, err
 				}
-				locals[let.Var] = v
+				entry.vals = append(entry.vals, letVal{name: let.Var, val: v})
+				// Later lets may reference earlier ones.
+				env.locals = entry.vals
 			}
-			ctx.letCache[r] = locals
+			env.locals = entry.vals
 		}
-		env.locals = locals
 	}
-	pc.FormulaEvals++
-	v, err := f.Prog.Eval(env)
+	sc.formulaEvals++
+	v, err := e.evalProg(sc, env, f.Prog)
 	if err != nil {
 		return 0, err
 	}
@@ -576,22 +745,13 @@ func (e *Estimator) evalFormula(ctx *nodeCtx, r *Rule, m *matchResult, f Formula
 	return x, nil
 }
 
-func isVarName(name string) bool {
-	for _, v := range varOrder {
-		if strings.EqualFold(v, name) {
-			return true
-		}
+// evalProg runs a program on the scratch VM stack, growing it to the
+// largest MaxStack seen so EvalStack never reallocates.
+func (e *Estimator) evalProg(sc *scratch, env *evalEnv, p *costvm.Program) (types.Constant, error) {
+	if cap(sc.vmStack) < p.MaxStack {
+		sc.vmStack = make([]types.Constant, 0, p.MaxStack+8)
 	}
-	return false
-}
-
-func canonVar(name string) string {
-	for _, v := range varOrder {
-		if strings.EqualFold(v, name) {
-			return v
-		}
-	}
-	return name
+	return p.EvalStack(env, sc.vmStack)
 }
 
 // Explain renders a per-node report of the estimate with the chosen rules;

@@ -13,13 +13,13 @@ import (
 )
 
 // newTestEstimator wires the default registry to the fixture catalog.
-func newTestEstimator(t *testing.T) *Estimator {
+func newTestEstimator(t testing.TB) *Estimator {
 	t.Helper()
 	reg := MustDefaultRegistry()
 	return NewEstimator(reg, newFixtureView(), UniformNet{Latency: 10, PerByte: 0.0005})
 }
 
-func resolve(t *testing.T, plan *algebra.Node) *algebra.Node {
+func resolve(t testing.TB, plan *algebra.Node) *algebra.Node {
 	t.Helper()
 	if err := algebra.Resolve(plan, fixtureSchemas()); err != nil {
 		t.Fatal(err)

@@ -38,27 +38,54 @@ type binding struct {
 // matchResult carries the unified bindings of one successful head match,
 // plus the predicate components the match consumed (used by the contextual
 // selectivity function even when the rule head bound them as constants).
+// Results are pooled on the estimator's scratch space; bindings live in a
+// small reused slice (heads have at most a handful of variables) searched
+// case-insensitively, which replaces the per-match map and the lower-cased
+// key allocations.
 type matchResult struct {
-	bindings map[string]binding
+	bindings []namedBinding
 	selAttr  string
 	selOp    stats.CmpOp
 	selValue types.Constant
 	hasSel   bool
 }
 
+// namedBinding is one head-variable binding, keyed by the variable's
+// original spelling (lookups fold case).
+type namedBinding struct {
+	name string
+	b    binding
+}
+
+// reset clears the result for reuse, keeping the bindings capacity.
+func (m *matchResult) reset() {
+	m.bindings = m.bindings[:0]
+	m.selAttr = ""
+	m.selOp = 0
+	m.selValue = types.Null
+	m.hasSel = false
+}
+
 func (m *matchResult) bind(name string, b binding) {
 	if name == "" {
 		return
 	}
-	if m.bindings == nil {
-		m.bindings = make(map[string]binding, 4)
+	for i := range m.bindings {
+		if strings.EqualFold(m.bindings[i].name, name) {
+			m.bindings[i].b = b
+			return
+		}
 	}
-	m.bindings[strings.ToLower(name)] = b
+	m.bindings = append(m.bindings, namedBinding{name: name, b: b})
 }
 
 func (m *matchResult) lookup(name string) (binding, bool) {
-	b, ok := m.bindings[strings.ToLower(name)]
-	return b, ok
+	for i := range m.bindings {
+		if strings.EqualFold(m.bindings[i].name, name) {
+			return m.bindings[i].b, true
+		}
+	}
+	return binding{}, false
 }
 
 // collTarget is a position a collection term can unify with.
@@ -68,57 +95,66 @@ type collTarget struct {
 	wrapper string
 }
 
-// matchRule unifies a rule head with a plan node (paper §3.3.2). It
-// returns the bindings and true on success.
-func matchRule(rule *Rule, ctx *nodeCtx) (*matchResult, bool) {
+// matchRule unifies a rule head with a plan node (paper §3.3.2), writing
+// the bindings into the caller-provided (pooled, reset) result; it reports
+// whether the match succeeded.
+func matchRule(rule *Rule, ctx *nodeCtx, m *matchResult) bool {
 	if rule.Op != ctx.node.Kind {
-		return nil, false
+		return false
 	}
 	if rule.Exact != nil {
-		if !ctx.node.Equal(rule.Exact) {
-			return nil, false
+		// The structural hash is a cheap prefilter for the deep equality
+		// check: Equal implies equal hashes, so a hash mismatch rejects
+		// without walking the trees.
+		if ctx.node.StructuralHash() != rule.exactHash || !ctx.node.Equal(rule.Exact) {
+			return false
 		}
 		if len(rule.Terms) == 0 {
 			// An exact rule's formulas are observed constants; no
 			// bindings are needed.
-			return &matchResult{}, true
+			return true
 		}
 	}
-	m := &matchResult{}
 	node := ctx.node
 
-	// Lay out the unification targets for this operator shape.
-	var colls []collTarget
+	// Lay out the unification targets for this operator shape. A fixed
+	// array keeps the hot path off the heap (operators have at most two
+	// collection positions).
+	var collArr [2]collTarget
 	var pred *algebra.Predicate
 	hasPredPosition := false
+	nColls := 1
 	switch node.Kind {
 	case algebra.OpScan:
-		colls = []collTarget{{coll: node.Collection, wrapper: node.Wrapper}}
+		collArr[0] = collTarget{coll: node.Collection, wrapper: node.Wrapper}
 	case algebra.OpSelect:
-		colls = []collTarget{childTarget(ctx, 0)}
+		collArr[0] = childTarget(ctx, 0)
 		pred = node.Pred
 		hasPredPosition = true
 	case algebra.OpJoin:
-		colls = []collTarget{childTarget(ctx, 0), childTarget(ctx, 1)}
+		collArr[0], collArr[1] = childTarget(ctx, 0), childTarget(ctx, 1)
+		nColls = 2
 		pred = node.Pred
 		hasPredPosition = true
 	case algebra.OpUnion:
-		colls = []collTarget{childTarget(ctx, 0), childTarget(ctx, 1)}
+		collArr[0], collArr[1] = childTarget(ctx, 0), childTarget(ctx, 1)
+		nColls = 2
 	case algebra.OpProject, algebra.OpSort, algebra.OpDupElim,
 		algebra.OpAggregate, algebra.OpSubmit:
-		colls = []collTarget{childTarget(ctx, 0)}
+		collArr[0] = childTarget(ctx, 0)
 	default:
-		return nil, false
+		return false
 	}
+	colls := collArr[:nColls]
 
 	terms := rule.Terms
 	// Unify collection positions.
 	for i, target := range colls {
 		if i >= len(terms) {
-			return nil, false // head has fewer args than the operator shape
+			return false // head has fewer args than the operator shape
 		}
 		if !unifyColl(m, terms[i], target) {
-			return nil, false
+			return false
 		}
 	}
 	rest := terms[len(colls):]
@@ -127,16 +163,16 @@ func matchRule(rule *Rule, ctx *nodeCtx) (*matchResult, bool) {
 	// supplies a term for it.
 	if len(rest) > 0 {
 		if !hasPredPosition {
-			return nil, false // e.g. scan(C, X) can never match
+			return false // e.g. scan(C, X) can never match
 		}
 		if len(rest) > 1 {
-			return nil, false
+			return false
 		}
 		if !unifyPred(m, rest[0], pred) {
-			return nil, false
+			return false
 		}
 	}
-	return m, true
+	return true
 }
 
 func childTarget(ctx *nodeCtx, i int) collTarget {
@@ -168,7 +204,7 @@ func unifyPred(m *matchResult, t HeadTerm, pred *algebra.Predicate) bool {
 	if t.Kind == TermVar {
 		m.bind(t.Name, binding{kind: bindPred, pred: pred})
 		if pred != nil && len(pred.Conjuncts) == 1 {
-			recordSel(m, pred.Conjuncts[0])
+			recordSel(m, &pred.Conjuncts[0])
 		}
 		return true
 	}
@@ -178,20 +214,16 @@ func unifyPred(m *matchResult, t HeadTerm, pred *algebra.Predicate) bool {
 	if pred == nil || len(pred.Conjuncts) != 1 {
 		return false
 	}
-	c := pred.Conjuncts[0]
+	c := &pred.Conjuncts[0]
 	if matchCmp(m, t, c) {
 		recordSel(m, c)
 		return true
 	}
 	// Equi-comparisons are symmetric: try the flipped conjunct so that a
-	// head `a = b` also matches a node predicate `b = a`.
+	// head `a = b` also matches a node predicate `b = a`. The comparison is
+	// passed as parts rather than a rebuilt Comparison so no local escapes.
 	if c.IsJoin() {
-		flipped := algebra.Comparison{
-			Left:      *c.RightAttr,
-			Op:        c.Op.Flip(),
-			RightAttr: &c.Left,
-		}
-		if matchCmp(m, t, flipped) {
+		if matchCmpParts(m, t, c.RightAttr.Attr, c.Op.Flip(), true, c.Left.Attr, types.Null) {
 			recordSel(m, c)
 			return true
 		}
@@ -199,7 +231,7 @@ func unifyPred(m *matchResult, t HeadTerm, pred *algebra.Predicate) bool {
 	return false
 }
 
-func recordSel(m *matchResult, c algebra.Comparison) {
+func recordSel(m *matchResult, c *algebra.Comparison) {
 	if c.IsJoin() {
 		return
 	}
@@ -209,29 +241,39 @@ func recordSel(m *matchResult, c algebra.Comparison) {
 	m.hasSel = true
 }
 
-func matchCmp(m *matchResult, t HeadTerm, c algebra.Comparison) bool {
-	if t.Op != c.Op {
+func matchCmp(m *matchResult, t HeadTerm, c *algebra.Comparison) bool {
+	if c.IsJoin() {
+		return matchCmpParts(m, t, c.Left.Attr, c.Op, true, c.RightAttr.Attr, types.Null)
+	}
+	return matchCmpParts(m, t, c.Left.Attr, c.Op, false, "", c.RightConst)
+}
+
+// matchCmpParts unifies a head comparison term against a node comparison
+// decomposed into its parts: leftAttr op rightAttr (join) or
+// leftAttr op rightConst (selection).
+func matchCmpParts(m *matchResult, t HeadTerm, leftAttr string, op stats.CmpOp,
+	isJoin bool, rightAttr string, rightConst types.Constant) bool {
+	if t.Op != op {
 		return false
 	}
 	// Attribute side.
 	if t.Attr != "" {
-		if !strings.EqualFold(t.Attr, c.Left.Attr) {
+		if !strings.EqualFold(t.Attr, leftAttr) {
 			return false
 		}
 	}
 	// Value side.
-	switch {
-	case c.IsJoin():
+	if isJoin {
 		// The right-hand side is an attribute.
 		if t.BoundVal {
-			if !t.ValueIsAttr || !strings.EqualFold(t.Value.AsString(), c.RightAttr.Attr) {
+			if !t.ValueIsAttr || !strings.EqualFold(t.Value.AsString(), rightAttr) {
 				return false
 			}
 		}
-	default:
+	} else {
 		// The right-hand side is a constant.
 		if t.BoundVal {
-			if t.ValueIsAttr || !t.Value.Equal(c.RightConst) {
+			if t.ValueIsAttr || !t.Value.Equal(rightConst) {
 				return false
 			}
 		}
@@ -241,13 +283,13 @@ func matchCmp(m *matchResult, t HeadTerm, c algebra.Comparison) bool {
 	// per-call anyway, but partial state would leak through the flipped
 	// retry in unifyPred).
 	if t.AttrVar != "" {
-		m.bind(t.AttrVar, binding{kind: bindAttr, str: c.Left.Attr})
+		m.bind(t.AttrVar, binding{kind: bindAttr, str: leftAttr})
 	}
 	if t.ValueVar != "" {
-		if c.IsJoin() {
-			m.bind(t.ValueVar, binding{kind: bindAttr, str: c.RightAttr.Attr})
+		if isJoin {
+			m.bind(t.ValueVar, binding{kind: bindAttr, str: rightAttr})
 		} else {
-			m.bind(t.ValueVar, binding{kind: bindValue, val: c.RightConst})
+			m.bind(t.ValueVar, binding{kind: bindValue, val: rightConst})
 		}
 	}
 	return true

@@ -125,6 +125,10 @@ func (t HeadTerm) String() string {
 type Formula struct {
 	Var  string // canonical result-variable name
 	Prog *costvm.Program
+
+	// varIdx is Var's index in varOrder (-1 when Var is not a canonical
+	// result variable), filled by Rule.Finalize.
+	varIdx int
 }
 
 // Rule is a compiled, integrated cost rule. Rules are immutable after
@@ -163,6 +167,91 @@ type Rule struct {
 	Globals map[string]types.Constant
 	// Source describes where the rule came from, for Explain output.
 	Source string
+
+	// Matching metadata precomputed by Finalize so the estimation hot loop
+	// runs on bitsets instead of re-scanning formula strings and parameter
+	// paths per node. Every registry integration path finalizes; code that
+	// mutates Formulas/Lets of a registered rule in place (the history
+	// recorder) must call Finalize again.
+	provides  VarSet              // variables some formula assigns
+	settles   VarSet              // variables with an infallible formula (and no lets)
+	closure   [NumVars]VarSet     // self result variables read when computing variable i
+	childRefs [NumVars][]childRef // child result variables read when computing variable i
+	exactHash algebra.Hash128     // Exact plan's structural hash (when Exact != nil)
+}
+
+// childRef is one precomputed child-variable reference of a rule body: the
+// head-binding name whose bound child must supply result variable vi.
+type childRef struct {
+	name string
+	vi   int
+}
+
+// Finalize computes the rule's derived matching metadata. Registry
+// integration calls it for every rule; it must be called again after any
+// in-place mutation of Formulas or Lets.
+func (r *Rule) Finalize() {
+	// Let bodies run before every formula of the rule, so their parameter
+	// references count towards every provided variable.
+	var letSelf VarSet
+	var letChild []childRef
+	for _, f := range r.Lets {
+		for _, p := range f.Prog.Paths {
+			if len(p) == 1 {
+				if vi := varIndex(p[0]); vi >= 0 {
+					letSelf = letSelf.With(vi)
+				}
+			} else if len(p) == 2 {
+				if vi := varIndex(p[1]); vi >= 0 {
+					letChild = addChildRef(letChild, p[0], vi)
+				}
+			}
+		}
+	}
+	r.provides, r.settles = 0, 0
+	for i := range r.closure {
+		r.closure[i] = 0
+		r.childRefs[i] = nil
+	}
+	for i := range r.Formulas {
+		f := &r.Formulas[i]
+		f.varIdx = varIndexExact(f.Var)
+		vi := f.varIdx
+		if vi < 0 {
+			continue
+		}
+		r.provides = r.provides.With(vi)
+		if formulaInfallible(*f) && len(r.Lets) == 0 {
+			r.settles = r.settles.With(vi)
+		}
+		r.closure[vi] |= letSelf
+		for _, c := range letChild {
+			r.childRefs[vi] = addChildRef(r.childRefs[vi], c.name, c.vi)
+		}
+		for _, p := range f.Prog.Paths {
+			if len(p) == 1 {
+				if j := varIndex(p[0]); j >= 0 {
+					r.closure[vi] = r.closure[vi].With(j)
+				}
+			} else if len(p) == 2 {
+				if j := varIndex(p[1]); j >= 0 {
+					r.childRefs[vi] = addChildRef(r.childRefs[vi], p[0], j)
+				}
+			}
+		}
+	}
+	if r.Exact != nil {
+		r.exactHash = r.Exact.StructuralHash()
+	}
+}
+
+func addChildRef(refs []childRef, name string, vi int) []childRef {
+	for _, c := range refs {
+		if c.vi == vi && strings.EqualFold(c.name, name) {
+			return refs
+		}
+	}
+	return append(refs, childRef{name: name, vi: vi})
 }
 
 // Provides reports whether the rule has a formula for the named variable.
@@ -387,6 +476,9 @@ func indexByOp(rules []*Rule) map[algebra.OpKind][]*Rule {
 }
 
 func sortRules(rules []*Rule) {
+	for _, r := range rules {
+		r.Finalize()
+	}
 	sort.SliceStable(rules, func(i, j int) bool {
 		a, b := rules[i], rules[j]
 		if a.Scope != b.Scope {

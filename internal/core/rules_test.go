@@ -10,6 +10,13 @@ import (
 	"disco/internal/types"
 )
 
+// tryMatch adapts matchRule's pooled-result signature for tests.
+func tryMatch(r *Rule, ctx *nodeCtx) (*matchResult, bool) {
+	m := &matchResult{}
+	ok := matchRule(r, ctx, m)
+	return m, ok
+}
+
 func mustParse(t *testing.T, src string) *costlang.File {
 	t.Helper()
 	f, err := costlang.Parse(src)
@@ -184,16 +191,16 @@ scan(C) { TotalTime = 2; }`
 			varRule = r
 		}
 	}
-	if _, ok := matchRule(collRule, scanEmp); !ok {
+	if _, ok := tryMatch(collRule, scanEmp); !ok {
 		t.Error("collection rule should match Employee scan")
 	}
-	if _, ok := matchRule(collRule, scanMgr); ok {
+	if _, ok := tryMatch(collRule, scanMgr); ok {
 		t.Error("collection rule should not match Manager scan")
 	}
-	if _, ok := matchRule(varRule, scanMgr); !ok {
+	if _, ok := tryMatch(varRule, scanMgr); !ok {
 		t.Error("variable rule should match any scan")
 	}
-	if _, ok := matchRule(varRule, &nodeCtx{node: algebra.DupElim(algebra.Scan("src1", "Employee")),
+	if _, ok := tryMatch(varRule, &nodeCtx{node: algebra.DupElim(algebra.Scan("src1", "Employee")),
 		children: []*nodeCtx{scanEmp}}); ok {
 		t.Error("scan rule must not match dupelim node")
 	}
@@ -245,7 +252,7 @@ select(C, A > V)              { TotalTime = 5; }`
 			continue
 		}
 		for ctx, expect := range want {
-			if _, got := matchRule(r, ctx); got != expect {
+			if _, got := tryMatch(r, ctx); got != expect {
 				t.Errorf("rule %v vs %s: match = %v, want %v", tag(r), names[ctx], got, expect)
 			}
 		}
@@ -267,7 +274,7 @@ func TestMatchBindings(t *testing.T) {
 		wrapper:  "src1",
 		children: []*nodeCtx{scanCtx},
 	}
-	m, ok := matchRule(rule, sel)
+	m, ok := tryMatch(rule, sel)
 	if !ok {
 		t.Fatal("no match")
 	}
@@ -302,7 +309,7 @@ func TestMatchJoinFlipped(t *testing.T) {
 		node:     algebra.Join(empCtx.node, mgrCtx.node, algebra.NewJoinPred(ref("Employee", "id"), ref("Manager", "id"))),
 		children: []*nodeCtx{empCtx, mgrCtx},
 	}
-	m, ok := matchRule(rule, join)
+	m, ok := tryMatch(rule, join)
 	if !ok {
 		t.Fatal("join rule should match")
 	}

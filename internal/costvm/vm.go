@@ -8,6 +8,7 @@
 package costvm
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -15,6 +16,11 @@ import (
 	"disco/internal/costlang"
 	"disco/internal/types"
 )
+
+// ErrUnknownParam reports that a formula referenced a parameter the
+// environment cannot resolve — the routine estimation failure that makes
+// the estimator fall back to a less specific rule.
+var ErrUnknownParam = errors.New("costvm: unknown parameter")
 
 // Env resolves parameter references and function calls during evaluation.
 // The cost model supplies an Env wired to the plan node being estimated
@@ -288,8 +294,10 @@ func (p *Program) evalWith(env Env, stack []types.Constant) (val types.Constant,
 			}
 			v, ok := env.Lookup(p.Paths[in.A])
 			if !ok {
-				return types.Null, fmt.Errorf("costvm: unknown parameter %s in %q",
-					strings.Join(p.Paths[in.A], "."), p.Source)
+				// The usual estimation failure (a missing statistic): the
+				// estimator's level-fallback machinery catches it, so a
+				// static sentinel avoids formatting an error on every miss.
+				return types.Null, ErrUnknownParam
 			}
 			stack = append(stack, v)
 		case opNeg:

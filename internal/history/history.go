@@ -95,8 +95,10 @@ func (r *Recorder) Record(wrapper string, plan *algebra.Node, elapsedMS float64,
 	}
 	if e.rule != nil {
 		// Update the injected rule in place; the registry holds the same
-		// pointer.
+		// pointer, so the estimator's precomputed per-rule sets must be
+		// rebuilt to match the new formulas.
 		e.rule.Formulas = formulas
+		e.rule.Finalize()
 		return nil
 	}
 	e.rule = &core.Rule{

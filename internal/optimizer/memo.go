@@ -11,11 +11,20 @@ import (
 // pool.
 const memoShards = 16
 
-// memoTable caches candidate objective costs by canonical plan signature
-// (algebra.Signature) for the duration of one Optimize call. The table is
-// sharded so the parallel search's workers rarely contend on one lock;
-// the full signature string is the map key, so a hit is exact — the
-// fingerprint only picks the shard, collisions there are harmless.
+// memoKey identifies a candidate plan in the memo table. The default key
+// is the 128-bit structural hash (algebra.StructuralHash) — cached on the
+// plan nodes and combined incrementally, so keying a candidate costs a few
+// word mixes instead of rendering its whole signature string. Under
+// Options.ExactMemo the key is the canonical signature string itself.
+// Exactly one of the two fields is populated per search.
+type memoKey struct {
+	hash algebra.Hash128
+	sig  string
+}
+
+// memoTable caches candidate objective costs for the duration of one
+// Optimize call. The table is sharded so the parallel search's workers
+// rarely contend on one lock.
 //
 // Only complete estimations are stored. A branch-and-bound abort
 // (core.ErrOverBudget) is relative to the budget in place at the time and
@@ -24,37 +33,56 @@ const memoShards = 16
 // patterns — which vary with worker timing — from ever changing the
 // winning plan.
 type memoTable struct {
+	exact  bool // keyed by signature string instead of structural hash
 	shards [memoShards]memoShard
 }
 
 type memoShard struct {
 	mu sync.RWMutex
-	m  map[string]float64
+	h  map[algebra.Hash128]float64
+	s  map[string]float64
 }
 
-func newMemoTable() *memoTable {
-	t := &memoTable{}
+func newMemoTable(exact bool) *memoTable {
+	t := &memoTable{exact: exact}
 	for i := range t.shards {
-		t.shards[i].m = make(map[string]float64)
+		if exact {
+			t.shards[i].s = make(map[string]float64)
+		} else {
+			t.shards[i].h = make(map[algebra.Hash128]float64)
+		}
 	}
 	return t
 }
 
-func (t *memoTable) shard(sig string) *memoShard {
-	return &t.shards[algebra.SignatureFingerprint(sig)%memoShards]
+func (t *memoTable) shard(k memoKey) *memoShard {
+	if t.exact {
+		return &t.shards[algebra.SignatureFingerprint(k.sig)%memoShards]
+	}
+	return &t.shards[k.hash.Lo%memoShards]
 }
 
-func (t *memoTable) get(sig string) (float64, bool) {
-	s := t.shard(sig)
+func (t *memoTable) get(k memoKey) (float64, bool) {
+	s := t.shard(k)
 	s.mu.RLock()
-	c, ok := s.m[sig]
+	var c float64
+	var ok bool
+	if t.exact {
+		c, ok = s.s[k.sig]
+	} else {
+		c, ok = s.h[k.hash]
+	}
 	s.mu.RUnlock()
 	return c, ok
 }
 
-func (t *memoTable) put(sig string, cost float64) {
-	s := t.shard(sig)
+func (t *memoTable) put(k memoKey, cost float64) {
+	s := t.shard(k)
 	s.mu.Lock()
-	s.m[sig] = cost
+	if t.exact {
+		s.s[k.sig] = cost
+	} else {
+		s.h[k.hash] = cost
+	}
 	s.mu.Unlock()
 }

@@ -71,11 +71,18 @@ type Options struct {
 	// search chooses bit-identical plans to the sequential one.
 	Workers int
 	// Memo enables the plan-cost memo table: candidate costs are cached
-	// by canonical plan signature (algebra.Signature) for the duration of
-	// one Optimize call, so structurally identical candidates — the
-	// greedy search re-prices surviving pairs every round — are estimated
-	// once. The table is shared by all workers.
+	// by 128-bit structural plan hash (algebra.StructuralHash) for the
+	// duration of one Optimize call, so structurally identical candidates
+	// — the greedy search re-prices surviving pairs every round — are
+	// estimated once. The table is shared by all workers.
 	Memo bool
+	// ExactMemo keys the memo table by the full canonical signature
+	// string (algebra.Signature) instead of its 128-bit structural hash.
+	// The hash is collision-free for any realistic search space; this
+	// debug mode trades the hashing speedup for a bitwise-exact key, and
+	// the differential tests use it to prove the hashed table chooses
+	// identical plans.
+	ExactMemo bool
 }
 
 // Objective is the plan-ranking metric.
@@ -95,6 +102,14 @@ func (o Objective) metric(pc *core.PlanCost) float64 {
 		return pc.Root.Var("TimeFirst", pc.TotalTime())
 	}
 	return pc.TotalTime()
+}
+
+// metricRoot is metric over the root-only fast-path result.
+func (o Objective) metricRoot(rc core.RootCost) float64 {
+	if o == ObjectiveTimeFirst {
+		return rc.TimeFirst()
+	}
+	return rc.TotalTime()
 }
 
 // DefaultOptions enables pruning with DP up to 10 relations, searching on
@@ -209,6 +224,12 @@ func (o *Optimizer) pruneEnabled() bool {
 type tagged struct {
 	plan *algebra.Node
 	site string
+	// mat caches the materialized form so every candidate built over this
+	// subplan shares one submit node (and its resolved schema and cached
+	// structural hash). Estimation never mutates a node, so sharing is
+	// safe; the parallel search materializes on the coordinator before
+	// workers touch the candidate.
+	mat *algebra.Node
 }
 
 // materialize wraps a wrapper-resident subplan in its submit, yielding a
@@ -217,7 +238,10 @@ func (t *tagged) materialize() *algebra.Node {
 	if t.site == "" {
 		return t.plan
 	}
-	return algebra.Submit(t.plan, t.site)
+	if t.mat == nil {
+		t.mat = algebra.Submit(t.plan, t.site)
+	}
+	return t.mat
 }
 
 // accessPath builds the pushed-down subplan of one relation: a cascade of
@@ -426,11 +450,15 @@ func (s *search) greedyJoin(qb *QueryBlock, base []*tagged) (*tagged, error) {
 // are resident at the same join-capable wrapper, a source-side join.
 func (o *Optimizer) joinCandidates(left, right *tagged, pred *algebra.Predicate) []*tagged {
 	var out []*tagged
+	// Candidates share the input subtrees rather than cloning them: nodes
+	// are immutable during search (Resolve is idempotent, estimation only
+	// reads), so the same resolved, hash-cached subplan can appear under
+	// many candidate joins.
 	med := algebra.Join(left.materialize(), right.materialize(), pred.Clone())
 	out = append(out, &tagged{plan: med, site: ""})
 	if left.site != "" && left.site == right.site {
 		if caps, ok := o.Cat.Capabilities(left.site); ok && caps.Join {
-			local := algebra.Join(left.plan.Clone(), right.plan.Clone(), pred.Clone())
+			local := algebra.Join(left.plan, right.plan, pred.Clone())
 			out = append(out, &tagged{plan: local, site: left.site})
 		}
 	}
@@ -527,37 +555,67 @@ func (o *Optimizer) finalize(qb *QueryBlock, t *tagged) (*algebra.Node, error) {
 	return plan, nil
 }
 
+// planHash computes a candidate's memo key; a package variable so tests
+// can substitute a colliding hash and exercise the ExactMemo safeguard.
+var planHash = (*algebra.Node).StructuralHash
+
 // costTagged estimates a candidate as it would run (submits placed) on
 // the given estimator, consulting the memo table when enabled. Memoized
 // results are final costs — a memo hit never depends on the budget, so
-// hit/miss patterns cannot change which plan wins.
+// hit/miss patterns cannot change which plan wins. Candidates are priced
+// through the estimator's root-only fast path on the shared (uncloned)
+// candidate tree; estimation does not mutate nodes, and re-resolution of
+// already-resolved subtrees is a no-op.
 func (s *search) costTagged(est *core.Estimator, t *tagged, budget float64) (float64, error) {
-	plan := t.materialize().Clone()
-	var sig string
+	plan := t.materialize()
+	var key memoKey
 	if s.memo != nil {
-		sig = plan.Signature()
-		if c, ok := s.memo.get(sig); ok {
+		if s.o.Opt.ExactMemo {
+			key.sig = plan.Signature()
+		} else {
+			key.hash = planHash(plan)
+		}
+		if c, ok := s.memo.get(key); ok {
 			s.memoHits.Add(1)
 			return c, nil
 		}
 	}
-	pc, err := s.costPlan(est, plan, budget)
+	rc, err := s.costRoot(est, plan, budget)
 	if err != nil {
 		return 0, err
 	}
-	c := s.o.Opt.Objective.metric(pc)
+	c := s.o.Opt.Objective.metricRoot(rc)
 	if s.memo != nil {
 		// Only complete estimations are cached; an ErrOverBudget abort is
 		// budget-relative and must re-estimate under a looser bound.
-		s.memo.put(sig, c)
+		s.memo.put(key, c)
 	}
 	return c, nil
 }
 
-// costPlan resolves and estimates one plan on the given estimator,
-// applying the branch-and-bound budget when pruning is sound for the
-// objective. The estimator must be private to the calling goroutine;
-// its budget is saved and restored around the call.
+// costRoot resolves and estimates one plan on the given estimator,
+// returning only the root variables — the allocation-free candidate
+// pricing path. The branch-and-bound budget applies when pruning is sound
+// for the objective. The estimator must be private to the calling
+// goroutine; its budget is saved and restored around the call.
+func (s *search) costRoot(est *core.Estimator, plan *algebra.Node, budget float64) (core.RootCost, error) {
+	if err := algebra.Resolve(plan, s.o.Cat); err != nil {
+		return core.RootCost{}, err
+	}
+	s.plansCosted.Add(1)
+	saved := est.Options.Budget
+	if s.o.pruneEnabled() && budget > 0 && !math.IsInf(budget, 1) {
+		est.Options.Budget = budget
+	} else {
+		est.Options.Budget = 0
+	}
+	rc, err := est.EstimateRoot(plan)
+	est.Options.Budget = saved
+	return rc, err
+}
+
+// costPlan is costRoot with the full per-node cost breakdown, used once
+// per Optimize call on the chosen plan.
 func (s *search) costPlan(est *core.Estimator, plan *algebra.Node, budget float64) (*core.PlanCost, error) {
 	if err := algebra.Resolve(plan, s.o.Cat); err != nil {
 		return nil, err

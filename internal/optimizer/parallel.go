@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"disco/internal/algebra"
 	"disco/internal/core"
 )
 
@@ -24,7 +25,7 @@ type search struct {
 func newSearch(o *Optimizer) *search {
 	s := &search{o: o}
 	if o.Opt.Memo {
-		s.memo = newMemoTable()
+		s.memo = newMemoTable(o.Opt.ExactMemo)
 	}
 	return s
 }
@@ -152,6 +153,18 @@ func (s *search) dpJoinParallel(qb *QueryBlock, base []*tagged, workers int) (*t
 			st := newSubsetState(set)
 			states = append(states, st)
 			for i, t := range cands {
+				// Candidates share uncloned subtrees, so all lazy per-node
+				// state — the materialized submit, the resolved schemas,
+				// the cached structural hash — is filled here on the
+				// coordinator, before the goroutines start (a happens-
+				// before edge). Workers then only read the trees.
+				m := t.materialize()
+				if err := algebra.Resolve(m, s.o.Cat); err != nil {
+					return nil, err
+				}
+				if s.memo != nil && !s.o.Opt.ExactMemo {
+					planHash(m)
+				}
 				jobs = append(jobs, dpJob{state: st, idx: i, t: t})
 			}
 		}

@@ -1,0 +1,93 @@
+package rowops
+
+import (
+	"fmt"
+	"testing"
+
+	"disco/internal/algebra"
+	"disco/internal/stats"
+	"disco/internal/types"
+)
+
+// benchJoinInputs builds two row sets joined on an int key with skew: the
+// probe side mixes Int and Float keys so numeric canonicalization is
+// exercised, and a string payload column keeps rows realistic.
+func benchJoinInputs(nLeft, nRight int) (ls, rs, joined *types.Schema, left, right []types.Row, pred *algebra.Predicate) {
+	ls = types.NewSchema(
+		types.Field{Name: "id", Collection: "L", Type: types.KindInt},
+		types.Field{Name: "tag", Collection: "L", Type: types.KindString},
+	)
+	rs = types.NewSchema(
+		types.Field{Name: "fk", Collection: "R", Type: types.KindInt},
+		types.Field{Name: "val", Collection: "R", Type: types.KindString},
+	)
+	joined = ls.Concat(rs)
+	left = make([]types.Row, nLeft)
+	for i := range left {
+		var key types.Constant
+		if i%3 == 0 {
+			key = types.Float(float64(i % 100))
+		} else {
+			key = types.Int(int64(i % 100))
+		}
+		left[i] = types.Row{key, types.Str(fmt.Sprintf("tag-%d", i%7))}
+	}
+	right = make([]types.Row, nRight)
+	for i := range right {
+		right[i] = types.Row{types.Int(int64(i % 100)), types.Str(fmt.Sprintf("val-%d", i%11))}
+	}
+	r := algebra.Ref{Collection: "R", Attr: "fk"}
+	pred = &algebra.Predicate{Conjuncts: []algebra.Comparison{{
+		Left:      algebra.Ref{Collection: "L", Attr: "id"},
+		Op:        stats.CmpEQ,
+		RightAttr: &r,
+	}}}
+	return
+}
+
+// BenchmarkHashJoin measures the equi-join hot path: key encoding on the
+// build and probe sides dominates for narrow rows.
+func BenchmarkHashJoin(b *testing.B) {
+	ls, rs, joined, left, right, pred := benchJoinInputs(2000, 500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, ok := HashJoin(ls, rs, joined, left, right, pred, nil)
+		if !ok || len(out) == 0 {
+			b.Fatal("join failed")
+		}
+	}
+}
+
+// BenchmarkDupElim measures duplicate elimination over rows with heavy
+// duplication (the key encoder runs once per input row).
+func BenchmarkDupElim(b *testing.B) {
+	_, _, _, left, _, _ := benchJoinInputs(5000, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := DupElim(left)
+		if len(out) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkAggregate measures grouped aggregation (group-key encoding plus
+// aggregate accumulation per input row).
+func BenchmarkAggregate(b *testing.B) {
+	ls, _, _, left, _, _ := benchJoinInputs(5000, 1)
+	groupBy := []algebra.Ref{{Collection: "L", Attr: "tag"}}
+	aggs := []algebra.AggSpec{
+		{Func: algebra.AggCount, Star: true},
+		{Func: algebra.AggMax, Attr: algebra.Ref{Collection: "L", Attr: "id"}},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := Aggregate(ls, left, groupBy, aggs)
+		if err != nil || len(out) == 0 {
+			b.Fatal("aggregate failed")
+		}
+	}
+}

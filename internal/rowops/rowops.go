@@ -128,12 +128,15 @@ func HashJoin(leftSchema, rightSchema, joined *types.Schema,
 	if lpos < 0 {
 		return nil, false
 	}
-	table := make(map[string][]types.Row, len(right))
+	// Buckets are keyed by a uint64 hash of the join value (numerics
+	// canonicalized so Int(3) joins Float(3)); the predicate re-check on
+	// every candidate pair makes bucket collisions harmless.
+	table := make(map[uint64][]types.Row, len(right))
 	for _, r := range right {
 		if cb != nil {
 			cb()
 		}
-		k := hashKey(r[rpos])
+		k := joinKeyHash(r[rpos])
 		table[k] = append(table[k], r)
 	}
 	var out []types.Row
@@ -141,7 +144,7 @@ func HashJoin(leftSchema, rightSchema, joined *types.Schema,
 		if cb != nil {
 			cb()
 		}
-		for _, r := range table[hashKey(l[lpos])] {
+		for _, r := range table[joinKeyHash(l[lpos])] {
 			row := l.Concat(r)
 			if pred.Eval(joined, row) {
 				out = append(out, row)
@@ -149,14 +152,6 @@ func HashJoin(leftSchema, rightSchema, joined *types.Schema,
 		}
 	}
 	return out, true
-}
-
-func hashKey(c types.Constant) string {
-	if c.IsNumeric() {
-		// Int(3) and Float(3) must join.
-		return "n:" + types.Float(c.AsFloat()).String()
-	}
-	return c.Kind().String() + ":" + c.String()
 }
 
 // Union concatenates two row sets (bag semantics).
@@ -170,12 +165,14 @@ func Union(left, right []types.Row) []types.Row {
 func DupElim(rows []types.Row) []types.Row {
 	seen := make(map[string]struct{}, len(rows))
 	out := make([]types.Row, 0, len(rows))
+	var enc keyEnc
 	for _, r := range rows {
-		k := r.Key()
-		if _, dup := seen[k]; dup {
+		enc.reset()
+		enc.row(r)
+		if _, dup := seen[string(enc.buf)]; dup {
 			continue
 		}
-		seen[k] = struct{}{}
+		seen[string(enc.buf)] = struct{}{}
 		out = append(out, r)
 	}
 	return out
@@ -214,18 +211,24 @@ func Aggregate(schema *types.Schema, rows []types.Row,
 		states []aggState
 	}
 	groups := make(map[string]*group)
-	var order []string
+	var order []*group
+	var enc keyEnc
 	for _, r := range rows {
-		key := make(types.Row, len(gpos))
-		for i, p := range gpos {
-			key[i] = r[p]
+		// Encode the grouping values into the reused buffer; the grouping
+		// key row is only materialized when a new group is born.
+		enc.reset()
+		for _, p := range gpos {
+			enc.constant(r[p])
 		}
-		k := key.Key()
-		g, ok := groups[k]
+		g, ok := groups[string(enc.buf)]
 		if !ok {
+			key := make(types.Row, len(gpos))
+			for i, p := range gpos {
+				key[i] = r[p]
+			}
 			g = &group{key: key, states: newAggStates(aggs)}
-			groups[k] = g
-			order = append(order, k)
+			groups[string(enc.buf)] = g
+			order = append(order, g)
 		}
 		for i := range aggs {
 			v := types.Null
@@ -238,11 +241,10 @@ func Aggregate(schema *types.Schema, rows []types.Row,
 	if len(groupBy) == 0 && len(groups) == 0 {
 		g := &group{key: types.Row{}, states: newAggStates(aggs)}
 		groups[""] = g
-		order = append(order, "")
+		order = append(order, g)
 	}
 	out := make([]types.Row, 0, len(groups))
-	for _, k := range order {
-		g := groups[k]
+	for _, g := range order {
 		row := append(types.Row(nil), g.key...)
 		for i := range aggs {
 			row = append(row, g.states[i].result())
