@@ -8,7 +8,7 @@ GO ?= go
 RACE_PKGS = ./internal/optimizer ./internal/mediator ./internal/wrapper ./internal/netsim
 
 .PHONY: all build test race bench experiments fmt vet clean \
-	ci ci-build ci-test ci-vet ci-fmt ci-race ci-alloc ci-faultmatrix ci-fuzz ci-bench
+	ci ci-build ci-test ci-vet ci-fmt ci-race ci-alloc ci-faultmatrix ci-feedback ci-fuzz ci-bench
 
 all: build test
 
@@ -52,7 +52,7 @@ clean:
 # `make ci` runs exactly what .github/workflows/ci.yml runs; the workflow
 # invokes these ci-* targets so the two cannot drift. Run it before
 # pushing.
-ci: ci-build ci-test ci-vet ci-fmt ci-race ci-alloc ci-faultmatrix ci-fuzz ci-bench
+ci: ci-build ci-test ci-vet ci-fmt ci-race ci-alloc ci-faultmatrix ci-feedback ci-fuzz ci-bench
 
 ci-build:
 	$(GO) build ./...
@@ -84,13 +84,22 @@ ci-alloc:
 ci-faultmatrix:
 	$(GO) test -race -run 'Fault|Remote|Injector|Resilience' ./internal/mediator ./internal/wrapper ./internal/netsim ./internal/experiments
 
+# The self-tuning convergence gate: extents mis-registered 10x must be
+# repaired by running the workload — the median cardinality q-error drops
+# at least 5x, the probe join order flips to the truth plan, and the
+# feedback-off control stays bit-identical.
+ci-feedback:
+	$(GO) test -run 'TestFeedbackConvergence' -count=1 -v ./internal/experiments
+
 # 30-second native-fuzzer smokes: the cost-language parser, the fault-spec
-# parser (accepted specs must render/re-parse to the same plan), and the
-# wire-protocol frame decoder (arbitrary bytes must never panic a reader).
+# parser (accepted specs must render/re-parse to the same plan), the
+# wire-protocol frame decoder (arbitrary bytes must never panic a reader),
+# and the feedback snapshot store (corrupt snapshots load as empty).
 ci-fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/costlang
 	$(GO) test -fuzz=FuzzParseFaultSpec -fuzztime=30s ./internal/netsim
 	$(GO) test -fuzz=FuzzFrameDecode -fuzztime=30s ./internal/proto
+	$(GO) test -fuzz=FuzzFeedbackSnapshot -fuzztime=30s ./internal/feedback
 
 # One iteration of every benchmark, archived as JSON for cross-commit
 # comparison (CI uploads BENCH_pr.json as an artifact).

@@ -208,6 +208,23 @@ func BenchmarkOO7Suite(b *testing.B) {
 	}
 }
 
+// BenchmarkFeedbackConvergence regenerates E10: the self-tuning study on
+// a mis-registered federation. Reported metrics: the final round's median
+// cardinality q-error and the first-to-last improvement factor.
+func BenchmarkFeedbackConvergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Feedback()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			last := res.Rounds[len(res.Rounds)-1]
+			b.ReportMetric(last.MedianCardQ, "q-error")
+			b.ReportMetric(res.Improvement(), "improvement-x")
+		}
+	}
+}
+
 // benchOptimizeFixture builds a 7-relation join chain spread across an
 // object and a relational wrapper — the search-space workload for the
 // BenchmarkOptimize* family. Relation cardinalities vary so join orders

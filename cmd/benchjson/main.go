@@ -34,10 +34,13 @@ type benchResult struct {
 	// cross-commit diffs of time and allocation behaviour need no map
 	// spelunking. Pointers distinguish "not reported" (absent, e.g. a run
 	// without -benchmem) from a genuine zero (a zero-allocation path).
-	NsPerOp     *float64           `json:"ns_per_op,omitempty"`
-	BytesPerOp  *float64           `json:"b_per_op,omitempty"`
-	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
-	Metrics     map[string]float64 `json:"metrics"`
+	NsPerOp     *float64 `json:"ns_per_op,omitempty"`
+	BytesPerOp  *float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// QError is the feedback suite's headline accuracy metric (the final
+	// round's median cardinality q-error), promoted for the same reason.
+	QError  *float64           `json:"q_error,omitempty"`
+	Metrics map[string]float64 `json:"metrics"`
 }
 
 func main() {
@@ -76,6 +79,8 @@ func main() {
 				res.BytesPerOp = &v
 			case "allocs/op":
 				res.AllocsPerOp = &v
+			case "q-error":
+				res.QError = &v
 			}
 		}
 		rep.Benchmarks = append(rep.Benchmarks, res)

@@ -9,8 +9,10 @@
 // queries from standard input. Shell commands:
 //
 //	\explain <sql>   show the chosen plan with cost annotations
+//	\analyze <sql>   execute and show the plan with estimated vs actual
 //	\catalog         dump the mediator catalog
 //	\history         dump the recorded cost-vector database
+//	\feedback        dump the execution-feedback q-error table
 //	\quit            exit
 package main
 
@@ -65,10 +67,16 @@ func parseLine(line string) *proto.Request {
 	switch {
 	case strings.HasPrefix(line, `\explain `):
 		return &proto.Request{Op: "explain", SQL: strings.TrimPrefix(line, `\explain `)}
+	case strings.HasPrefix(line, `\analyze `):
+		return &proto.Request{Op: "explain-analyze", SQL: strings.TrimPrefix(line, `\analyze `)}
+	case strings.HasPrefix(line, "explain-analyze "):
+		return &proto.Request{Op: "explain-analyze", SQL: strings.TrimPrefix(line, "explain-analyze ")}
 	case line == `\catalog`:
 		return &proto.Request{Op: "catalog"}
 	case line == `\history`:
 		return &proto.Request{Op: "history"}
+	case line == `\feedback`:
+		return &proto.Request{Op: "feedback"}
 	default:
 		return &proto.Request{Op: "query", SQL: line}
 	}

@@ -7,7 +7,11 @@
 //
 // Usage:
 //
-//	discod [-listen :4077] [-parts 14000]
+//	discod [-listen :4077] [-parts 14000] [-feedback] [-feedback-snapshot file]
+//
+// With -feedback (the default) every executed query is profiled and fed
+// back into the cost model; -feedback-snapshot names a JSON file that
+// persists the learned corrections across restarts.
 //
 // Try it with cmd/discoctl.
 package main
@@ -28,9 +32,11 @@ import (
 func main() {
 	listen := flag.String("listen", ":4077", "address to listen on")
 	parts := flag.Int("parts", 14000, "OO7 AtomicParts cardinality")
+	fb := flag.Bool("feedback", true, "absorb execution feedback into the cost model")
+	fbSnap := flag.String("feedback-snapshot", "", "JSON file persisting learned corrections across restarts")
 	flag.Parse()
 
-	srv, err := newServer(*parts)
+	srv, err := newServer(*parts, *fb, *fbSnap)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,8 +63,13 @@ type server struct {
 	med *disco.Mediator
 }
 
-func newServer(parts int) (*server, error) {
-	m, err := disco.NewMediator(disco.DefaultConfig())
+func newServer(parts int, fb bool, fbSnap string) (*server, error) {
+	cfg := disco.DefaultConfig()
+	cfg.Feedback = fb
+	if fbSnap != "" {
+		cfg.FeedbackStore = disco.NewFeedbackFileStore(fbSnap)
+	}
+	m, err := disco.NewMediator(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -165,6 +176,20 @@ func (s *server) handle(req *proto.Request) *proto.Response {
 
 	case "explain":
 		out, err := s.med.Explain(req.SQL)
+		if err != nil {
+			return &proto.Response{Error: err.Error()}
+		}
+		return &proto.Response{OK: true, Text: out}
+
+	case "explain-analyze":
+		out, err := s.med.ExplainAnalyze(req.SQL)
+		if err != nil {
+			return &proto.Response{Error: err.Error()}
+		}
+		return &proto.Response{OK: true, Text: out}
+
+	case "feedback":
+		out, err := s.med.FeedbackSummary()
 		if err != nil {
 			return &proto.Response{Error: err.Error()}
 		}

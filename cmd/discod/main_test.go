@@ -1,0 +1,49 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"disco/internal/proto"
+)
+
+func TestHandleFeedbackOps(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "snap.json")
+	srv, err := newServer(500, true, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql := `SELECT sname FROM Suppliers WHERE region = 3`
+
+	resp := srv.handle(&proto.Request{Op: "explain-analyze", SQL: sql})
+	if !resp.OK {
+		t.Fatalf("explain-analyze: %s", resp.Error)
+	}
+	for _, want := range []string{"estimated TotalTime", "act=", "q="} {
+		if !strings.Contains(resp.Text, want) {
+			t.Errorf("explain-analyze output missing %q:\n%s", want, resp.Text)
+		}
+	}
+
+	resp = srv.handle(&proto.Request{Op: "feedback"})
+	if !resp.OK {
+		t.Fatalf("feedback: %s", resp.Error)
+	}
+	if !strings.Contains(resp.Text, "suppliers/submit") {
+		t.Errorf("feedback summary missing observed scope:\n%s", resp.Text)
+	}
+}
+
+func TestHandleFeedbackDisabled(t *testing.T) {
+	srv, err := newServer(500, false, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := srv.handle(&proto.Request{Op: "feedback"}); resp.OK || !strings.Contains(resp.Error, "disabled") {
+		t.Errorf("feedback op with feedback off should error, got %+v", resp)
+	}
+	if resp := srv.handle(&proto.Request{Op: "explain-analyze", SQL: `SELECT sid FROM Suppliers WHERE sid = 1`}); !resp.OK {
+		t.Errorf("explain-analyze should work without feedback: %s", resp.Error)
+	}
+}

@@ -22,6 +22,7 @@ package disco
 import (
 	"disco/internal/core"
 	"disco/internal/engine"
+	"disco/internal/feedback"
 	"disco/internal/filestore"
 	"disco/internal/mediator"
 	"disco/internal/netsim"
@@ -40,6 +41,14 @@ type Config = mediator.Config
 
 // Result is a query answer with its measured virtual response time.
 type Result = engine.Result
+
+// FeedbackStore persists learned execution-feedback corrections; see
+// Config.FeedbackStore.
+type FeedbackStore = feedback.Store
+
+// NewFeedbackFileStore returns a FeedbackStore backed by a JSON snapshot
+// file, so a mediator's learned corrections survive restarts.
+func NewFeedbackFileStore(path string) FeedbackStore { return feedback.NewFileStore(path) }
 
 // Row is one result tuple.
 type Row = types.Row

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"disco/internal/algebra"
+	"disco/internal/feedback"
 	"disco/internal/netsim"
 	"disco/internal/rowops"
 	"disco/internal/types"
@@ -131,11 +132,26 @@ type Result struct {
 	Partial bool
 	// Excluded lists the unavailable wrappers, sorted.
 	Excluded []string
+	// Profile records the per-operator actuals of this run (output and
+	// consumed cardinalities, virtual times, wrapper round-trips), keyed
+	// by the executed plan's nodes. Submits excluded on the partial path
+	// are recorded too — a degraded run's profile is never silently
+	// empty.
+	Profile *feedback.Profile
 }
 
-// execState accumulates per-execution degradation facts.
+// execState accumulates per-execution degradation facts and the profile
+// under construction.
 type execState struct {
 	excluded map[string]bool
+	prof     *feedback.Profile
+	// Submit-boundary scratch: execOp's submit case stores the transport
+	// facts here and exec folds them into the submit's profile entry
+	// right after execOp returns (submits never recurse through exec, so
+	// the values cannot be clobbered in between).
+	lastTrips    int
+	lastBytes    int64
+	lastExcluded bool
 }
 
 func (st *execState) exclude(name string) {
@@ -151,12 +167,12 @@ func (st *execState) exclude(name string) {
 // is marked Partial with the wrapper listed in Excluded.
 func (e *Engine) Execute(plan *algebra.Node) (*Result, error) {
 	watch := netsim.StartWatch(e.clock)
-	var st execState
+	st := execState{prof: feedback.NewProfile()}
 	rows, err := e.exec(plan, &st)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Rows: rows, Schema: plan.OutSchema, ElapsedMS: watch.ElapsedMS()}
+	res := &Result{Rows: rows, Schema: plan.OutSchema, ElapsedMS: watch.ElapsedMS(), Profile: st.prof}
 	if len(st.excluded) > 0 {
 		res.Partial = true
 		res.Excluded = make([]string, 0, len(st.excluded))
@@ -165,15 +181,55 @@ func (e *Engine) Execute(plan *algebra.Node) (*Result, error) {
 		}
 		sort.Strings(res.Excluded)
 	}
+	st.prof.ElapsedMS = res.ElapsedMS
+	st.prof.Partial = res.Partial
 	return res, nil
 }
 
+// exec runs one operator and records its actuals into the profile: the
+// subtree's virtual time is measured around execOp, the operator's own
+// share and consumed rows are derived from the children's entries, and
+// submit boundaries carry their transport facts from the execState
+// scratch.
 func (e *Engine) exec(n *algebra.Node, st *execState) ([]types.Row, error) {
+	start := e.clock.Now()
+	rows, err := e.execOp(n, st)
+	if err != nil {
+		return nil, err
+	}
+	if st.prof != nil {
+		a := &feedback.OpActual{
+			RowsOut:   int64(len(rows)),
+			SubtreeMS: e.clock.Now() - start,
+		}
+		a.OwnMS = a.SubtreeMS
+		for _, c := range n.Children {
+			if ca, ok := st.prof.ByNode[c]; ok {
+				a.OwnMS -= ca.SubtreeMS
+				a.RowsIn += ca.RowsOut
+			}
+		}
+		if n.Kind == algebra.OpSubmit {
+			// The wrapper executes the subtree opaquely; the boundary's
+			// consumed rows are the rows it delivered.
+			a.RowsIn = a.RowsOut
+			a.Wrapper = n.Wrapper
+			a.RoundTrips = st.lastTrips
+			a.Bytes = st.lastBytes
+			a.Excluded = st.lastExcluded
+		}
+		st.prof.ByNode[n] = a
+	}
+	return rows, nil
+}
+
+func (e *Engine) execOp(n *algebra.Node, st *execState) ([]types.Row, error) {
 	if n.OutSchema == nil {
 		return nil, fmt.Errorf("engine: unresolved plan node %s", n.Kind)
 	}
 	switch n.Kind {
 	case algebra.OpSubmit:
+		st.lastTrips, st.lastBytes, st.lastExcluded = 0, 0, false
 		w, ok := e.wrappers[n.Wrapper]
 		if !ok {
 			return nil, fmt.Errorf("engine: submit to unknown wrapper %q", n.Wrapper)
@@ -181,9 +237,11 @@ func (e *Engine) exec(n *algebra.Node, st *execState) ([]types.Row, error) {
 		if e.isDown(n.Wrapper) {
 			// Known-dead source: exclude without touching the transport.
 			st.exclude(n.Wrapper)
+			st.lastExcluded = true
 			return nil, nil
 		}
 		start := e.clock.Now()
+		st.lastTrips = 1
 		res, err := w.Execute(n.Children[0])
 		if err != nil {
 			if errors.Is(err, wrapper.ErrUnavailable) {
@@ -192,6 +250,7 @@ func (e *Engine) exec(n *algebra.Node, st *execState) ([]types.Row, error) {
 				// discussion.
 				e.MarkUnavailable(n.Wrapper)
 				st.exclude(n.Wrapper)
+				st.lastExcluded = true
 				return nil, nil
 			}
 			return nil, fmt.Errorf("engine: wrapper %s: %w", n.Wrapper, err)
@@ -199,6 +258,7 @@ func (e *Engine) exec(n *algebra.Node, st *execState) ([]types.Row, error) {
 		if e.net != nil {
 			e.net.Ship(n.Wrapper, res.Bytes)
 		}
+		st.lastBytes = res.Bytes
 		if e.SubmitHook != nil {
 			e.SubmitHook(n.Wrapper, n.Children[0], e.clock.Now()-start, len(res.Rows), res.Bytes)
 		}

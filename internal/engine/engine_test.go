@@ -247,3 +247,90 @@ func TestSubmitHookObservesExecutions(t *testing.T) {
 		t.Errorf("hook saw %v wrappers, %d rows", seen, rows)
 	}
 }
+
+func TestProfileRecordsOperators(t *testing.T) {
+	d := buildDeployment(t)
+	subEmp := algebra.Submit(algebra.Scan("obj1", "Employee"), "obj1")
+	subDept := algebra.Submit(algebra.Scan("rel1", "Dept"), "rel1")
+	join := algebra.Join(subEmp, subDept,
+		algebra.NewJoinPred(algebra.Ref{Collection: "Employee", Attr: "dept"},
+			algebra.Ref{Collection: "Dept", Attr: "dno"}))
+	plan := d.resolve(t, algebra.Project(join, "Employee.name", "Dept.dname"))
+	res, err := d.engine.Execute(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile == nil {
+		t.Fatal("Execute should attach a profile")
+	}
+	// exec visits the mediator-side nodes plus the submit boundaries;
+	// the scans run opaquely inside the wrappers.
+	if got := res.Profile.Len(); got != 4 {
+		t.Errorf("profile entries = %d, want 4", got)
+	}
+	checks := []struct {
+		node            *algebra.Node
+		rowsOut, rowsIn int64
+	}{
+		{plan, 200, 200},
+		{join, 200, 210},
+		{subEmp, 200, 200},
+		{subDept, 10, 10},
+	}
+	for _, c := range checks {
+		a, ok := res.Profile.Actual(c.node)
+		if !ok {
+			t.Fatalf("no actual for %s", c.node.Kind)
+		}
+		if a.RowsOut != c.rowsOut || a.RowsIn != c.rowsIn {
+			t.Errorf("%s rows out/in = %d/%d, want %d/%d",
+				c.node.Kind, a.RowsOut, a.RowsIn, c.rowsOut, c.rowsIn)
+		}
+		if a.OwnMS < 0 || a.SubtreeMS < a.OwnMS {
+			t.Errorf("%s own=%v subtree=%v", c.node.Kind, a.OwnMS, a.SubtreeMS)
+		}
+	}
+	for _, sub := range []*algebra.Node{subEmp, subDept} {
+		a, _ := res.Profile.Actual(sub)
+		if a.Wrapper == "" || a.RoundTrips != 1 || a.Bytes <= 0 || a.Excluded {
+			t.Errorf("submit %s actual = %+v", sub.Wrapper, a)
+		}
+	}
+	// The root's subtree time is the whole query's elapsed time.
+	root, _ := res.Profile.Actual(plan)
+	if root.SubtreeMS <= 0 || root.SubtreeMS > res.ElapsedMS+1e-9 {
+		t.Errorf("root subtree = %v, elapsed = %v", root.SubtreeMS, res.ElapsedMS)
+	}
+	if res.Profile.Partial {
+		t.Error("profile should not be partial")
+	}
+}
+
+func TestProfileRecordsExcludedSubmit(t *testing.T) {
+	d := buildDeployment(t)
+	d.engine.MarkUnavailable("rel1")
+	subEmp := algebra.Submit(algebra.Scan("obj1", "Employee"), "obj1")
+	subDept := algebra.Submit(algebra.Scan("rel1", "Dept"), "rel1")
+	plan := d.resolve(t, algebra.Join(subEmp, subDept,
+		algebra.NewJoinPred(algebra.Ref{Collection: "Employee", Attr: "dept"},
+			algebra.Ref{Collection: "Dept", Attr: "dno"})))
+	res, err := d.engine.Execute(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial || !res.Profile.Partial {
+		t.Fatal("down wrapper should yield a partial result and profile")
+	}
+	// The down submit still gets a profile entry -- degraded runs must
+	// not produce silently empty feedback.
+	a, ok := res.Profile.Actual(subDept)
+	if !ok {
+		t.Fatal("excluded submit missing from profile")
+	}
+	if !a.Excluded || a.Wrapper != "rel1" || a.RowsOut != 0 || a.RoundTrips != 0 {
+		t.Errorf("excluded submit actual = %+v", a)
+	}
+	if live, ok := res.Profile.Actual(subEmp); !ok || live.Excluded || live.RowsOut != 200 {
+		t.Errorf("live submit actual = %+v", live)
+	}
+}

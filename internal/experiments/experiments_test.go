@@ -266,3 +266,41 @@ func TestResilienceMatrix(t *testing.T) {
 		t.Errorf("outage scenario should degrade to partial answers: %+v", r)
 	}
 }
+
+func TestFeedbackConvergence(t *testing.T) {
+	r, err := Feedback()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rounds) < 2 {
+		t.Fatalf("rounds = %d", len(r.Rounds))
+	}
+	first, last := r.Rounds[0], r.Rounds[len(r.Rounds)-1]
+	// The typical cardinality estimate must improve at least 5x, and
+	// strictly: the loop may not make things worse between rounds.
+	if imp := r.Improvement(); imp < 5 {
+		t.Errorf("median q(card) improvement = %.2fx, want >= 5x\n%s", imp, r.Table())
+	}
+	if last.MedianCardQ >= first.MedianCardQ {
+		t.Errorf("median q(card) did not decrease: %.2f -> %.2f", first.MedianCardQ, last.MedianCardQ)
+	}
+	// The probe's join order must flip to the one a correctly registered
+	// mediator chooses.
+	if !r.PlanFlipped {
+		t.Errorf("probe plan never flipped: first %s, final %s, truth %s",
+			first.ProbePlan, r.FinalPlan, r.TruthPlan)
+	}
+	// With feedback off, the identical workload must leave plans and
+	// estimates bit-identical.
+	if !r.ControlStable {
+		t.Error("feedback-off control saw its plans or estimates drift")
+	}
+	// Extents end near the truth.
+	for _, e := range r.Extents {
+		lo, hi := e.True*8/10, e.True*12/10
+		if e.Corrected < lo || e.Corrected > hi {
+			t.Errorf("%s: corrected extent %d outside [%d, %d] (claimed %d, true %d)",
+				e.Collection, e.Corrected, lo, hi, e.Claimed, e.True)
+		}
+	}
+}

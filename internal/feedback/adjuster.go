@@ -1,0 +1,683 @@
+package feedback
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"disco/internal/algebra"
+	"disco/internal/calibration"
+	"disco/internal/catalog"
+	"disco/internal/stats"
+	"disco/internal/types"
+)
+
+// Adjuster feeds execution observations back into the cost model: it
+// refines catalog extent cardinalities, attribute selectivities and
+// histogram bucket weights toward observed cardinalities, and re-fits the
+// calibrated mediator coefficients from observed per-operator times.
+// Every correction is bounded and exponentially decayed so a single
+// outlier observation cannot poison the model.
+type Adjuster struct {
+	// Gain is the fraction of each observed log-ratio applied per update
+	// (exponential smoothing in log space); 1 jumps to the implied value.
+	Gain float64
+	// MaxStep bounds one update's multiplicative change.
+	MaxStep float64
+	// MaxFactor bounds the total correction applied to any registered
+	// statistic, keeping a broken feedback signal recoverable.
+	MaxFactor float64
+
+	mu     sync.Mutex
+	cards  map[string]*CardCorrection
+	coeffs map[string]*coeffFit
+}
+
+// NewAdjuster returns an adjuster with moderate damping: half of each
+// observed log-error is applied, no single update moves a statistic by
+// more than 4x, and no statistic drifts further than 64x from its
+// registered value.
+func NewAdjuster() *Adjuster {
+	return &Adjuster{
+		Gain:      0.5,
+		MaxStep:   4,
+		MaxFactor: 64,
+		cards:     make(map[string]*CardCorrection),
+		coeffs:    make(map[string]*coeffFit),
+	}
+}
+
+// CardCorrection is the learned cardinality correction of one registered
+// collection: the catalog's extent is held at round(Base*Factor), where
+// Base is the wrapper-registered count and Factor the exponentially
+// smoothed actual/estimated ratio.
+type CardCorrection struct {
+	Wrapper    string  `json:"wrapper"`
+	Collection string  `json:"collection"`
+	Base       int64   `json:"base"`
+	Factor     float64 `json:"factor"`
+	Samples    int64   `json:"samples"`
+	// ObjectSize is the learned average shipped object size for a source
+	// that registered no extent of its own (0 otherwise): it lets a
+	// restart reinstate the learned extent with a usable TotalSize.
+	ObjectSize int64 `json:"objectSize,omitempty"`
+
+	// applied is the extent value this adjuster last wrote, so Reapply
+	// can tell its own writes from a fresh (re-)registration to rebase
+	// against. Not persisted: after a restore the first Reapply rebases.
+	applied int64
+}
+
+// coeffFit accumulates recent (work, own-time) samples of one mediator
+// coefficient; the ring is the decay (old samples fall out).
+type coeffFit struct {
+	xs, ys []float64
+	next   int
+	filled int
+	count  int64
+}
+
+const coeffWindow = 64
+
+func (c *coeffFit) add(x, y float64) {
+	if len(c.xs) == 0 {
+		c.xs = make([]float64, coeffWindow)
+		c.ys = make([]float64, coeffWindow)
+	}
+	c.xs[c.next], c.ys[c.next] = x, y
+	c.next = (c.next + 1) % len(c.xs)
+	if c.filled < len(c.xs) {
+		c.filled++
+	}
+	c.count++
+}
+
+// Adjustment describes one applied correction, for experiment tables and
+// diagnostics.
+type Adjustment struct {
+	Kind   string // "extent", "distinct", "histogram" or "coeff"
+	Target string
+	Old    float64
+	New    float64
+}
+
+func (a Adjustment) String() string {
+	return fmt.Sprintf("%s %s: %.4g -> %.4g", a.Kind, a.Target, a.Old, a.New)
+}
+
+// Apply folds one execution report into the model: submit-boundary
+// cardinalities correct the source collections' extents (and rescale
+// their histograms), mediator-side selection cardinalities refine
+// attribute selectivities, and mediator-side operator times re-fit the
+// Med* coefficients in the estimator's globals. It returns the applied
+// corrections.
+func (a *Adjuster) Apply(rep *Report, cat *catalog.Catalog, globals map[string]types.Constant) []Adjustment {
+	if rep == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []Adjustment
+	for i := range rep.Obs {
+		o := &rep.Obs[i]
+		if o.Excluded {
+			continue
+		}
+		switch {
+		case o.Node.Kind == algebra.OpSubmit:
+			if cat != nil {
+				out = append(out, a.correctExtent(o, cat)...)
+			}
+		case o.Site == "mediator" && o.Node.Kind == algebra.OpSelect:
+			if cat != nil {
+				out = append(out, a.refineSelectivity(o, cat)...)
+			}
+			if globals != nil {
+				out = append(out, a.refitCoeff(o, globals)...)
+			}
+		case o.Site == "mediator":
+			if globals != nil {
+				out = append(out, a.refitCoeff(o, globals)...)
+			}
+		}
+	}
+	return out
+}
+
+// correctExtent attributes a submit boundary's actual/estimated
+// cardinality ratio to the extent of the collection the subtree derives
+// from. Subtrees combining several collections (joins, unions) carry no
+// single attributable extent and are skipped.
+func (a *Adjuster) correctExtent(o *Obs, cat *catalog.Catalog) []Adjustment {
+	scan := derivedScan(o.Node)
+	if scan == nil {
+		return nil
+	}
+	wrapperName := o.Node.Wrapper
+	if wrapperName == "" {
+		wrapperName = scan.Wrapper
+	}
+	info := lookupCollection(cat, wrapperName, scan.Collection)
+	if info == nil {
+		return nil
+	}
+	key := wrapperName + "\x00" + scan.Collection
+	if !info.HasExtent {
+		// The source registered no statistics at all (flat files "export
+		// no statistics"): adopt the observed cardinality as a learned
+		// extent so estimation has something better than the defaults.
+		// The chain is selection-free, so ActRows IS the extent.
+		n := int64(math.Round(math.Max(o.ActRows, 1)))
+		c := &CardCorrection{
+			Wrapper: wrapperName, Collection: scan.Collection,
+			Base: n, Factor: 1, Samples: 1,
+		}
+		if o.Bytes > 0 {
+			c.ObjectSize = o.Bytes / n
+		}
+		a.cards[key] = c
+		info.HasExtent = true
+		info.Extent.ObjectSize = c.ObjectSize
+		a.writeExtent(info, c)
+		return []Adjustment{{
+			Kind:   "extent-learned",
+			Target: wrapperName + "/" + scan.Collection,
+			Old:    0,
+			New:    float64(info.Extent.CountObject),
+		}}
+	}
+	c, ok := a.cards[key]
+	if !ok {
+		c = &CardCorrection{
+			Wrapper:    wrapperName,
+			Collection: scan.Collection,
+			Base:       info.Extent.CountObject,
+			Factor:     1,
+		}
+		a.cards[key] = c
+	} else if c.applied != info.Extent.CountObject {
+		// The collection was re-registered since our last write: the
+		// current catalog value is the wrapper's fresh claim. Rebase.
+		c.Base = info.Extent.CountObject
+	}
+	ratio := math.Max(o.ActRows, 1) / math.Max(o.EstRows, 1)
+	step := math.Exp(a.Gain * math.Log(ratio))
+	step = clampF(step, 1/a.MaxStep, a.MaxStep)
+	c.Factor = clampF(c.Factor*step, 1/a.MaxFactor, a.MaxFactor)
+	c.Samples++
+	old := float64(info.Extent.CountObject)
+	a.writeExtent(info, c)
+	if info.Extent.CountObject == int64(old) {
+		return nil
+	}
+	return []Adjustment{{
+		Kind:   "extent",
+		Target: wrapperName + "/" + scan.Collection,
+		Old:    old,
+		New:    float64(info.Extent.CountObject),
+	}}
+}
+
+// writeExtent installs a correction into the catalog entry, keeping the
+// derived statistics consistent: TotalSize tracks the corrected count and
+// every histogram is rescaled so its mass matches the corrected extent.
+func (a *Adjuster) writeExtent(info *catalog.CollectionInfo, c *CardCorrection) {
+	n := int64(math.Round(float64(c.Base) * c.Factor))
+	if n < 1 {
+		n = 1
+	}
+	prev := info.Extent.CountObject
+	info.Extent.CountObject = n
+	if info.Extent.ObjectSize == 0 && c.ObjectSize > 0 {
+		info.Extent.ObjectSize = c.ObjectSize
+	}
+	if info.Extent.ObjectSize > 0 {
+		info.Extent.TotalSize = n * info.Extent.ObjectSize
+	} else if prev > 0 {
+		info.Extent.TotalSize = int64(math.Round(float64(info.Extent.TotalSize) * float64(n) / float64(prev)))
+	}
+	c.applied = n
+	for attr, ast := range info.Attrs {
+		if ast.Histogram == nil || ast.Histogram.Total == n || ast.Histogram.Total <= 0 {
+			continue
+		}
+		ast.Histogram = scaleHistogram(ast.Histogram, n)
+		info.Attrs[attr] = ast
+	}
+}
+
+// scaleHistogram returns a copy whose total mass is target, bucket counts
+// scaled proportionally. The original is never mutated: the catalog may
+// share histogram pointers with the wrapper's own statistics.
+func scaleHistogram(h *stats.Histogram, target int64) *stats.Histogram {
+	out := &stats.Histogram{Buckets: make([]stats.Bucket, len(h.Buckets))}
+	copy(out.Buckets, h.Buckets)
+	scale := float64(target) / float64(h.Total)
+	var total int64
+	for i := range out.Buckets {
+		b := &out.Buckets[i]
+		b.Count = int64(math.Round(float64(b.Count) * scale))
+		if b.Count < 0 {
+			b.Count = 0
+		}
+		if b.Distinct > b.Count && b.Count > 0 {
+			b.Distinct = b.Count
+		}
+		total += b.Count
+	}
+	out.Total = total
+	return out
+}
+
+// refineSelectivity nudges an attribute's statistics toward the observed
+// selectivity of a mediator-side selection (rows out / rows in). Only
+// single-comparison predicates against a constant are attributable.
+func (a *Adjuster) refineSelectivity(o *Obs, cat *catalog.Catalog) []Adjustment {
+	n := o.Node
+	if n.Pred == nil || len(n.Pred.Conjuncts) != 1 || o.ActIn <= 0 {
+		return nil
+	}
+	cmp := n.Pred.Conjuncts[0]
+	if cmp.RightAttr != nil || cmp.RightConst.IsNull() {
+		return nil
+	}
+	scan := findScan(n, cmp.Left)
+	if scan == nil {
+		return nil
+	}
+	info := lookupCollection(cat, scan.Wrapper, scan.Collection)
+	if info == nil {
+		return nil
+	}
+	key := lowerASCII(cmp.Left.Attr)
+	ast, ok := info.Attrs[key]
+	if !ok {
+		return nil
+	}
+	estSel := ast.Selectivity(cmp.Op, cmp.RightConst)
+	obsSel := o.ActRows / o.ActIn
+	if estSel <= 0 || isBad(obsSel) {
+		return nil
+	}
+	// Damped in log space, floored so an empty result cannot zero the
+	// statistic out.
+	lo := math.Max(obsSel, 1e-6)
+	newSel := math.Exp(math.Log(estSel) + a.Gain*(math.Log(lo)-math.Log(estSel)))
+	newSel = clampF(newSel, estSel/a.MaxStep, estSel*a.MaxStep)
+	newSel = clampF(newSel, 1e-9, 1)
+	target := scan.Wrapper + "/" + scan.Collection + "." + key
+
+	switch cmp.Op {
+	case stats.CmpEQ:
+		if ast.Histogram != nil {
+			h, changed := retuneBucketDistinct(ast.Histogram, cmp.RightConst, newSel)
+			if !changed {
+				return nil
+			}
+			ast.Histogram = h
+			info.Attrs[key] = ast
+			return []Adjustment{{Kind: "histogram", Target: target, Old: estSel, New: newSel}}
+		}
+		old := ast.CountDistinct
+		d := int64(math.Round(1 / newSel))
+		if d < 1 {
+			d = 1
+		}
+		if d == old {
+			return nil
+		}
+		ast.CountDistinct = d
+		info.Attrs[key] = ast
+		return []Adjustment{{Kind: "distinct", Target: target, Old: float64(old), New: float64(d)}}
+	case stats.CmpLT, stats.CmpLE, stats.CmpGT, stats.CmpGE:
+		if ast.Histogram == nil {
+			return nil // uniform min/max model: nothing safely adjustable
+		}
+		below := newSel
+		if cmp.Op == stats.CmpGT || cmp.Op == stats.CmpGE {
+			below = 1 - newSel
+		}
+		h, changed := reweightHistogram(ast.Histogram, cmp.RightConst, below)
+		if !changed {
+			return nil
+		}
+		ast.Histogram = h
+		info.Attrs[key] = ast
+		return []Adjustment{{Kind: "histogram", Target: target, Old: estSel, New: newSel}}
+	default:
+		return nil
+	}
+}
+
+// retuneBucketDistinct adjusts the distinct count of the bucket holding
+// value so the histogram's equality selectivity approaches sel. Works on
+// a copy; reports whether anything changed.
+func retuneBucketDistinct(h *stats.Histogram, value types.Constant, sel float64) (*stats.Histogram, bool) {
+	if h.Total <= 0 || sel <= 0 {
+		return h, false
+	}
+	out := &stats.Histogram{Buckets: make([]stats.Bucket, len(h.Buckets)), Total: h.Total}
+	copy(out.Buckets, h.Buckets)
+	for i := range out.Buckets {
+		b := &out.Buckets[i]
+		if !bucketContains(out, i, value) || b.Count <= 0 {
+			continue
+		}
+		// sel = Count/Distinct/Total  =>  Distinct = Count/(sel*Total).
+		d := int64(math.Round(float64(b.Count) / (sel * float64(h.Total))))
+		if d < 1 {
+			d = 1
+		}
+		if d > b.Count {
+			d = b.Count
+		}
+		if d == b.Distinct {
+			return h, false
+		}
+		b.Distinct = d
+		return out, true
+	}
+	return h, false
+}
+
+// bucketContains mirrors the histogram's bucket membership rule: buckets
+// are half-open [Lo, Hi) except the last, which is closed.
+func bucketContains(h *stats.Histogram, i int, v types.Constant) bool {
+	b := h.Buckets[i]
+	if v.Compare(b.Lo) < 0 {
+		return false
+	}
+	if i == len(h.Buckets)-1 {
+		return v.Compare(b.Hi) <= 0
+	}
+	return v.Compare(b.Hi) < 0
+}
+
+// reweightHistogram shifts bucket mass so the cumulative fraction below
+// the cut approaches target, preserving the total. Works on a copy.
+func reweightHistogram(h *stats.Histogram, cut types.Constant, target float64) (*stats.Histogram, bool) {
+	if h.Total <= 0 {
+		return h, false
+	}
+	target = clampF(target, 0.001, 0.999)
+	// Current split around the cut, counting partial buckets by the
+	// uniform within-bucket assumption.
+	var below float64
+	for _, b := range h.Buckets {
+		switch {
+		case cut.Compare(b.Hi) >= 0:
+			below += float64(b.Count)
+		case cut.Compare(b.Lo) <= 0:
+		default:
+			below += types.Fraction(cut, b.Lo, b.Hi) * float64(b.Count)
+		}
+	}
+	total := float64(h.Total)
+	cur := below / total
+	if cur <= 0 || cur >= 1 || math.Abs(cur-target) < 1e-9 {
+		return h, false
+	}
+	wBelow := target / cur
+	wAbove := (1 - target) / (1 - cur)
+	out := &stats.Histogram{Buckets: make([]stats.Bucket, len(h.Buckets))}
+	copy(out.Buckets, h.Buckets)
+	var sum int64
+	for i := range out.Buckets {
+		b := &out.Buckets[i]
+		var w float64
+		switch {
+		case cut.Compare(b.Hi) >= 0:
+			w = wBelow
+		case cut.Compare(b.Lo) <= 0:
+			w = wAbove
+		default:
+			f := types.Fraction(cut, b.Lo, b.Hi)
+			w = f*wBelow + (1-f)*wAbove
+		}
+		b.Count = int64(math.Round(float64(b.Count) * w))
+		if b.Count < 0 {
+			b.Count = 0
+		}
+		if b.Distinct > b.Count && b.Count > 0 {
+			b.Distinct = b.Count
+		}
+		sum += b.Count
+	}
+	out.Total = sum
+	if out.Total <= 0 {
+		return h, false
+	}
+	return out, true
+}
+
+// medCoeff maps a mediator-side operator to the generic-model coefficient
+// its engine cost mirrors and the work measure x such that
+// own-time = coeff * x. Operators charging several coefficients at once
+// (join, aggregate, union) are not attributable to a single one.
+func medCoeff(o *Obs) (name string, x float64, ok bool) {
+	switch o.Node.Kind {
+	case algebra.OpSelect:
+		return "MedPerPred", o.ActIn, true
+	case algebra.OpProject:
+		return "MedProjPerObj", o.ActIn, true
+	case algebra.OpSort:
+		return "MedSortPerObj", nLogN(o.ActIn), true
+	case algebra.OpDupElim:
+		return "MedHashPerObj", o.ActIn, true
+	default:
+		return "", 0, false
+	}
+}
+
+// refitCoeff folds one mediator-side operator observation into the
+// through-origin fit of its coefficient and installs a damped, bounded
+// update into the estimator's globals.
+func (a *Adjuster) refitCoeff(o *Obs, globals map[string]types.Constant) []Adjustment {
+	name, x, ok := medCoeff(o)
+	if !ok || x <= 0 || o.OwnMS < 0 || isBad(o.OwnMS) {
+		return nil
+	}
+	cur, ok := globals[name]
+	if !ok {
+		return nil
+	}
+	curF := cur.AsFloat()
+	if curF <= 0 {
+		return nil
+	}
+	f := a.coeffs[name]
+	if f == nil {
+		f = &coeffFit{}
+		a.coeffs[name] = f
+	}
+	f.add(x, o.OwnMS)
+	slope, ok := calibration.FitThroughOrigin(f.xs[:f.filled], f.ys[:f.filled], nil)
+	if !ok || slope <= 0 {
+		return nil
+	}
+	ratio := clampF(slope/curF, 1/a.MaxStep, a.MaxStep)
+	next := curF * math.Exp(a.Gain*math.Log(ratio))
+	if next <= 0 || isBad(next) || next == curF {
+		return nil
+	}
+	globals[name] = types.Float(next)
+	return []Adjustment{{Kind: "coeff", Target: name, Old: curF, New: next}}
+}
+
+// Reapply installs every learned cardinality correction into the catalog
+// (after a snapshot restore or a wrapper re-registration) and returns the
+// number of collections touched. Fresh registrations become the new
+// correction base.
+func (a *Adjuster) Reapply(cat *catalog.Catalog) int {
+	if cat == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, c := range a.cards {
+		info := lookupCollection(cat, c.Wrapper, c.Collection)
+		if info == nil {
+			continue
+		}
+		switch {
+		case !info.HasExtent:
+			// The source still exports no statistics: reinstate the
+			// learned extent as-is.
+			info.HasExtent = true
+		case c.applied != info.Extent.CountObject:
+			c.Base = info.Extent.CountObject
+		}
+		a.writeExtent(info, c)
+		n++
+	}
+	return n
+}
+
+// Corrections returns the learned cardinality corrections, sorted by
+// wrapper then collection.
+func (a *Adjuster) Corrections() []CardCorrection {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]CardCorrection, 0, len(a.cards))
+	for _, c := range a.cards {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Wrapper != out[j].Wrapper {
+			return out[i].Wrapper < out[j].Wrapper
+		}
+		return out[i].Collection < out[j].Collection
+	})
+	return out
+}
+
+// FittedCoeffs returns the currently fitted coefficient values.
+func (a *Adjuster) FittedCoeffs(globals map[string]types.Constant) map[string]float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]float64, len(a.coeffs))
+	for name := range a.coeffs {
+		if v, ok := globals[name]; ok {
+			out[name] = v.AsFloat()
+		}
+	}
+	return out
+}
+
+// restoreCards loads card corrections from a snapshot, dropping invalid
+// entries rather than failing.
+func (a *Adjuster) restoreCards(cards []CardCorrection) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, c := range cards {
+		if c.Wrapper == "" || c.Collection == "" || c.Base < 0 ||
+			c.Factor <= 0 || isBad(c.Factor) || c.ObjectSize < 0 {
+			continue
+		}
+		cc := c
+		cc.Factor = clampF(cc.Factor, 1/a.MaxFactor, a.MaxFactor)
+		cc.applied = 0 // force a rebase on the next Reapply
+		a.cards[cc.Wrapper+"\x00"+cc.Collection] = &cc
+	}
+}
+
+// derivedScan returns the single scan a submit's subtree derives from,
+// walking through cardinality-preserving single-child chains; nil when
+// the subtree changes cardinality at all — selections included. A
+// selective chain's actual rows confound predicate selectivity error
+// with extent error: attributing them to the extent makes the two
+// corrections fight each other (the factor oscillates between the
+// equilibria of differently selective queries), so only selection-free
+// subtrees, whose row count IS the extent, correct it.
+func derivedScan(n *algebra.Node) *algebra.Node {
+	for n != nil {
+		switch n.Kind {
+		case algebra.OpScan:
+			return n
+		case algebra.OpProject, algebra.OpSort, algebra.OpSubmit:
+			if len(n.Children) != 1 {
+				return nil
+			}
+			n = n.Children[0]
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// findScan locates the scan a selection's attribute reference resolves
+// against: the unique scan of the subtree, or the one matching the
+// reference's collection qualifier.
+func findScan(n *algebra.Node, ref algebra.Ref) *algebra.Node {
+	scans := n.Scans()
+	if len(scans) == 1 {
+		return scans[0]
+	}
+	if ref.Collection == "" {
+		return nil
+	}
+	var found *algebra.Node
+	for _, s := range scans {
+		if equalFold(s.Collection, ref.Collection) {
+			if found != nil {
+				return nil
+			}
+			found = s
+		}
+	}
+	return found
+}
+
+func lookupCollection(cat *catalog.Catalog, wrapperName, collection string) *catalog.CollectionInfo {
+	e, ok := cat.Entry(wrapperName)
+	if !ok {
+		return nil
+	}
+	if info, ok := e.Collections[collection]; ok {
+		return info
+	}
+	for name, info := range e.Collections {
+		if equalFold(name, collection) {
+			return info
+		}
+	}
+	return nil
+}
+
+// nLogN mirrors engine.nLogN: the work measure of the mediator's sort.
+func nLogN(nf float64) float64 {
+	n := int(nf)
+	if n < 2 {
+		return nf
+	}
+	l := 0.0
+	for x := n + 2; x > 1; x >>= 1 {
+		l++
+	}
+	return float64(n) * l
+}
+
+func clampF(x, lo, hi float64) float64 {
+	if x < lo || isBad(x) {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func lowerASCII(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+func equalFold(a, b string) bool { return lowerASCII(a) == lowerASCII(b) }

@@ -1,0 +1,111 @@
+package feedback
+
+import "sort"
+
+// Accumulator maintains the q-error distribution of one scope: a lifetime
+// count and maximum plus a ring-buffered window of recent observations
+// from which percentiles are answered. The ring bounds memory on
+// long-running daemons while keeping quantiles responsive to the current
+// workload rather than diluted by ancient history.
+type Accumulator struct {
+	ring   []float64
+	next   int
+	filled int
+	count  int64
+	max    float64
+}
+
+// defaultWindow is the ring size when none is given: large enough for
+// stable percentiles, small enough to forget a superseded regime.
+const defaultWindow = 256
+
+// NewAccumulator builds an accumulator with the given ring window
+// (window <= 0 uses the default).
+func NewAccumulator(window int) *Accumulator {
+	if window <= 0 {
+		window = defaultWindow
+	}
+	return &Accumulator{ring: make([]float64, window)}
+}
+
+// Add records one q-error observation.
+func (a *Accumulator) Add(q float64) {
+	if q < 1 { // q-errors are >= 1 by construction; guard foreign input
+		q = 1
+	}
+	a.ring[a.next] = q
+	a.next = (a.next + 1) % len(a.ring)
+	if a.filled < len(a.ring) {
+		a.filled++
+	}
+	a.count++
+	if q > a.max {
+		a.max = q
+	}
+}
+
+// Count is the lifetime number of observations.
+func (a *Accumulator) Count() int64 { return a.count }
+
+// Max is the lifetime maximum q-error.
+func (a *Accumulator) Max() float64 { return a.max }
+
+// Quantile answers the p-quantile (0 <= p <= 1) over the ring window
+// using nearest-rank; 0 when nothing has been observed.
+func (a *Accumulator) Quantile(p float64) float64 {
+	if a.filled == 0 {
+		return 0
+	}
+	w := make([]float64, a.filled)
+	copy(w, a.ring[:a.filled])
+	sort.Float64s(w)
+	i := int(p*float64(len(w)-1) + 0.5)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(w) {
+		i = len(w) - 1
+	}
+	return w[i]
+}
+
+// Median is the 0.5-quantile over the window.
+func (a *Accumulator) Median() float64 { return a.Quantile(0.5) }
+
+// Window returns a copy of the ring contents, oldest first.
+func (a *Accumulator) Window() []float64 {
+	out := make([]float64, 0, a.filled)
+	if a.filled == len(a.ring) {
+		out = append(out, a.ring[a.next:]...)
+		out = append(out, a.ring[:a.next]...)
+		return out
+	}
+	return append(out, a.ring[:a.filled]...)
+}
+
+// state captures the accumulator for a snapshot.
+func (a *Accumulator) state() ScopeState {
+	return ScopeState{Count: a.count, Max: a.max, Window: a.Window()}
+}
+
+// restore loads a snapshot state; invalid entries are dropped.
+func (a *Accumulator) restore(s ScopeState) {
+	a.count = s.Count
+	if a.count < 0 {
+		a.count = 0
+	}
+	a.max = s.Max
+	if a.max < 0 {
+		a.max = 0
+	}
+	a.next, a.filled = 0, 0
+	for _, q := range s.Window {
+		if q >= 1 && !isBad(q) {
+			a.ring[a.next] = q
+			a.next = (a.next + 1) % len(a.ring)
+			if a.filled < len(a.ring) {
+				a.filled++
+			}
+		}
+	}
+}

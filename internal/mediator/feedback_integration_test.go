@@ -1,0 +1,149 @@
+package mediator
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"disco/internal/feedback"
+)
+
+// misregisterEmployee inflates the registered Employee extent by 10x,
+// simulating a wrapper whose statistics went stale after registration
+// (the staleness problem the feedback loop exists to repair).
+func misregisterEmployee(t *testing.T, m *Mediator) {
+	t.Helper()
+	e, ok := m.Catalog.Entry("obj1")
+	if !ok {
+		t.Fatal("obj1 not registered")
+	}
+	info := e.Collections["Employee"]
+	if info == nil || !info.HasExtent {
+		t.Fatal("Employee extent missing")
+	}
+	perObj := info.Extent.TotalSize / info.Extent.CountObject
+	info.Extent.CountObject = 10000
+	info.Extent.TotalSize = 10000 * perObj
+}
+
+func employeeCount(t *testing.T, m *Mediator) int64 {
+	t.Helper()
+	ext, ok := m.Catalog.Extent("obj1", "Employee")
+	if !ok {
+		t.Fatal("Employee extent missing")
+	}
+	return ext.CountObject
+}
+
+// A mis-registered extent is pulled toward the observed cardinality by
+// running ordinary queries through the real Query loop. History is off:
+// its query-scope rules would repair the estimate for the repeated query
+// after one round (masking the catalog-level correction this test is
+// about), while the adjuster repairs the catalog for every future query.
+func TestFeedbackCorrectsMisregisteredExtent(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RecordHistory = false
+	cfg.Feedback = true
+	m := buildMediator(t, cfg)
+	misregisterEmployee(t, m)
+	if got := employeeCount(t, m); got != 10000 {
+		t.Fatalf("inflated extent = %d, want 10000", got)
+	}
+
+	for i := 0; i < 10; i++ {
+		if _, err := m.Query(`SELECT name FROM Employee`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := employeeCount(t, m)
+	if got < 800 || got > 1400 {
+		t.Errorf("corrected extent = %d, want near the true 1000", got)
+	}
+	if m.Feedback == nil || len(m.Feedback.Scopes()) == 0 {
+		t.Error("recorder should have accumulated scopes")
+	}
+	corr := m.Adjuster.Corrections()
+	if len(corr) != 1 || corr[0].Wrapper != "obj1" || corr[0].Collection != "Employee" {
+		t.Fatalf("corrections = %+v", corr)
+	}
+	if corr[0].Factor > 0.2 {
+		t.Errorf("factor = %v, want close to 0.1", corr[0].Factor)
+	}
+}
+
+// Learned corrections survive a restart: a second mediator constructed
+// over the same snapshot file re-applies them after registration.
+func TestFeedbackSnapshotPersistsAcrossRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.json")
+	mk := func() *Mediator {
+		cfg := DefaultConfig()
+		cfg.RecordHistory = false
+		cfg.Feedback = true
+		cfg.FeedbackStore = feedback.NewFileStore(path)
+		return buildMediator(t, cfg)
+	}
+
+	m1 := mk()
+	misregisterEmployee(t, m1)
+	for i := 0; i < 10; i++ {
+		if _, err := m1.Query(`SELECT name FROM Employee`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	factor := m1.Adjuster.Corrections()[0].Factor
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("snapshot file not written: %v", err)
+	}
+
+	// Restart: the wrapper still claims the stale statistics, so the
+	// second instance mis-registers the same way. Reapply installs the
+	// learned factor without a single query having run.
+	m2 := mk()
+	misregisterEmployee(t, m2)
+	if n := m2.Adjuster.Reapply(m2.Catalog); n != 1 {
+		t.Fatalf("Reapply corrected %d extents, want 1", n)
+	}
+	got := employeeCount(t, m2)
+	want := int64(float64(10000) * factor)
+	if got < want-1 || got > want+1 {
+		t.Errorf("reapplied extent = %d, want ~%d (factor %v)", got, want, factor)
+	}
+	if len(m2.Feedback.Scopes()) == 0 {
+		t.Error("restored recorder should carry the learned scopes")
+	}
+}
+
+// With feedback disabled nothing the executor measures leaks back into
+// estimation: plans and estimates stay bit-identical no matter how many
+// queries run. (History is off here: it is its own, separate feedback
+// channel and is exercised elsewhere.)
+func TestFeedbackOffLeavesEstimatesUntouched(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RecordHistory = false
+	m := buildMediator(t, cfg)
+	misregisterEmployee(t, m)
+
+	sql := `SELECT name, dname FROM Employee, Dept WHERE dept = dno AND salary < 1050`
+	before, err := m.Explain(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := m.Query(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, err := m.Explain(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Errorf("feedback off, but estimates drifted:\n--- before ---\n%s\n--- after ---\n%s", before, after)
+	}
+	if got := employeeCount(t, m); got != 10000 {
+		t.Errorf("extent changed to %d with feedback off", got)
+	}
+	if m.Feedback != nil || m.Adjuster != nil {
+		t.Error("feedback machinery should be nil when disabled")
+	}
+}

@@ -16,10 +16,12 @@ import (
 	"disco/internal/core"
 	"disco/internal/costlang"
 	"disco/internal/engine"
+	"disco/internal/feedback"
 	"disco/internal/history"
 	"disco/internal/netsim"
 	"disco/internal/optimizer"
 	"disco/internal/sqlparser"
+	"disco/internal/types"
 	"disco/internal/wrapper"
 )
 
@@ -40,6 +42,21 @@ type Config struct {
 	// cost rules (disabling it yields the generic-model-only baseline of
 	// experiment E3).
 	UseWrapperRules bool
+	// Feedback enables the execution-feedback loop (DESIGN.md §8): every
+	// executed query's per-operator actuals are joined against the
+	// optimizer's predictions, per-scope q-error accumulators update, and
+	// the adjuster refines catalog statistics and calibrated coefficients
+	// toward the observations. Off by default: with feedback disabled the
+	// mediator's plans and estimates are bit-identical to a build without
+	// the subsystem.
+	Feedback bool
+	// FeedbackStore, when set with Feedback, persists learned corrections
+	// across restarts (the snapshot loads at construction and is saved
+	// after every absorbed execution). Nil keeps corrections in memory.
+	FeedbackStore feedback.Store
+	// FeedbackWindow sizes the q-error accumulators' ring buffers
+	// (<= 0 uses the package default).
+	FeedbackWindow int
 	// OptimizerOptions tune the plan search.
 	OptimizerOptions optimizer.Options
 }
@@ -67,6 +84,13 @@ type Mediator struct {
 	Optimizer *optimizer.Optimizer
 	Engine    *engine.Engine
 	History   *history.Recorder
+	// Feedback and Adjuster are the execution-feedback loop (nil unless
+	// Config.Feedback).
+	Feedback *feedback.Recorder
+	Adjuster *feedback.Adjuster
+	// LastReport is the feedback report of the most recently executed
+	// query (nil until one runs, or when feedback is off).
+	LastReport *feedback.Report
 
 	wrappers map[string]wrapper.Wrapper
 	// unavailable records wrappers that exhausted the transport's
@@ -93,6 +117,11 @@ func New(cfg Config) (*Mediator, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Feedback {
+		// The recorder joins per-node predictions against actuals, so the
+		// final costing of every chosen plan must capture all variables.
+		cfg.OptimizerOptions.CapturePlanCosts = true
+	}
 	m := &Mediator{
 		cfg:         cfg,
 		Clock:       cfg.Clock,
@@ -106,6 +135,24 @@ func New(cfg Config) (*Mediator, error) {
 	m.Optimizer = optimizer.New(m.Catalog, m.Estimator, cfg.OptimizerOptions)
 	if cfg.RecordHistory {
 		m.History = history.NewRecorder(reg)
+	}
+	if cfg.Feedback {
+		m.Feedback = feedback.NewRecorder(cfg.FeedbackWindow)
+		m.Adjuster = feedback.NewAdjuster()
+		if cfg.FeedbackStore != nil {
+			// A missing or corrupt snapshot loads as empty; persisted
+			// corrections are an optimization, never a startup gate.
+			snap, err := cfg.FeedbackStore.Load()
+			if err != nil {
+				return nil, err
+			}
+			feedback.Restore(snap, m.Feedback, m.Adjuster)
+			for name, v := range snap.Coeffs {
+				if _, ok := m.Estimator.Globals[name]; ok && v > 0 {
+					m.Estimator.Globals[name] = types.Float(v)
+				}
+			}
+		}
 	}
 	if err := m.rebuildEngine(); err != nil {
 		return nil, err
@@ -186,6 +233,11 @@ func (m *Mediator) Register(w wrapper.Wrapper) error {
 	// the rebuilt engine starts with clean down-marks and the rules just
 	// integrated above are live again.
 	delete(m.unavailable, w.Name())
+	if m.Adjuster != nil {
+		// Learned cardinality corrections outlive registrations: the fresh
+		// entry becomes the new correction base and the factor re-applies.
+		m.Adjuster.Reapply(m.Catalog)
+	}
 	return m.rebuildEngine()
 }
 
@@ -230,18 +282,47 @@ func (m *Mediator) Prepare(sql string) (*Prepared, error) {
 	}, nil
 }
 
-// Query runs the full pipeline: prepare then execute.
+// Query runs the full pipeline: prepare then execute. With feedback
+// enabled the execution is absorbed into the model before returning.
 func (m *Mediator) Query(sql string) (*engine.Result, error) {
 	p, err := m.Prepare(sql)
 	if err != nil {
 		return nil, err
 	}
-	return m.Engine.Execute(p.Plan)
+	return m.ExecutePlan(p)
 }
 
-// ExecutePlan executes a previously prepared plan.
+// ExecutePlan executes a previously prepared plan, feeding the actuals
+// back into the model when feedback is enabled.
 func (m *Mediator) ExecutePlan(p *Prepared) (*engine.Result, error) {
-	return m.Engine.Execute(p.Plan)
+	res, err := m.Engine.Execute(p.Plan)
+	if err == nil {
+		m.absorb(p, res)
+	}
+	return res, err
+}
+
+// absorb closes the feedback loop for one execution: the profile is
+// joined against the plan's predicted costs, q-error accumulators update,
+// the adjuster refines statistics and coefficients, and the snapshot is
+// persisted. Returns the joined report (nil when feedback is off or the
+// run carries no usable profile).
+func (m *Mediator) absorb(p *Prepared, res *engine.Result) *feedback.Report {
+	if m.Feedback == nil || p == nil || p.Cost == nil || res == nil || res.Profile == nil {
+		return nil
+	}
+	rep := m.Feedback.Observe(p.Plan, p.Cost, res.Profile)
+	m.LastReport = rep
+	if m.Adjuster != nil {
+		m.Adjuster.Apply(rep, m.Catalog, m.Estimator.Globals)
+	}
+	if m.cfg.FeedbackStore != nil {
+		// Persisting corrections must never fail the query that produced
+		// them; a failed save means relearning after the next restart.
+		_ = m.cfg.FeedbackStore.Save(feedback.Capture(
+			m.Feedback, m.Adjuster, m.Adjuster.FittedCoeffs(m.Estimator.Globals)))
+	}
+	return rep
 }
 
 // Explain renders the chosen plan with its cost annotations.
@@ -258,6 +339,102 @@ func (m *Mediator) Explain(sql string) (string, error) {
 	fmt.Fprintf(&b, "-- estimated TotalTime: %.3f ms (%d candidate estimations)\n",
 		p.Cost.TotalTime(), p.PlansCosted)
 	b.WriteString(m.Estimator.Explain(p.Plan, p.Cost))
+	return b.String(), nil
+}
+
+// ExplainAnalyze prepares, executes and renders a query's plan tree with
+// each node annotated `est=… act=… q=…` — the estimator's predicted
+// cardinality and subtree time against the measured actuals, with their
+// q-errors. Operators below a submit execute opaquely inside the wrapper
+// and show estimates only; an excluded submit (unavailable wrapper) is
+// marked. With feedback enabled the execution is absorbed into the model
+// like any other query.
+func (m *Mediator) ExplainAnalyze(sql string) (string, error) {
+	// Per-node predictions for the whole tree, regardless of the search
+	// options in effect.
+	savedCapture := m.Optimizer.Opt.CapturePlanCosts
+	m.Optimizer.Opt.CapturePlanCosts = true
+	defer func() { m.Optimizer.Opt.CapturePlanCosts = savedCapture }()
+	p, err := m.Prepare(sql)
+	if err != nil {
+		return "", err
+	}
+	res, err := m.ExecutePlan(p)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- %s\n", sql)
+	fmt.Fprintf(&b, "-- estimated TotalTime: %.3f ms, actual: %.3f ms (q=%.2f), %d rows",
+		p.Cost.TotalTime(), res.ElapsedMS,
+		feedback.QError(p.Cost.TotalTime(), res.ElapsedMS, 0.01), len(res.Rows))
+	if res.Partial {
+		fmt.Fprintf(&b, " [PARTIAL: excluded %s]", strings.Join(res.Excluded, ", "))
+	}
+	b.WriteByte('\n')
+	renderAnalyze(&b, p.Plan, 0, p.Cost, res.Profile)
+	return b.String(), nil
+}
+
+// renderAnalyze prints one node of the annotated plan tree and recurses.
+func renderAnalyze(b *strings.Builder, n *algebra.Node, depth int, pc *core.PlanCost, prof *feedback.Profile) {
+	indent := strings.Repeat("  ", depth)
+	head := strings.TrimSpace(strings.SplitN(n.String(), "\n", 2)[0])
+	fmt.Fprintf(b, "%s%s", indent, head)
+	est, okE := pc.ByNode[n]
+	act, okA := prof.Actual(n)
+	switch {
+	case okE && okA && act.Excluded:
+		fmt.Fprintf(b, "  est=%.4g rows %.4g ms  act: EXCLUDED (wrapper %s unavailable)",
+			est.Var("CountObject", 0), est.TotalTime(), act.Wrapper)
+	case okE && okA:
+		fmt.Fprintf(b, "  est=%.4g act=%d q=%.2f rows | est=%.4g act=%.4g q=%.2f ms",
+			est.Var("CountObject", 0), act.RowsOut,
+			feedback.QError(est.Var("CountObject", 0), float64(act.RowsOut), 1),
+			est.TotalTime(), act.SubtreeMS,
+			feedback.QError(est.TotalTime(), act.SubtreeMS, 0.01))
+		if n.Kind == algebra.OpSubmit {
+			fmt.Fprintf(b, " | %d round-trip(s) %d B", act.RoundTrips, act.Bytes)
+		}
+	case okE:
+		fmt.Fprintf(b, "  est=%.4g rows %.4g ms (wrapper-resident: no actuals)",
+			est.Var("CountObject", 0), est.TotalTime())
+	case okA:
+		fmt.Fprintf(b, "  act=%d rows %.4g ms", act.RowsOut, act.SubtreeMS)
+	}
+	b.WriteByte('\n')
+	for _, c := range n.Children {
+		renderAnalyze(b, c, depth+1, pc, prof)
+	}
+}
+
+// FeedbackSummary renders the execution-feedback state: the per-scope
+// q-error table, the learned extent corrections and the re-fitted cost
+// coefficients. It errors when feedback is disabled.
+func (m *Mediator) FeedbackSummary() (string, error) {
+	if m.Feedback == nil || m.Adjuster == nil {
+		return "", fmt.Errorf("mediator: feedback is disabled (Config.Feedback)")
+	}
+	var b strings.Builder
+	b.WriteString(m.Feedback.Summary())
+	if corr := m.Adjuster.Corrections(); len(corr) > 0 {
+		b.WriteString("\nextent corrections:\n")
+		for _, c := range corr {
+			fmt.Fprintf(&b, "  %s/%s: claimed %d x %.4g (%d samples)\n",
+				c.Wrapper, c.Collection, c.Base, c.Factor, c.Samples)
+		}
+	}
+	if coeffs := m.Adjuster.FittedCoeffs(m.Estimator.Globals); len(coeffs) > 0 {
+		b.WriteString("\nre-fitted coefficients:\n")
+		names := make([]string, 0, len(coeffs))
+		for n := range coeffs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(&b, "  %s = %.6g\n", n, coeffs[n])
+		}
+	}
 	return b.String(), nil
 }
 

@@ -76,6 +76,14 @@ type Options struct {
 	// — the greedy search re-prices surviving pairs every round — are
 	// estimated once. The table is shared by all workers.
 	Memo bool
+	// CapturePlanCosts guarantees the returned Result.Cost carries a
+	// complete per-node variable capture for the chosen plan: the final
+	// estimation runs with every result variable enabled even when the
+	// estimator's RequiredVarsOnly/RootVars options restrict candidate
+	// pricing to the objective. The execution-feedback recorder joins
+	// these predictions against observed actuals, so it needs estimated
+	// cardinalities and times at every node, not just the root.
+	CapturePlanCosts bool
 	// ExactMemo keys the memo table by the full canonical signature
 	// string (algebra.Signature) instead of its 128-bit structural hash.
 	// The hash is collision-free for any realistic search space; this
@@ -190,6 +198,18 @@ func (o *Optimizer) Optimize(qb *QueryBlock) (*Result, error) {
 	plan, err := o.finalize(qb, joined)
 	if err != nil {
 		return nil, err
+	}
+	if o.Opt.CapturePlanCosts {
+		// Full-variable final pass: lift the phase-1 restrictions for the
+		// one estimation whose per-node breakdown callers consume.
+		savedRequired := o.Est.Options.RequiredVarsOnly
+		savedRoot := o.Est.Options.RootVars
+		o.Est.Options.RequiredVarsOnly = false
+		o.Est.Options.RootVars = nil
+		defer func() {
+			o.Est.Options.RequiredVarsOnly = savedRequired
+			o.Est.Options.RootVars = savedRoot
+		}()
 	}
 	cost, err := s.costPlan(o.Est, plan, 0)
 	if err != nil {

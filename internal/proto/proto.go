@@ -15,10 +15,10 @@ import (
 
 // Request is one client message.
 type Request struct {
-	// Op selects the action: "query", "explain", "catalog", "history",
-	// or "ping".
+	// Op selects the action: "query", "explain", "explain-analyze",
+	// "catalog", "history", "feedback", or "ping".
 	Op string `json:"op"`
-	// SQL carries the query text for query/explain.
+	// SQL carries the query text for query/explain/explain-analyze.
 	SQL string `json:"sql,omitempty"`
 }
 
