@@ -8,7 +8,7 @@ GO ?= go
 RACE_PKGS = ./internal/optimizer ./internal/mediator ./internal/wrapper ./internal/netsim
 
 .PHONY: all build test race bench experiments fmt vet clean \
-	ci ci-build ci-test ci-vet ci-fmt ci-race ci-alloc ci-faultmatrix ci-feedback ci-fuzz ci-bench
+	ci ci-build ci-test ci-vet ci-fmt ci-race ci-alloc ci-faultmatrix ci-feedback ci-fuzz ci-concurrency ci-bench
 
 all: build test
 
@@ -52,7 +52,7 @@ clean:
 # `make ci` runs exactly what .github/workflows/ci.yml runs; the workflow
 # invokes these ci-* targets so the two cannot drift. Run it before
 # pushing.
-ci: ci-build ci-test ci-vet ci-fmt ci-race ci-alloc ci-faultmatrix ci-feedback ci-fuzz ci-bench
+ci: ci-build ci-test ci-vet ci-fmt ci-race ci-alloc ci-faultmatrix ci-feedback ci-fuzz ci-concurrency ci-bench
 
 ci-build:
 	$(GO) build ./...
@@ -100,6 +100,15 @@ ci-fuzz:
 	$(GO) test -fuzz=FuzzParseFaultSpec -fuzztime=30s ./internal/netsim
 	$(GO) test -fuzz=FuzzFrameDecode -fuzztime=30s ./internal/proto
 	$(GO) test -fuzz=FuzzFeedbackSnapshot -fuzztime=30s ./internal/feedback
+
+# Race-stress for the concurrent serving path (DESIGN.md §9): the mixed
+# query/registration/fault suite, the plan-cache and admission tests, the
+# feedback save debounce, and discod's connection handling, repeated
+# under the race detector so interleavings vary between runs.
+ci-concurrency:
+	$(GO) test -race -count=3 \
+		-run 'Concurrent|Race|Admission|PlanCache|Reprepare|StalePlan|Debounce|IdleTimeout|Overloaded|NormalizeSQL' \
+		./internal/mediator ./internal/feedback ./cmd/discod
 
 # One iteration of every benchmark, archived as JSON for cross-commit
 # comparison (CI uploads BENCH_pr.json as an artifact).

@@ -93,7 +93,11 @@ func roundtrip(conn net.Conn, r *proto.Reader, req *proto.Request) bool {
 		return false
 	}
 	if !resp.OK {
-		fmt.Println("error:", resp.Error)
+		if resp.Overloaded {
+			fmt.Println("overloaded:", resp.Error, "(retry after backoff)")
+		} else {
+			fmt.Println("error:", resp.Error)
+		}
 		return false
 	}
 	if resp.Text != "" {

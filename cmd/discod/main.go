@@ -1,28 +1,38 @@
 // Command discod runs a DISCO mediator as a TCP server speaking the JSON
 // line protocol of internal/proto. It assembles the demo federation —
 // the OO7 object database, a relational catalog of suppliers, and a flat
-// file of inspection notes — registers the wrappers, and serves queries
-// (one session at a time per connection; the mediator pipeline itself is
-// serial, like the paper's prototype).
+// file of inspection notes — registers the wrappers, and serves queries.
+// Connections are handled concurrently: the mediator pipeline is
+// thread-safe, repeated statements hit the prepared-plan cache, and
+// admission control sheds excess load instead of queueing unboundedly.
 //
 // Usage:
 //
 //	discod [-listen :4077] [-parts 14000] [-feedback] [-feedback-snapshot file]
+//	       [-max-inflight 32] [-queue-timeout 1s] [-idle-timeout 5m]
 //
 // With -feedback (the default) every executed query is profiled and fed
 // back into the cost model; -feedback-snapshot names a JSON file that
-// persists the learned corrections across restarts.
+// persists the learned corrections across restarts (saves are debounced
+// and flushed on shutdown). -max-inflight bounds concurrently executing
+// queries (0 = unlimited); a query that cannot be admitted within
+// -queue-timeout is shed with an `overloaded` error. -idle-timeout drops
+// connections that stay silent — including half-open peers that will
+// never speak again.
 //
 // Try it with cmd/discoctl.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"os"
-	"sync"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"disco"
 	"disco/internal/oo7"
@@ -34,9 +44,19 @@ func main() {
 	parts := flag.Int("parts", 14000, "OO7 AtomicParts cardinality")
 	fb := flag.Bool("feedback", true, "absorb execution feedback into the cost model")
 	fbSnap := flag.String("feedback-snapshot", "", "JSON file persisting learned corrections across restarts")
+	maxInFlight := flag.Int("max-inflight", 32, "maximum concurrently executing queries (0 = unlimited)")
+	queueTimeout := flag.Duration("queue-timeout", time.Second, "admission queue wait before shedding a query")
+	idleTimeout := flag.Duration("idle-timeout", 5*time.Minute, "drop connections idle longer than this (0 = never)")
 	flag.Parse()
 
-	srv, err := newServer(*parts, *fb, *fbSnap)
+	srv, err := newServer(serverOptions{
+		parts:        *parts,
+		feedback:     *fb,
+		fbSnapshot:   *fbSnap,
+		maxInFlight:  *maxInFlight,
+		queueTimeout: *queueTimeout,
+		idleTimeout:  *idleTimeout,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,6 +64,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// Flush the debounced feedback snapshot on shutdown.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		if err := srv.med.Close(); err != nil {
+			log.Printf("discod: flushing feedback snapshot: %v", err)
+		}
+		os.Exit(0)
+	}()
+
 	log.Printf("discod: serving the demo federation on %s", ln.Addr())
 	for {
 		conn, err := ln.Accept()
@@ -55,20 +87,33 @@ func main() {
 	}
 }
 
-// server wraps the mediator with a connection handler. Queries are
-// serialized through a mutex: the virtual clock and stores are
-// single-session state.
-type server struct {
-	mu  sync.Mutex
-	med *disco.Mediator
+// serverOptions configure a demo-federation server.
+type serverOptions struct {
+	parts        int
+	feedback     bool
+	fbSnapshot   string
+	maxInFlight  int
+	queueTimeout time.Duration
+	idleTimeout  time.Duration
 }
 
-func newServer(parts int, fb bool, fbSnap string) (*server, error) {
+// server wraps the mediator with a connection handler. The mediator is
+// safe for concurrent use, so connections are served without a global
+// lock; note the virtual clock is shared, so measured virtual times
+// interleave across concurrent sessions.
+type server struct {
+	med         *disco.Mediator
+	idleTimeout time.Duration
+}
+
+func newServer(opts serverOptions) (*server, error) {
 	cfg := disco.DefaultConfig()
-	cfg.Feedback = fb
-	if fbSnap != "" {
-		cfg.FeedbackStore = disco.NewFeedbackFileStore(fbSnap)
+	cfg.Feedback = opts.feedback
+	if opts.fbSnapshot != "" {
+		cfg.FeedbackStore = disco.NewFeedbackFileStore(opts.fbSnapshot)
 	}
+	cfg.MaxInFlight = opts.maxInFlight
+	cfg.AdmissionTimeout = opts.queueTimeout
 	m, err := disco.NewMediator(cfg)
 	if err != nil {
 		return nil, err
@@ -76,10 +121,10 @@ func newServer(parts int, fb bool, fbSnap string) (*server, error) {
 
 	// OO7 object database.
 	scfg := disco.DefaultObjectStoreConfig()
-	scfg.BufferPages = parts/70 + 64
+	scfg.BufferPages = opts.parts/70 + 64
 	ostore := disco.OpenObjectStore(m, scfg)
 	scale := oo7.PaperScale()
-	scale.AtomicParts = parts
+	scale.AtomicParts = opts.parts
 	if err := oo7.Generate(ostore, scale, 1); err != nil {
 		return nil, err
 	}
@@ -124,7 +169,7 @@ func newServer(parts int, fb bool, fbSnap string) (*server, error) {
 	}
 	for i := 0; i < 1000; i++ {
 		if err := notes.Append(disco.Row{
-			disco.Int(int64(i * 17 % parts)),
+			disco.Int(int64(i * 17 % opts.parts)),
 			disco.Bool(i%7 != 0),
 		}); err != nil {
 			return nil, err
@@ -134,27 +179,43 @@ func newServer(parts int, fb bool, fbSnap string) (*server, error) {
 		return nil, err
 	}
 
-	return &server{med: m}, nil
+	return &server{med: m, idleTimeout: opts.idleTimeout}, nil
 }
 
 func (s *server) serve(conn net.Conn) {
 	defer conn.Close()
 	r := proto.NewReader(conn)
 	for {
+		// The read deadline covers the idle wait for the next request; a
+		// half-open connection (peer gone without FIN) times out here
+		// instead of pinning the goroutine and its buffers forever.
+		if s.idleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.idleTimeout))
+		}
 		req, err := r.ReadRequest()
 		if err != nil {
 			return
 		}
 		resp := s.handle(req)
+		if s.idleTimeout > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(s.idleTimeout))
+		}
 		if err := proto.Write(conn, resp); err != nil {
 			return
 		}
 	}
 }
 
+// errorResponse renders an error, marking admission-control shedding so
+// clients can back off and retry instead of failing the statement.
+func errorResponse(err error) *proto.Response {
+	return &proto.Response{
+		Error:      err.Error(),
+		Overloaded: errors.Is(err, disco.ErrOverloaded),
+	}
+}
+
 func (s *server) handle(req *proto.Request) *proto.Response {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	switch req.Op {
 	case "ping":
 		return &proto.Response{OK: true, Text: "pong"}
@@ -162,7 +223,7 @@ func (s *server) handle(req *proto.Request) *proto.Response {
 	case "query":
 		res, err := s.med.Query(req.SQL)
 		if err != nil {
-			return &proto.Response{Error: err.Error()}
+			return errorResponse(err)
 		}
 		resp := &proto.Response{OK: true, ElapsedMS: res.ElapsedMS,
 			Partial: res.Partial, Excluded: res.Excluded}
@@ -177,21 +238,21 @@ func (s *server) handle(req *proto.Request) *proto.Response {
 	case "explain":
 		out, err := s.med.Explain(req.SQL)
 		if err != nil {
-			return &proto.Response{Error: err.Error()}
+			return errorResponse(err)
 		}
 		return &proto.Response{OK: true, Text: out}
 
 	case "explain-analyze":
 		out, err := s.med.ExplainAnalyze(req.SQL)
 		if err != nil {
-			return &proto.Response{Error: err.Error()}
+			return errorResponse(err)
 		}
 		return &proto.Response{OK: true, Text: out}
 
 	case "feedback":
 		out, err := s.med.FeedbackSummary()
 		if err != nil {
-			return &proto.Response{Error: err.Error()}
+			return errorResponse(err)
 		}
 		return &proto.Response{OK: true, Text: out}
 

@@ -10,7 +10,7 @@ import (
 
 func TestHandleFeedbackOps(t *testing.T) {
 	snap := filepath.Join(t.TempDir(), "snap.json")
-	srv, err := newServer(500, true, snap)
+	srv, err := newServer(serverOptions{parts: 500, feedback: true, fbSnapshot: snap})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +36,7 @@ func TestHandleFeedbackOps(t *testing.T) {
 }
 
 func TestHandleFeedbackDisabled(t *testing.T) {
-	srv, err := newServer(500, false, "")
+	srv, err := newServer(serverOptions{parts: 500})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"disco"
+	"disco/internal/proto"
+)
+
+// testServer builds one small federation for the connection tests.
+func testServer(t *testing.T, opts serverOptions) *server {
+	t.Helper()
+	if opts.parts == 0 {
+		opts.parts = 500
+	}
+	srv, err := newServer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// dialServed starts a TCP listener serving srv and dials one client
+// connection to it.
+func dialServed(t *testing.T, srv *server) net.Conn {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go srv.serve(conn)
+		}
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+// TestIdleTimeoutDropsSilentConnection pins satellite 4: a connection
+// that goes silent — the shape of a half-open peer whose FIN never
+// arrives — is dropped by the idle read deadline instead of pinning its
+// goroutine forever.
+func TestIdleTimeoutDropsSilentConnection(t *testing.T) {
+	srv := testServer(t, serverOptions{idleTimeout: 150 * time.Millisecond})
+	conn := dialServed(t, srv)
+	r := proto.NewReader(conn)
+
+	// The connection works while traffic flows.
+	if err := proto.Write(conn, &proto.Request{Op: "ping"}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := r.ReadResponse()
+	if err != nil || !resp.OK {
+		t.Fatalf("ping: %v %+v", err, resp)
+	}
+
+	// Now stay silent. The server must close the connection: the next
+	// read on our side finishes with an error (EOF/reset) well before
+	// the watchdog fires.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	start := time.Now()
+	if _, err := r.ReadResponse(); err == nil {
+		t.Fatal("server kept a silent connection open past the idle timeout")
+	}
+	if waited := time.Since(start); waited < 100*time.Millisecond {
+		t.Errorf("connection dropped after %v, before the idle timeout", waited)
+	}
+}
+
+// TestConcurrentConnections serves several sessions at once — the
+// serialized-handler regression test: all queries succeed with correct
+// results, none deadlocks.
+func TestConcurrentConnections(t *testing.T) {
+	srv := testServer(t, serverOptions{idleTimeout: 5 * time.Second})
+
+	const sessions = 4
+	const queriesPerSession = 3
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for s := 0; s < sessions; s++ {
+		conn := dialServed(t, srv)
+		wg.Add(1)
+		go func(conn net.Conn) {
+			defer wg.Done()
+			r := proto.NewReader(conn)
+			for q := 0; q < queriesPerSession; q++ {
+				if err := proto.Write(conn, &proto.Request{
+					Op: "query", SQL: `SELECT sname FROM Suppliers WHERE region = 3`,
+				}); err != nil {
+					errs <- err
+					return
+				}
+				resp, err := r.ReadResponse()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !resp.OK || len(resp.Rows) != 42 {
+					t.Errorf("session query: ok=%v rows=%d error=%q", resp.OK, len(resp.Rows), resp.Error)
+					return
+				}
+			}
+		}(conn)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	if st := srv.med.Stats(); st.PlanCacheHits == 0 {
+		t.Errorf("identical statements across sessions should share cached plans, stats = %+v", st)
+	}
+}
+
+// TestOverloadedResponseShape pins the wire mapping: an admission-shed
+// error carries the Overloaded marker so clients back off and retry,
+// while ordinary failures do not. (The shedding behaviour itself is
+// covered by the mediator's admission tests.)
+func TestOverloadedResponseShape(t *testing.T) {
+	resp := errorResponse(fmt.Errorf("serving: %w", disco.ErrOverloaded))
+	if resp.OK || !resp.Overloaded || resp.Error == "" {
+		t.Errorf("shed error response = %+v, want !OK with Overloaded set", resp)
+	}
+	resp = errorResponse(errors.New("parse error"))
+	if resp.Overloaded {
+		t.Errorf("ordinary error must not be marked overloaded: %+v", resp)
+	}
+}

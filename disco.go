@@ -93,6 +93,22 @@ type (
 	FileStoreConfig = filestore.Config
 )
 
+// MediatorStats is the mediator's serving-counter snapshot (plan cache,
+// re-prepares, admission shedding); see Mediator.Stats.
+type MediatorStats = mediator.Stats
+
+// Prepared is a bound and optimized query; see Mediator.Prepare and
+// Mediator.ExecutePlan.
+type Prepared = mediator.Prepared
+
+// ErrOverloaded is returned when admission control sheds a query; see
+// Config.MaxInFlight.
+var ErrOverloaded = mediator.ErrOverloaded
+
+// ErrStalePlan is returned for a prepared plan whose federation changed
+// and which carries no SQL text to re-prepare from.
+var ErrStalePlan = mediator.ErrStalePlan
+
 // NewMediator builds an empty mediator deployment.
 func NewMediator(cfg Config) (*Mediator, error) { return mediator.New(cfg) }
 

@@ -31,14 +31,25 @@ type Entry struct {
 	CostRules   string
 }
 
-// Catalog stores registration results. It is not safe for concurrent
-// mutation; register wrappers before serving queries.
+// Catalog stores registration results. It is not internally synchronized:
+// the mediator serializes mutation (Register/Deregister and the feedback
+// adjuster's statistics writes) behind its write lock and reads behind its
+// read lock. The epoch counter lets cached artifacts derived from catalog
+// state (prepared plans, most importantly) detect that a (re-)registration
+// happened since they were built.
 type Catalog struct {
 	entries map[string]*Entry
+	epoch   uint64
 }
 
-// New returns an empty catalog.
+// New returns an empty catalog at epoch zero.
 func New() *Catalog { return &Catalog{entries: make(map[string]*Entry)} }
+
+// Epoch returns the registration epoch: it starts at zero and is bumped by
+// every Register and Deregister call. Two reads returning the same epoch
+// bracket a span in which no wrapper was added, replaced or removed, so any
+// plan bound against the catalog at that epoch is still executable.
+func (c *Catalog) Epoch() uint64 { return c.epoch }
 
 // Register uploads a wrapper's schema, capabilities and statistics into
 // the catalog (the paper's registration phase: the mediator calls the
@@ -74,11 +85,15 @@ func (c *Catalog) Register(w wrapper.Wrapper) error {
 		e.Collections[coll] = info
 	}
 	c.entries[name] = e
+	c.epoch++
 	return nil
 }
 
 // Deregister removes a wrapper.
-func (c *Catalog) Deregister(name string) { delete(c.entries, name) }
+func (c *Catalog) Deregister(name string) {
+	delete(c.entries, name)
+	c.epoch++
+}
 
 // Wrappers lists registered wrapper names, sorted.
 func (c *Catalog) Wrappers() []string {

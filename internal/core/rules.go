@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"disco/internal/algebra"
 	"disco/internal/costlang"
@@ -315,7 +316,16 @@ var DefaultAttribute = stats.AttributeStats{Indexed: false, CountDistinct: 100}
 // paper's "own efficient [overriding mechanism] based on kind of virtual
 // tables", §3.3.2) keep matching time independent of rules for other
 // operators.
+//
+// The registry is safe for concurrent use: estimations read rule slices
+// while registrations, re-registrations, outage-driven drops and the
+// history recorder's query-scope injections mutate them. Mutators publish
+// copy-on-write — they build fresh slices and index maps and swap them in
+// under the write lock — so a reader that fetched a slice before a
+// mutation keeps iterating its (now superseded) snapshot safely; published
+// rules themselves are immutable, updates replace the rule pointer.
 type Registry struct {
+	mu           sync.RWMutex
 	defaults     []*Rule // ScopeDefault and ScopeLocal
 	defaultsByOp map[algebra.OpKind][]*Rule
 	byWrapper    map[string][]*Rule
@@ -344,6 +354,8 @@ func (reg *Registry) BaseFuncs() *costvm.FuncRegistry { return reg.baseFuncs }
 
 // RuleCount reports the total number of integrated rules.
 func (reg *Registry) RuleCount() int {
+	reg.mu.RLock()
+	defer reg.mu.RUnlock()
 	n := len(reg.defaults)
 	for _, rs := range reg.byWrapper {
 		n += len(rs)
@@ -353,10 +365,18 @@ func (reg *Registry) RuleCount() int {
 
 // WrapperRules returns the integrated rules of one wrapper (sorted
 // most-specific-first); the slice must not be modified.
-func (reg *Registry) WrapperRules(wrapper string) []*Rule { return reg.byWrapper[wrapper] }
+func (reg *Registry) WrapperRules(wrapper string) []*Rule {
+	reg.mu.RLock()
+	defer reg.mu.RUnlock()
+	return reg.byWrapper[wrapper]
+}
 
 // DefaultRules returns the default- and local-scope rules.
-func (reg *Registry) DefaultRules() []*Rule { return reg.defaults }
+func (reg *Registry) DefaultRules() []*Rule {
+	reg.mu.RLock()
+	defer reg.mu.RUnlock()
+	return reg.defaults
+}
 
 // IntegrateDefaults compiles a cost-language file into default-scope (or,
 // when local is true, local-scope) rules. Head identifiers are all treated
@@ -376,18 +396,26 @@ func (reg *Registry) IntegrateDefaults(file *costlang.File, local bool) error {
 			return err
 		}
 	}
+	fresh := make([]*Rule, 0, len(file.Rules))
 	for _, rd := range file.Rules {
 		rule, err := compileRule(rd, "", scope, nil, funcs, globals)
 		if err != nil {
 			return err
 		}
+		rule.Source = fmt.Sprintf("%s-scope line %d", scope, rd.Line)
+		rule.Finalize()
+		fresh = append(fresh, rule)
+	}
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	for _, rule := range fresh {
 		rule.Seq = reg.seq
 		reg.seq++
-		rule.Source = fmt.Sprintf("%s-scope line %d", scope, rd.Line)
-		reg.defaults = append(reg.defaults, rule)
 	}
-	sortRules(reg.defaults)
-	reg.defaultsByOp = indexByOp(reg.defaults)
+	defaults := append(append([]*Rule(nil), reg.defaults...), fresh...)
+	sortRules(defaults)
+	reg.defaults = defaults
+	reg.defaultsByOp = indexByOp(defaults)
 	return nil
 }
 
@@ -409,6 +437,7 @@ func (reg *Registry) IntegrateWrapper(wrapper string, file *costlang.File, view 
 			return err
 		}
 	}
+	fresh := make([]*Rule, 0, len(file.Rules))
 	for _, rd := range file.Rules {
 		classify := &wrapperClassifier{wrapper: wrapper, view: view}
 		rule, err := compileRule(rd, wrapper, 0, classify, funcs, globals)
@@ -416,13 +445,20 @@ func (reg *Registry) IntegrateWrapper(wrapper string, file *costlang.File, view 
 			return err
 		}
 		rule.Scope = classify.scopeOf(rule)
+		rule.Source = fmt.Sprintf("wrapper %s line %d", wrapper, rd.Line)
+		rule.Finalize()
+		fresh = append(fresh, rule)
+	}
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	for _, rule := range fresh {
 		rule.Seq = reg.seq
 		reg.seq++
-		rule.Source = fmt.Sprintf("wrapper %s line %d", wrapper, rd.Line)
-		reg.byWrapper[wrapper] = append(reg.byWrapper[wrapper], rule)
 	}
-	sortRules(reg.byWrapper[wrapper])
-	reg.byWrapperOp[wrapper] = indexByOp(reg.byWrapper[wrapper])
+	rules := append(append([]*Rule(nil), reg.byWrapper[wrapper]...), fresh...)
+	sortRules(rules)
+	reg.byWrapper[wrapper] = rules
+	reg.byWrapperOp[wrapper] = indexByOp(rules)
 	return nil
 }
 
@@ -433,19 +469,58 @@ func (reg *Registry) IntegrateWrapper(wrapper string, file *costlang.File, view 
 func (reg *Registry) AddQueryRule(wrapper string, rule *Rule) {
 	rule.Scope = ScopeQuery
 	rule.Wrapper = wrapper
+	rule.Finalize()
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
 	rule.Seq = reg.seq
 	reg.seq++
 	if rule.Funcs == nil {
 		rule.Funcs = reg.baseFuncs
 	}
-	reg.byWrapper[wrapper] = append(reg.byWrapper[wrapper], rule)
-	sortRules(reg.byWrapper[wrapper])
-	reg.byWrapperOp[wrapper] = indexByOp(reg.byWrapper[wrapper])
+	rules := append(append([]*Rule(nil), reg.byWrapper[wrapper]...), rule)
+	sortRules(rules)
+	reg.byWrapper[wrapper] = rules
+	reg.byWrapperOp[wrapper] = indexByOp(rules)
+}
+
+// ReplaceQueryRule swaps a previously injected query-scope rule for a
+// fresh one carrying updated formulas, keeping its position in the
+// specialization order (the replacement inherits the old rule's sequence
+// number). The history recorder uses it on repeat observations of the
+// same subquery shape: published rules are immutable, so updating means
+// replacing the pointer, never mutating formulas in place under readers.
+// A rule not (or no longer) present — e.g. dropped by an intervening
+// re-registration — is ignored and false is returned.
+func (reg *Registry) ReplaceQueryRule(wrapper string, old, fresh *Rule) bool {
+	fresh.Scope = ScopeQuery
+	fresh.Wrapper = wrapper
+	fresh.Finalize()
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	bucket := reg.byWrapper[wrapper]
+	for i, r := range bucket {
+		if r != old {
+			continue
+		}
+		fresh.Seq = old.Seq
+		fresh.Specificity = old.Specificity
+		if fresh.Funcs == nil {
+			fresh.Funcs = old.Funcs
+		}
+		rules := append([]*Rule(nil), bucket...)
+		rules[i] = fresh
+		reg.byWrapper[wrapper] = rules
+		reg.byWrapperOp[wrapper] = indexByOp(rules)
+		return true
+	}
+	return false
 }
 
 // DropWrapper removes every rule of a wrapper (re-registration, paper
 // §2.1's administrative interface).
 func (reg *Registry) DropWrapper(wrapper string) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
 	delete(reg.byWrapper, wrapper)
 	delete(reg.byWrapperOp, wrapper)
 }
@@ -454,6 +529,8 @@ func (reg *Registry) DropWrapper(wrapper string) {
 // most-specific-first (the dispatch-table view the estimator matches
 // against).
 func (reg *Registry) WrapperRulesFor(wrapper string, op algebra.OpKind) []*Rule {
+	reg.mu.RLock()
+	defer reg.mu.RUnlock()
 	m, ok := reg.byWrapperOp[wrapper]
 	if !ok {
 		return nil
@@ -463,6 +540,8 @@ func (reg *Registry) WrapperRulesFor(wrapper string, op algebra.OpKind) []*Rule 
 
 // DefaultRulesFor returns the default/local rules for one operator kind.
 func (reg *Registry) DefaultRulesFor(op algebra.OpKind) []*Rule {
+	reg.mu.RLock()
+	defer reg.mu.RUnlock()
 	return reg.defaultsByOp[op]
 }
 
@@ -475,10 +554,10 @@ func indexByOp(rules []*Rule) map[algebra.OpKind][]*Rule {
 	return out
 }
 
+// sortRules orders a bucket most-specific-first. Callers finalize fresh
+// rules before sorting: re-finalizing already-published rules here would
+// write derived fields concurrent estimations are reading.
 func sortRules(rules []*Rule) {
-	for _, r := range rules {
-		r.Finalize()
-	}
 	sort.SliceStable(rules, func(i, j int) bool {
 		a, b := rules[i], rules[j]
 		if a.Scope != b.Scope {

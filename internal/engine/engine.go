@@ -69,14 +69,19 @@ type Engine struct {
 
 // New builds an engine over the registered wrappers. All wrappers must
 // share the engine's clock for measured response times to be meaningful;
-// New enforces this.
+// New enforces this. The wrapper map is snapshot-copied: an engine's view
+// of the federation is immutable for its lifetime, so in-flight
+// executions on a superseded engine stay race-free while a registration
+// builds its replacement from the live map.
 func New(clock *netsim.Clock, net *netsim.Network, wrappers map[string]wrapper.Wrapper, costs Costs) (*Engine, error) {
+	ws := make(map[string]wrapper.Wrapper, len(wrappers))
 	for name, w := range wrappers {
 		if w.Clock() != clock {
 			return nil, fmt.Errorf("engine: wrapper %s does not share the engine clock", name)
 		}
+		ws[name] = w
 	}
-	return &Engine{wrappers: wrappers, net: net, clock: clock, costs: costs, down: make(map[string]bool)}, nil
+	return &Engine{wrappers: ws, net: net, clock: clock, costs: costs, down: make(map[string]bool)}, nil
 }
 
 // Clock returns the shared virtual clock.

@@ -1,0 +1,89 @@
+package feedback
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultSaveInterval is the debounce window when the caller does not
+// configure one.
+const DefaultSaveInterval = 5 * time.Second
+
+// Debouncer coalesces snapshot saves so a stream of absorbed executions
+// does not write the store once per query. The first Mark after
+// construction (or after an interval has elapsed since the last save)
+// persists immediately; Marks inside the window only record that state
+// is dirty and stash the capture closure. Flush writes the pending
+// snapshot, making close-time persistence complete regardless of where
+// the window stood.
+//
+// The capture closure is invoked synchronously inside Mark/Flush, under
+// the debouncer's mutex; callers already serialize model mutation (the
+// mediator holds its write lock around absorption), so captures always
+// see a consistent model. There is no background goroutine: saves ride
+// on the query path, at most once per interval.
+type Debouncer struct {
+	store    Store
+	interval time.Duration
+
+	mu       sync.Mutex
+	capture  func() *Snapshot
+	dirty    bool
+	lastSave time.Time
+	saves    int64
+}
+
+// NewDebouncer wraps a store with a save window. interval == 0 uses
+// DefaultSaveInterval; interval < 0 disables debouncing (every Mark
+// saves — the pre-debounce behaviour).
+func NewDebouncer(store Store, interval time.Duration) *Debouncer {
+	if interval == 0 {
+		interval = DefaultSaveInterval
+	}
+	return &Debouncer{store: store, interval: interval}
+}
+
+// Mark records that the model changed. capture must build the snapshot
+// to persist; it runs only when a save is actually due (or later, from
+// Flush).
+func (d *Debouncer) Mark(capture func() *Snapshot) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.capture = capture
+	d.dirty = true
+	if d.interval >= 0 && !d.lastSave.IsZero() && time.Since(d.lastSave) < d.interval {
+		return nil
+	}
+	return d.saveLocked()
+}
+
+// Flush persists the pending snapshot if any mark is outstanding. The
+// mediator calls it from Close so the final state always lands in the
+// store.
+func (d *Debouncer) Flush() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.dirty {
+		return nil
+	}
+	return d.saveLocked()
+}
+
+// saveLocked captures and writes the snapshot; callers hold d.mu.
+func (d *Debouncer) saveLocked() error {
+	if d.capture == nil {
+		return nil
+	}
+	err := d.store.Save(d.capture())
+	d.dirty = false
+	d.lastSave = time.Now()
+	d.saves++
+	return err
+}
+
+// Saves reports how many snapshot writes reached the store.
+func (d *Debouncer) Saves() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.saves
+}

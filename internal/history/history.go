@@ -93,21 +93,22 @@ func (r *Recorder) Record(wrapper string, plan *algebra.Node, elapsedMS float64,
 	if err != nil {
 		return err
 	}
-	if e.rule != nil {
-		// Update the injected rule in place; the registry holds the same
-		// pointer, so the estimator's precomputed per-rule sets must be
-		// rebuilt to match the new formulas.
-		e.rule.Formulas = formulas
-		e.rule.Finalize()
-		return nil
-	}
-	e.rule = &core.Rule{
+	// Published rules are immutable — concurrent estimations may be
+	// matching against them — so repeat observations build a fresh rule
+	// and swap the registry pointer instead of rewriting formulas in
+	// place.
+	fresh := &core.Rule{
 		Op:       plan.Kind,
 		Exact:    plan.Clone(),
 		Formulas: formulas,
 		Source:   fmt.Sprintf("history %s (%d samples)", wrapper, e.vec.Samples),
 	}
-	r.reg.AddQueryRule(wrapper, e.rule)
+	if e.rule != nil && r.reg.ReplaceQueryRule(wrapper, e.rule, fresh) {
+		e.rule = fresh
+		return nil
+	}
+	e.rule = fresh
+	r.reg.AddQueryRule(wrapper, fresh)
 	return nil
 }
 

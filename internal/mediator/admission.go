@@ -1,0 +1,86 @@
+package mediator
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// ErrOverloaded is returned when admission control sheds a query: every
+// in-flight slot stayed occupied for the whole queue timeout. Callers
+// (discod) surface it distinctly so clients can back off and retry
+// instead of treating it as a query failure.
+var ErrOverloaded = errors.New("mediator: overloaded, query shed after admission timeout")
+
+// admission is a counting semaphore bounding concurrently served
+// queries. A nil *admission admits everything (Config.MaxInFlight 0).
+type admission struct {
+	slots   chan struct{}
+	timeout time.Duration
+	shed    atomic.Int64
+}
+
+// newAdmission builds a semaphore with max slots; max <= 0 disables
+// admission control (returns nil). timeout > 0 bounds the queue wait,
+// timeout == 0 waits indefinitely, timeout < 0 sheds immediately when
+// saturated.
+func newAdmission(max int, timeout time.Duration) *admission {
+	if max <= 0 {
+		return nil
+	}
+	return &admission{slots: make(chan struct{}, max), timeout: timeout}
+}
+
+// acquire claims a slot or returns ErrOverloaded after the queue
+// timeout. The caller must release() the slot on every acquired path.
+func (a *admission) acquire() error {
+	if a == nil {
+		return nil
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if a.timeout < 0 {
+		a.shed.Add(1)
+		return ErrOverloaded
+	}
+	if a.timeout == 0 {
+		a.slots <- struct{}{}
+		return nil
+	}
+	t := time.NewTimer(a.timeout)
+	defer t.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-t.C:
+		a.shed.Add(1)
+		return ErrOverloaded
+	}
+}
+
+// release frees a slot claimed by acquire.
+func (a *admission) release() {
+	if a == nil {
+		return
+	}
+	<-a.slots
+}
+
+// inFlight reports the number of currently admitted queries.
+func (a *admission) inFlight() int {
+	if a == nil {
+		return 0
+	}
+	return len(a.slots)
+}
+
+// shedCount reports how many queries were shed.
+func (a *admission) shedCount() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.shed.Load()
+}

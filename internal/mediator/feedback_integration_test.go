@@ -91,6 +91,10 @@ func TestFeedbackSnapshotPersistsAcrossRestart(t *testing.T) {
 		}
 	}
 	factor := m1.Adjuster.Corrections()[0].Factor
+	// Saves are debounced; Close flushes the final snapshot.
+	if err := m1.Close(); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := os.Stat(path); err != nil {
 		t.Fatalf("snapshot file not written: %v", err)
 	}

@@ -7,9 +7,13 @@
 package mediator
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"disco/internal/algebra"
 	"disco/internal/catalog"
@@ -24,6 +28,11 @@ import (
 	"disco/internal/types"
 	"disco/internal/wrapper"
 )
+
+// ErrStalePlan is returned by ExecutePlan when a prepared plan's catalog
+// epoch no longer matches the federation and the plan carries no SQL
+// text to re-prepare from.
+var ErrStalePlan = errors.New("mediator: prepared plan is stale (federation changed since Prepare) and carries no SQL to re-prepare")
 
 // Config sets up a mediator deployment.
 type Config struct {
@@ -51,12 +60,31 @@ type Config struct {
 	// the subsystem.
 	Feedback bool
 	// FeedbackStore, when set with Feedback, persists learned corrections
-	// across restarts (the snapshot loads at construction and is saved
-	// after every absorbed execution). Nil keeps corrections in memory.
+	// across restarts (the snapshot loads at construction; saves are
+	// debounced — see FeedbackSaveInterval — and flushed by Close).
 	FeedbackStore feedback.Store
 	// FeedbackWindow sizes the q-error accumulators' ring buffers
 	// (<= 0 uses the package default).
 	FeedbackWindow int
+	// FeedbackSaveInterval debounces snapshot persistence: absorbed
+	// executions inside the window coalesce into one deferred save,
+	// written by the first absorption past the window or by Close. Zero
+	// uses feedback.DefaultSaveInterval; negative saves after every
+	// execution (the pre-debounce behaviour).
+	FeedbackSaveInterval time.Duration
+	// PlanCacheSize bounds the prepared-plan cache in entries. Zero uses
+	// DefaultPlanCacheSize; negative disables caching. Cached plans are
+	// invalidated by catalog epoch (any re-registration), by wrapper
+	// outages, and by feedback corrections.
+	PlanCacheSize int
+	// MaxInFlight caps concurrently admitted queries (Query, ExecutePlan,
+	// Explain, ExplainAnalyze). Zero means unlimited. Excess callers
+	// queue for AdmissionTimeout and are then shed with ErrOverloaded.
+	MaxInFlight int
+	// AdmissionTimeout bounds the admission queue wait. Zero waits
+	// indefinitely (no shedding); negative sheds immediately when
+	// MaxInFlight queries are in flight.
+	AdmissionTimeout time.Duration
 	// OptimizerOptions tune the plan search.
 	OptimizerOptions optimizer.Options
 }
@@ -71,16 +99,38 @@ func DefaultConfig() Config {
 	}
 }
 
-// Mediator is one running mediator instance. It is not safe for
-// concurrent use; create one per session.
+// Mediator is one running mediator instance. It is safe for concurrent
+// use: queries, explains and plan executions run in parallel under a
+// read lock, while (re-)registration and feedback absorption take the
+// write lock and drain in-flight queries first.
+//
+// Lock order (outermost first): mu → downMu → inner package locks
+// (registry, recorder, adjuster, cache, buffer pools). The down-marks
+// live under their own mutex because sources fail DURING read-locked
+// execution — the engine's outage callback cannot upgrade to the write
+// lock without deadlocking behind its own read hold.
 type Mediator struct {
 	cfg Config
 
-	Clock     *netsim.Clock
-	Net       *netsim.Network
-	Catalog   *catalog.Catalog
-	Registry  *core.Registry
+	// mu is the serving lock. Read side: Prepare, Query, ExecutePlan,
+	// Explain, ExplainAnalyze, accessors. Write side: Register, feedback
+	// absorption, Close.
+	mu sync.RWMutex
+	// downMu guards unavailable; see the lock-order note above.
+	downMu sync.Mutex
+
+	Clock    *netsim.Clock
+	Net      *netsim.Network
+	Catalog  *catalog.Catalog
+	Registry *core.Registry
+	// Estimator is the template estimator holding the calibrated globals
+	// and default options; every prepare clones it, so concurrent
+	// searches never share scratch state. Mutate it only while no
+	// queries are in flight (calibration, setup).
 	Estimator *core.Estimator
+	// Optimizer is a convenience instance over the template estimator
+	// for tools and tests; the serving path builds a per-call optimizer
+	// from a clone instead.
 	Optimizer *optimizer.Optimizer
 	Engine    *engine.Engine
 	History   *history.Recorder
@@ -89,7 +139,7 @@ type Mediator struct {
 	Feedback *feedback.Recorder
 	Adjuster *feedback.Adjuster
 	// LastReport is the feedback report of the most recently executed
-	// query (nil until one runs, or when feedback is off).
+	// query (nil until one runs, or when feedback is off). Guarded by mu.
 	LastReport *feedback.Report
 
 	wrappers map[string]wrapper.Wrapper
@@ -100,6 +150,11 @@ type Mediator struct {
 	// so estimation falls back to the generic calibrated model — the
 	// paper's behaviour for sources that are only partially registered.
 	unavailable map[string]bool
+
+	cache      *planCache
+	adm        *admission
+	deb        *feedback.Debouncer
+	reprepares atomic.Int64
 }
 
 // New builds an empty mediator.
@@ -130,6 +185,8 @@ func New(cfg Config) (*Mediator, error) {
 		Registry:    reg,
 		wrappers:    make(map[string]wrapper.Wrapper),
 		unavailable: make(map[string]bool),
+		cache:       newPlanCache(cfg.PlanCacheSize),
+		adm:         newAdmission(cfg.MaxInFlight, cfg.AdmissionTimeout),
 	}
 	m.Estimator = core.NewEstimator(reg, m.Catalog, cfg.Net)
 	m.Optimizer = optimizer.New(m.Catalog, m.Estimator, cfg.OptimizerOptions)
@@ -152,6 +209,7 @@ func New(cfg Config) (*Mediator, error) {
 					m.Estimator.Globals[name] = types.Float(v)
 				}
 			}
+			m.deb = feedback.NewDebouncer(cfg.FeedbackStore, cfg.FeedbackSaveInterval)
 		}
 	}
 	if err := m.rebuildEngine(); err != nil {
@@ -160,6 +218,10 @@ func New(cfg Config) (*Mediator, error) {
 	return m, nil
 }
 
+// rebuildEngine publishes a fresh engine over the current wrapper set;
+// the caller holds the write lock (or is still constructing). Superseded
+// engines keep serving in-flight executions safely: engine.New snapshots
+// the wrapper map.
 func (m *Mediator) rebuildEngine() error {
 	eng, err := engine.New(m.Clock, m.Net, m.wrappers, m.cfg.EngineCosts)
 	if err != nil {
@@ -178,25 +240,39 @@ func (m *Mediator) rebuildEngine() error {
 }
 
 // markUnavailable degrades the mediator after a source outage: the
-// wrapper's collections stop being preferred at bind time and its
-// wrapper-specific cost rules are dropped, so estimation for plans over
-// surviving copies falls back to the generic calibrated model.
+// wrapper's collections stop being preferred at bind time, its
+// wrapper-specific cost rules are dropped so estimation over surviving
+// copies falls back to the generic calibrated model, and cached plans —
+// which may still route subqueries to the dead source — are invalidated.
+// Called from engine callbacks while the read lock is held; it must not
+// touch mu.
 func (m *Mediator) markUnavailable(name string) {
+	m.downMu.Lock()
 	if m.unavailable[name] {
+		m.downMu.Unlock()
 		return
 	}
 	m.unavailable[name] = true
+	m.downMu.Unlock()
 	m.Registry.DropWrapper(name)
+	m.cache.clear()
 }
 
 // Available reports whether a registered wrapper is currently usable.
 func (m *Mediator) Available(name string) bool {
+	m.mu.RLock()
 	_, registered := m.wrappers[name]
-	return registered && !m.unavailable[name]
+	m.mu.RUnlock()
+	m.downMu.Lock()
+	down := m.unavailable[name]
+	m.downMu.Unlock()
+	return registered && !down
 }
 
 // Unavailable lists the wrappers marked down, sorted.
 func (m *Mediator) Unavailable() []string {
+	m.downMu.Lock()
+	defer m.downMu.Unlock()
 	out := make([]string, 0, len(m.unavailable))
 	for n := range m.unavailable {
 		out = append(out, n)
@@ -205,14 +281,32 @@ func (m *Mediator) Unavailable() []string {
 	return out
 }
 
+// downedSnapshot copies the down-mark set for one bind pass.
+func (m *Mediator) downedSnapshot() map[string]bool {
+	m.downMu.Lock()
+	defer m.downMu.Unlock()
+	if len(m.unavailable) == 0 {
+		return nil
+	}
+	out := make(map[string]bool, len(m.unavailable))
+	for n, v := range m.unavailable {
+		out[n] = v
+	}
+	return out
+}
+
 // Register runs the registration phase for one wrapper: catalog upload
 // plus cost-rule integration (paper Figure 1). Re-registering a name
 // replaces its catalog entry and rules (the paper's administrative
-// re-registration interface).
+// re-registration interface). Registration takes the write lock — it
+// drains in-flight queries, bumps the catalog epoch (invalidating every
+// cached plan), and publishes a fresh engine.
 func (m *Mediator) Register(w wrapper.Wrapper) error {
 	if w.Clock() != m.Clock {
 		return fmt.Errorf("mediator: wrapper %s does not share the mediator clock", w.Name())
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if err := m.Catalog.Register(w); err != nil {
 		return err
 	}
@@ -232,22 +326,29 @@ func (m *Mediator) Register(w wrapper.Wrapper) error {
 	// (Re-)registration revives a wrapper previously marked unavailable:
 	// the rebuilt engine starts with clean down-marks and the rules just
 	// integrated above are live again.
+	m.downMu.Lock()
 	delete(m.unavailable, w.Name())
+	m.downMu.Unlock()
 	if m.Adjuster != nil {
 		// Learned cardinality corrections outlive registrations: the fresh
 		// entry becomes the new correction base and the factor re-applies.
 		m.Adjuster.Reapply(m.Catalog)
 	}
+	m.cache.clear()
 	return m.rebuildEngine()
 }
 
 // Wrapper returns a registered wrapper.
 func (m *Mediator) Wrapper(name string) (wrapper.Wrapper, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	w, ok := m.wrappers[name]
 	return w, ok
 }
 
-// Prepared is a bound and optimized query ready for execution.
+// Prepared is a bound and optimized query ready for execution. Prepared
+// values may be shared by concurrent executions (the plan cache hands
+// the same instance to every hit) and must not be mutated.
 type Prepared struct {
 	SQL   string
 	Query *sqlparser.Query
@@ -256,21 +357,63 @@ type Prepared struct {
 	Cost  *core.PlanCost
 	// PlansCosted reports the optimizer's search effort.
 	PlansCosted int
+	// Epoch is the catalog epoch the plan was built under; ExecutePlan
+	// re-prepares (or rejects) plans whose epoch no longer matches.
+	Epoch uint64
+	// Hash is the 128-bit structural hash of the chosen plan.
+	Hash algebra.Hash128
 }
 
-// Prepare parses, binds and optimizes a query.
+// Prepare parses, binds and optimizes a query, serving repeated
+// statements from the bounded plan cache.
 func (m *Mediator) Prepare(sql string) (*Prepared, error) {
-	q, err := sqlparser.Parse(sql)
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.prepareCached(sql)
+}
+
+// prepareCached serves sql from the plan cache or plans it fresh and
+// caches the result. Callers hold the read lock.
+func (m *Mediator) prepareCached(sql string) (*Prepared, error) {
+	key := normalizeSQL(sql)
+	epoch := m.Catalog.Epoch()
+	if p, ok := m.cache.get(key, epoch); ok {
+		return p, nil
+	}
+	p, _, err := m.prepareLocked(sql, false, false)
 	if err != nil {
 		return nil, err
+	}
+	m.cache.put(key, p)
+	return p, nil
+}
+
+// prepareLocked plans one statement on private optimizer state: the
+// template estimator is cloned and a per-call optimizer built over the
+// clone, so concurrent prepares never share options, scratch arenas or
+// pruning budgets. Callers hold the read lock (or the write lock).
+// trace enables per-node estimation traces (Explain); capture forces a
+// full per-node variable capture (ExplainAnalyze). The estimator used
+// is returned for renderers that need it.
+func (m *Mediator) prepareLocked(sql string, trace, capture bool) (*Prepared, *core.Estimator, error) {
+	q, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, nil, err
 	}
 	block, err := m.bind(q)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	res, err := m.Optimizer.Optimize(block)
+	est := m.Estimator.Clone()
+	est.Reset()
+	est.Options.Trace = trace
+	opts := m.cfg.OptimizerOptions
+	if capture {
+		opts.CapturePlanCosts = true
+	}
+	res, err := optimizer.New(m.Catalog, est, opts).Optimize(block)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	return &Prepared{
 		SQL:         sql,
@@ -279,58 +422,163 @@ func (m *Mediator) Prepare(sql string) (*Prepared, error) {
 		Plan:        res.Plan,
 		Cost:        res.Cost,
 		PlansCosted: res.PlansCosted,
-	}, nil
+		Epoch:       m.Catalog.Epoch(),
+		Hash:        res.Plan.StructuralHash(),
+	}, est, nil
 }
 
-// Query runs the full pipeline: prepare then execute. With feedback
-// enabled the execution is absorbed into the model before returning.
+// Query runs the full pipeline: admission, prepare (cache-aware), then
+// execute. With feedback enabled the execution is absorbed into the
+// model before returning.
 func (m *Mediator) Query(sql string) (*engine.Result, error) {
+	if err := m.adm.acquire(); err != nil {
+		return nil, err
+	}
+	defer m.adm.release()
 	p, err := m.Prepare(sql)
 	if err != nil {
 		return nil, err
 	}
-	return m.ExecutePlan(p)
+	return m.executeAdmitted(p)
 }
 
 // ExecutePlan executes a previously prepared plan, feeding the actuals
-// back into the model when feedback is enabled.
+// back into the model when feedback is enabled. A plan prepared under an
+// older catalog epoch is transparently re-prepared from its SQL text
+// (ErrStalePlan when it has none): plans never execute against a
+// federation they were not costed for.
 func (m *Mediator) ExecutePlan(p *Prepared) (*engine.Result, error) {
-	res, err := m.Engine.Execute(p.Plan)
-	if err == nil {
-		m.absorb(p, res)
+	if err := m.adm.acquire(); err != nil {
+		return nil, err
+	}
+	defer m.adm.release()
+	return m.executeAdmitted(p)
+}
+
+// executeAdmitted runs a prepared plan under the read lock. The lock is
+// held across execution, so a registration (write lock) drains every
+// in-flight query first and a plan can never run concurrently with the
+// federation change that would invalidate it.
+func (m *Mediator) executeAdmitted(p *Prepared) (*engine.Result, error) {
+	m.mu.RLock()
+	if p == nil || p.Plan == nil {
+		m.mu.RUnlock()
+		return nil, fmt.Errorf("mediator: ExecutePlan needs a prepared plan")
+	}
+	if p.Epoch != m.Catalog.Epoch() {
+		if p.SQL == "" {
+			m.mu.RUnlock()
+			return nil, ErrStalePlan
+		}
+		fresh, err := m.prepareCached(p.SQL)
+		if err != nil {
+			m.mu.RUnlock()
+			return nil, fmt.Errorf("mediator: re-preparing stale plan: %w", err)
+		}
+		m.reprepares.Add(1)
+		p = fresh
+	}
+	eng := m.Engine
+	res, err := eng.Execute(p.Plan)
+	m.mu.RUnlock()
+	if err == nil && m.Feedback != nil {
+		m.mu.Lock()
+		m.absorbLocked(p, res)
+		m.mu.Unlock()
 	}
 	return res, err
 }
 
-// absorb closes the feedback loop for one execution: the profile is
-// joined against the plan's predicted costs, q-error accumulators update,
-// the adjuster refines statistics and coefficients, and the snapshot is
-// persisted. Returns the joined report (nil when feedback is off or the
-// run carries no usable profile).
-func (m *Mediator) absorb(p *Prepared, res *engine.Result) *feedback.Report {
+// absorbLocked closes the feedback loop for one execution: the profile
+// is joined against the plan's predicted costs, q-error accumulators
+// update, the adjuster refines statistics and coefficients, and the
+// snapshot save is scheduled (debounced). Callers hold the write lock.
+// Returns the joined report (nil when feedback is off or the run carries
+// no usable profile).
+func (m *Mediator) absorbLocked(p *Prepared, res *engine.Result) *feedback.Report {
 	if m.Feedback == nil || p == nil || p.Cost == nil || res == nil || res.Profile == nil {
 		return nil
 	}
 	rep := m.Feedback.Observe(p.Plan, p.Cost, res.Profile)
 	m.LastReport = rep
 	if m.Adjuster != nil {
-		m.Adjuster.Apply(rep, m.Catalog, m.Estimator.Globals)
+		if adj := m.Adjuster.Apply(rep, m.Catalog, m.Estimator.Globals); len(adj) > 0 {
+			// The corrections changed the model cached plans were costed
+			// against; drop them so the next prepare re-plans.
+			m.cache.clear()
+		}
 	}
-	if m.cfg.FeedbackStore != nil {
+	if m.deb != nil {
 		// Persisting corrections must never fail the query that produced
 		// them; a failed save means relearning after the next restart.
-		_ = m.cfg.FeedbackStore.Save(feedback.Capture(
-			m.Feedback, m.Adjuster, m.Adjuster.FittedCoeffs(m.Estimator.Globals)))
+		_ = m.deb.Mark(func() *feedback.Snapshot {
+			return feedback.Capture(m.Feedback, m.Adjuster, m.Adjuster.FittedCoeffs(m.Estimator.Globals))
+		})
 	}
 	return rep
 }
 
-// Explain renders the chosen plan with its cost annotations.
+// Close flushes deferred state — the debounced feedback snapshot — so
+// shutdown never loses absorbed executions. The mediator remains usable
+// afterwards.
+func (m *Mediator) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.deb != nil {
+		return m.deb.Flush()
+	}
+	return nil
+}
+
+// Stats is a point-in-time snapshot of the serving counters.
+type Stats struct {
+	// PlanCacheHits/Misses/Stale count cache lookups; Stale is the
+	// subset of misses caused by a catalog epoch bump.
+	PlanCacheHits   int64
+	PlanCacheMisses int64
+	PlanCacheStale  int64
+	// PlanCacheEntries is the current cache population.
+	PlanCacheEntries int
+	// Reprepares counts stale plans transparently re-planned by
+	// ExecutePlan.
+	Reprepares int64
+	// Shed counts queries rejected by admission control.
+	Shed int64
+	// InFlight is the number of currently admitted queries (0 when
+	// admission control is off).
+	InFlight int
+	// FeedbackSaves counts snapshot writes that reached the store.
+	FeedbackSaves int64
+}
+
+// Stats reports the serving counters.
+func (m *Mediator) Stats() Stats {
+	h, mi, st := m.cache.counters()
+	s := Stats{
+		PlanCacheHits:    h,
+		PlanCacheMisses:  mi,
+		PlanCacheStale:   st,
+		PlanCacheEntries: m.cache.len(),
+		Reprepares:       m.reprepares.Load(),
+		Shed:             m.adm.shedCount(),
+		InFlight:         m.adm.inFlight(),
+	}
+	if m.deb != nil {
+		s.FeedbackSaves = m.deb.Saves()
+	}
+	return s
+}
+
+// Explain renders the chosen plan with its cost annotations. Explains
+// bypass the plan cache: the trace must come from a fresh estimation.
 func (m *Mediator) Explain(sql string) (string, error) {
-	saved := m.Estimator.Options.Trace
-	m.Estimator.Options.Trace = true
-	defer func() { m.Estimator.Options.Trace = saved }()
-	p, err := m.Prepare(sql)
+	if err := m.adm.acquire(); err != nil {
+		return "", err
+	}
+	defer m.adm.release()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	p, est, err := m.prepareLocked(sql, true, false)
 	if err != nil {
 		return "", err
 	}
@@ -338,7 +586,7 @@ func (m *Mediator) Explain(sql string) (string, error) {
 	fmt.Fprintf(&b, "-- %s\n", sql)
 	fmt.Fprintf(&b, "-- estimated TotalTime: %.3f ms (%d candidate estimations)\n",
 		p.Cost.TotalTime(), p.PlansCosted)
-	b.WriteString(m.Estimator.Explain(p.Plan, p.Cost))
+	b.WriteString(est.Explain(p.Plan, p.Cost))
 	return b.String(), nil
 }
 
@@ -348,20 +596,29 @@ func (m *Mediator) Explain(sql string) (string, error) {
 // q-errors. Operators below a submit execute opaquely inside the wrapper
 // and show estimates only; an excluded submit (unavailable wrapper) is
 // marked. With feedback enabled the execution is absorbed into the model
-// like any other query.
+// like any other query. Bypasses the plan cache: the rendering needs a
+// private plan with a full per-node variable capture.
 func (m *Mediator) ExplainAnalyze(sql string) (string, error) {
-	// Per-node predictions for the whole tree, regardless of the search
-	// options in effect.
-	savedCapture := m.Optimizer.Opt.CapturePlanCosts
-	m.Optimizer.Opt.CapturePlanCosts = true
-	defer func() { m.Optimizer.Opt.CapturePlanCosts = savedCapture }()
-	p, err := m.Prepare(sql)
+	if err := m.adm.acquire(); err != nil {
+		return "", err
+	}
+	defer m.adm.release()
+	m.mu.RLock()
+	p, _, err := m.prepareLocked(sql, false, true)
+	if err != nil {
+		m.mu.RUnlock()
+		return "", err
+	}
+	eng := m.Engine
+	res, err := eng.Execute(p.Plan)
+	m.mu.RUnlock()
 	if err != nil {
 		return "", err
 	}
-	res, err := m.ExecutePlan(p)
-	if err != nil {
-		return "", err
+	if m.Feedback != nil {
+		m.mu.Lock()
+		m.absorbLocked(p, res)
+		m.mu.Unlock()
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "-- %s\n", sql)
@@ -415,6 +672,8 @@ func (m *Mediator) FeedbackSummary() (string, error) {
 	if m.Feedback == nil || m.Adjuster == nil {
 		return "", fmt.Errorf("mediator: feedback is disabled (Config.Feedback)")
 	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	var b strings.Builder
 	b.WriteString(m.Feedback.Summary())
 	if corr := m.Adjuster.Corrections(); len(corr) > 0 {
@@ -440,8 +699,10 @@ func (m *Mediator) FeedbackSummary() (string, error) {
 
 // bind resolves a parsed query against the catalog into an optimizer
 // query block (the paper's step "transforms the query, written with
-// respect to a global view, into a query over local schemas").
+// respect to a global view, into a query over local schemas"). Callers
+// hold at least the read lock.
 func (m *Mediator) bind(q *sqlparser.Query) (*optimizer.QueryBlock, error) {
+	down := m.downedSnapshot()
 	rels := make([]optimizer.Rel, 0, len(q.From))
 	for _, tr := range q.From {
 		wrapperName := tr.Wrapper
@@ -451,7 +712,7 @@ func (m *Mediator) bind(q *sqlparser.Query) (*optimizer.QueryBlock, error) {
 			// disambiguates away the dead ones. Only when no owner is
 			// alive does the unfiltered list apply (the engine will then
 			// return a partial answer with the dead wrapper excluded).
-			if alive := availableOwners(owners, m.unavailable); len(alive) > 0 {
+			if alive := availableOwners(owners, down); len(alive) > 0 {
 				owners = alive
 			}
 			switch len(owners) {

@@ -1,0 +1,154 @@
+package mediator
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+	"unicode"
+)
+
+// DefaultPlanCacheSize bounds the prepared-plan cache when
+// Config.PlanCacheSize is zero.
+const DefaultPlanCacheSize = 256
+
+// planCache is a bounded LRU of prepared plans keyed by normalized SQL.
+// Every entry remembers the catalog epoch it was planned under; a lookup
+// against a newer epoch evicts the entry instead of returning it, so a
+// re-registration (new statistics, new cost rules, revived wrapper)
+// implicitly invalidates every plan built on the old federation. The
+// cache has its own mutex — it is touched from the read-locked query
+// path, where the mediator's big lock admits many goroutines at once.
+type planCache struct {
+	mu    sync.Mutex
+	cap   int
+	lru   *list.List // of *planEntry, front = most recent
+	byKey map[string]*list.Element
+
+	hits   int64
+	misses int64
+	stale  int64 // misses caused by an epoch bump
+}
+
+type planEntry struct {
+	key string
+	p   *Prepared
+}
+
+// newPlanCache returns a cache bounded to capacity entries, or nil when
+// capacity is negative (caching disabled).
+func newPlanCache(capacity int) *planCache {
+	if capacity < 0 {
+		return nil
+	}
+	if capacity == 0 {
+		capacity = DefaultPlanCacheSize
+	}
+	return &planCache{
+		cap:   capacity,
+		lru:   list.New(),
+		byKey: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached plan for key if it was prepared under the given
+// catalog epoch. Epoch-stale entries are evicted on sight.
+func (c *planCache) get(key string, epoch uint64) (*Prepared, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	e := el.Value.(*planEntry)
+	if e.p.Epoch != epoch {
+		c.lru.Remove(el)
+		delete(c.byKey, key)
+		c.stale++
+		c.misses++
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits++
+	return e.p, true
+}
+
+// put stores a prepared plan, evicting the least recently used entry at
+// capacity. Cached Prepared values are shared across goroutines and must
+// never be mutated after insertion.
+func (c *planCache) put(key string, p *Prepared) {
+	if c == nil || key == "" || p == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*planEntry).p = p
+		c.lru.MoveToFront(el)
+		return
+	}
+	if c.lru.Len() >= c.cap {
+		oldest := c.lru.Back()
+		if oldest != nil {
+			delete(c.byKey, oldest.Value.(*planEntry).key)
+			c.lru.Remove(oldest)
+		}
+	}
+	c.byKey[key] = c.lru.PushFront(&planEntry{key: key, p: p})
+}
+
+// clear drops every entry (federation change, model correction).
+func (c *planCache) clear() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lru.Init()
+	c.byKey = make(map[string]*list.Element, c.cap)
+}
+
+// len reports the number of cached plans.
+func (c *planCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// counters snapshots the hit/miss/stale counters.
+func (c *planCache) counters() (hits, misses, stale int64) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.stale
+}
+
+// normalizeSQL collapses whitespace runs to single spaces and trims the
+// statement, so formatting variants of one query share a cache entry.
+// Case is preserved: keywords are case-insensitive but string constants
+// are not, and a cosmetic miss is cheaper than a wrong hit.
+func normalizeSQL(sql string) string {
+	var b strings.Builder
+	b.Grow(len(sql))
+	space := false
+	for _, r := range sql {
+		if unicode.IsSpace(r) {
+			space = true
+			continue
+		}
+		if space && b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		space = false
+		b.WriteRune(r)
+	}
+	return strings.TrimRight(b.String(), " ;")
+}

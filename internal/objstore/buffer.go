@@ -2,6 +2,7 @@ package objstore
 
 import (
 	"container/list"
+	"sync"
 
 	"disco/internal/netsim"
 )
@@ -14,16 +15,20 @@ type pageKey struct {
 
 // bufferPool is an LRU page buffer. A miss charges one page I/O to the
 // clock; hits are free (the paper's model attributes all I/O time to page
-// fetches).
+// fetches). The pool is safe for concurrent use — the mediator serves
+// queries from many goroutines and every scan funnels page touches
+// through here — with the mutex serializing the LRU bookkeeping the way
+// a real buffer manager's latch would.
 type bufferPool struct {
 	capacity int
 	ioTimeMS float64
 	clock    *netsim.Clock
 
+	mu      sync.Mutex
 	lru     *list.List // of pageKey, front = most recent
 	entries map[pageKey]*list.Element
 
-	// Counters for experiments and tests.
+	// Counters for experiments and tests; read them through stats().
 	Hits   int64
 	Misses int64
 }
@@ -45,6 +50,8 @@ func newBufferPool(capacity int, ioTimeMS float64, clock *netsim.Clock) *bufferP
 // was a hit.
 func (b *bufferPool) touch(coll string, page int32) bool {
 	k := pageKey{coll, page}
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if el, ok := b.entries[k]; ok {
 		b.lru.MoveToFront(el)
 		b.Hits++
@@ -65,9 +72,18 @@ func (b *bufferPool) touch(coll string, page int32) bool {
 	return false
 }
 
+// stats snapshots the hit/miss counters.
+func (b *bufferPool) stats() (hits, misses int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.Hits, b.Misses
+}
+
 // reset empties the pool and counters (each measured experiment run starts
 // cold).
 func (b *bufferPool) reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	b.lru.Init()
 	b.entries = make(map[pageKey]*list.Element, b.capacity)
 	b.Hits, b.Misses = 0, 0

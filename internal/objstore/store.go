@@ -75,7 +75,7 @@ func (s *Store) Clock() *netsim.Clock { return s.clock }
 func (s *Store) Config() Config { return s.cfg }
 
 // BufferStats reports buffer pool hits and misses since the last reset.
-func (s *Store) BufferStats() (hits, misses int64) { return s.buf.Hits, s.buf.Misses }
+func (s *Store) BufferStats() (hits, misses int64) { return s.buf.stats() }
 
 // ResetBuffer empties the buffer pool, so the next measurement starts
 // cold.

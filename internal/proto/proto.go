@@ -26,6 +26,10 @@ type Request struct {
 type Response struct {
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
+	// Overloaded marks an error produced by admission control shedding
+	// the query (server at max in-flight capacity): the query was never
+	// run and a retry after backoff is appropriate.
+	Overloaded bool `json:"overloaded,omitempty"`
 	// Query results.
 	Columns   []string `json:"columns,omitempty"`
 	Rows      [][]any  `json:"rows,omitempty"`

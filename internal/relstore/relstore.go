@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"disco/internal/netsim"
 	"disco/internal/stats"
@@ -45,7 +46,10 @@ type Store struct {
 	clock  *netsim.Clock
 	tables map[string]*Table
 	// Buffer accounting is per-store, approximated per table page set.
-	cached map[string]map[int]struct{}
+	// cacheMu makes the accounting safe under concurrent scans — the
+	// mediator executes many queries at once against one store.
+	cacheMu sync.Mutex
+	cached  map[string]map[int]struct{}
 }
 
 // Open creates a store on the clock (nil allocates one).
@@ -67,7 +71,11 @@ func (s *Store) Clock() *netsim.Clock { return s.clock }
 func (s *Store) Config() Config { return s.cfg }
 
 // ResetBuffer drops all cached pages (cold-start measurements).
-func (s *Store) ResetBuffer() { s.cached = make(map[string]map[int]struct{}) }
+func (s *Store) ResetBuffer() {
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	s.cached = make(map[string]map[int]struct{})
+}
 
 // Tables lists table names, sorted.
 func (s *Store) Tables() []string {
@@ -183,12 +191,14 @@ func (t *Table) HasIndex(attr string) bool {
 
 // touchPage charges a page fetch unless cached.
 func (t *Table) touchPage(pageNo int) {
+	t.store.cacheMu.Lock()
 	pages := t.store.cached[t.name]
 	if pages == nil {
 		pages = make(map[int]struct{})
 		t.store.cached[t.name] = pages
 	}
 	if _, hit := pages[pageNo]; hit {
+		t.store.cacheMu.Unlock()
 		return
 	}
 	// Evict-free approximation: the relational server's cache is large;
@@ -196,6 +206,7 @@ func (t *Table) touchPage(pageNo int) {
 	if len(pages) < t.store.cfg.BufferPages {
 		pages[pageNo] = struct{}{}
 	}
+	t.store.cacheMu.Unlock()
 	t.store.clock.Advance(t.store.cfg.IOTimeMS)
 }
 
