@@ -8,7 +8,7 @@ GO ?= go
 RACE_PKGS = ./internal/optimizer ./internal/mediator ./internal/wrapper ./internal/netsim
 
 .PHONY: all build test race bench experiments fmt vet clean \
-	ci ci-build ci-test ci-vet ci-fmt ci-race ci-alloc ci-faultmatrix ci-feedback ci-fuzz ci-concurrency ci-bench
+	ci ci-build ci-test ci-vet ci-fmt ci-lint ci-race ci-alloc ci-faultmatrix ci-feedback ci-fuzz ci-concurrency ci-bench ci-soak
 
 all: build test
 
@@ -47,12 +47,13 @@ vet:
 
 clean:
 	$(GO) clean ./...
-	rm -f bench.out BENCH_pr.json
+	rm -f bench.out soak.out BENCH_pr.json BENCH_pr.json.tmp
+	rm -rf .tools
 
 # `make ci` runs exactly what .github/workflows/ci.yml runs; the workflow
 # invokes these ci-* targets so the two cannot drift. Run it before
 # pushing.
-ci: ci-build ci-test ci-vet ci-fmt ci-race ci-alloc ci-faultmatrix ci-feedback ci-fuzz ci-concurrency ci-bench
+ci: ci-build ci-test ci-vet ci-fmt ci-lint ci-race ci-alloc ci-faultmatrix ci-feedback ci-fuzz ci-concurrency ci-bench ci-soak
 
 ci-build:
 	$(GO) build ./...
@@ -67,6 +68,21 @@ ci-vet:
 ci-fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Static analysis, pinned so CI results are reproducible. Prefers a
+# staticcheck already on PATH; otherwise installs the pinned version
+# into .tools (needs the module proxy). Offline environments skip
+# loudly instead of failing — vet still gates in ci-vet.
+STATICCHECK = honnef.co/go/tools/cmd/staticcheck@2025.1
+ci-lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "ci-lint: using $$(command -v staticcheck)"; \
+		staticcheck ./...; \
+	elif GOBIN=$(CURDIR)/.tools $(GO) install $(STATICCHECK) 2>/dev/null; then \
+		$(CURDIR)/.tools/staticcheck ./...; \
+	else \
+		echo "ci-lint: staticcheck not on PATH and $(STATICCHECK) not installable (offline?) — SKIPPED"; \
+	fi
 
 ci-race:
 	$(GO) test -race $(RACE_PKGS)
@@ -103,15 +119,29 @@ ci-fuzz:
 
 # Race-stress for the concurrent serving path (DESIGN.md §9): the mixed
 # query/registration/fault suite, the plan-cache and admission tests, the
-# feedback save debounce, and discod's connection handling, repeated
-# under the race detector so interleavings vary between runs.
+# feedback save debounce, and the server's connection handling and
+# graceful shutdown, repeated under the race detector so interleavings
+# vary between runs.
 ci-concurrency:
 	$(GO) test -race -count=3 \
-		-run 'Concurrent|Race|Admission|PlanCache|Reprepare|StalePlan|Debounce|IdleTimeout|Overloaded|NormalizeSQL' \
-		./internal/mediator ./internal/feedback ./cmd/discod
+		-run 'Concurrent|Race|Admission|PlanCache|Reprepare|StalePlan|Debounce|IdleTimeout|Overloaded|NormalizeSQL|Shutdown|StatsOp|ReregisterOp|SetLinkOp' \
+		./internal/mediator ./internal/feedback ./internal/serving
 
 # One iteration of every benchmark, archived as JSON for cross-commit
 # comparison (CI uploads BENCH_pr.json as an artifact).
 ci-bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . | tee bench.out
 	$(GO) run ./cmd/benchjson < bench.out > BENCH_pr.json
+
+# The workload-scale soak gate (EXPERIMENTS.md E11): the fixed-seed
+# 256-client mixed workload under the race detector — zero wedged
+# connections, zero oracle mismatches, p99 under a generous liveness
+# bound — then a short discoload run whose serving-latency percentiles
+# are merged into BENCH_pr.json next to the optimizer benchmarks.
+ci-soak:
+	$(GO) test -race -count=1 -timeout 600s -run 'TestSoak' ./cmd/discoload
+	$(GO) run ./cmd/discoload -demo -parts 2000 -clients 64 -requests 40 -seed 7 \
+		-bench DiscoloadDemoSoak > soak.out
+	$(GO) run ./cmd/benchjson -merge BENCH_pr.json < soak.out > BENCH_pr.json.tmp
+	mv BENCH_pr.json.tmp BENCH_pr.json
+	rm -f soak.out

@@ -227,18 +227,24 @@ func BenchmarkFeedbackConvergence(b *testing.B) {
 	}
 }
 
-// benchOptimizeFixture builds a 7-relation join chain spread across an
-// object and a relational wrapper — the search-space workload for the
-// BenchmarkOptimize* family. Relation cardinalities vary so join orders
-// have genuinely different costs and pruning has work to do.
-func benchOptimizeFixture(b *testing.B) (*optimizer.Optimizer, *optimizer.QueryBlock) {
-	b.Helper()
+// benchOptimizeFixture builds an nrel-relation join chain spread across
+// an object and a relational wrapper — the search-space workload for
+// the BenchmarkOptimize* family. Relation cardinalities vary so join
+// orders have genuinely different costs and pruning has work to do. At
+// 7 relations the dynamic program explores the space; above
+// MaxDPRelations (10) the optimizer switches to the greedy heuristic,
+// which re-prices surviving join pairs every round — the workload the
+// plan-cost memo exists for (see TestGreedyMemoHits).
+func benchOptimizeFixture(tb testing.TB, nrel int) (*optimizer.Optimizer, *optimizer.QueryBlock) {
+	tb.Helper()
 	clock := netsim.NewClock()
 	ostore := objstore.Open(objstore.DefaultConfig(), clock)
 	rstore := relstore.Open(relstore.DefaultConfig(), clock)
 
-	const nrel = 7
-	sizes := []int{2000, 120, 900, 60, 1500, 300, 45}
+	sizes := []int{2000, 120, 900, 60, 1500, 300, 45, 700, 220, 1100, 80, 400}
+	if nrel > len(sizes) {
+		tb.Fatalf("fixture supports up to %d relations, asked for %d", len(sizes), nrel)
+	}
 	rels := make([]optimizer.Rel, nrel)
 	var joins []algebra.Comparison
 	for i := 0; i < nrel; i++ {
@@ -253,7 +259,7 @@ func benchOptimizeFixture(b *testing.B) (*optimizer.Optimizer, *optimizer.QueryB
 		if i%2 == 0 {
 			coll, err := ostore.CreateCollection(name, schema, 64)
 			if err != nil {
-				b.Fatal(err)
+				tb.Fatal(err)
 			}
 			for r := 0; r < sizes[i]; r++ {
 				coll.Insert(row(r))
@@ -262,7 +268,7 @@ func benchOptimizeFixture(b *testing.B) (*optimizer.Optimizer, *optimizer.QueryB
 		} else {
 			tbl, err := rstore.CreateTable(name, schema, 48)
 			if err != nil {
-				b.Fatal(err)
+				tb.Fatal(err)
 			}
 			for r := 0; r < sizes[i]; r++ {
 				tbl.Insert(row(r))
@@ -278,13 +284,17 @@ func benchOptimizeFixture(b *testing.B) (*optimizer.Optimizer, *optimizer.QueryB
 			})
 		}
 	}
-	// Two chords on top of the chain: the denser graph connects far more
+	// Chords on top of the chain: the denser graph connects far more
 	// relation subsets, so the dynamic program prices enough candidates
-	// per level for the worker pool to amortize.
-	for _, chord := range [][2]string{{"C0", "C3"}, {"C2", "C6"}} {
-		r := algebra.Ref{Collection: chord[1], Attr: "id"}
+	// per level for the worker pool to amortize. Chords past nrel are
+	// skipped, keeping the graph shape stable as the fixture scales.
+	for _, chord := range [][2]int{{0, 3}, {2, 6}, {5, 11}, {1, 8}} {
+		if chord[1] >= nrel {
+			continue
+		}
+		r := algebra.Ref{Collection: fmt.Sprintf("C%d", chord[1]), Attr: "id"}
 		joins = append(joins, algebra.Comparison{
-			Left:      algebra.Ref{Collection: chord[0], Attr: "fk"},
+			Left:      algebra.Ref{Collection: fmt.Sprintf("C%d", chord[0]), Attr: "fk"},
 			Op:        stats.CmpEQ,
 			RightAttr: &r,
 		})
@@ -298,15 +308,15 @@ func benchOptimizeFixture(b *testing.B) (*optimizer.Optimizer, *optimizer.QueryB
 		wrapper.NewRelWrapper("rel1", rstore),
 	} {
 		if err := cat.Register(w); err != nil {
-			b.Fatal(err)
+			tb.Fatal(err)
 		}
 		if src := w.CostRules(); src != "" {
 			file, err := costlang.Parse(src)
 			if err != nil {
-				b.Fatal(err)
+				tb.Fatal(err)
 			}
 			if err := reg.IntegrateWrapper(w.Name(), file, cat); err != nil {
-				b.Fatal(err)
+				tb.Fatal(err)
 			}
 		}
 	}
@@ -315,11 +325,17 @@ func benchOptimizeFixture(b *testing.B) (*optimizer.Optimizer, *optimizer.QueryB
 	return opt, &optimizer.QueryBlock{Relations: rels, JoinPreds: joins}
 }
 
-// benchmarkOptimize times full plan searches over the 7-relation chain
-// under the given search options, reporting candidate counts from the
-// last run.
-func benchmarkOptimize(b *testing.B, opts optimizer.Options) {
-	opt, qb := benchOptimizeFixture(b)
+// benchmarkOptimize times full plan searches over an nrel-relation
+// chain under the given search options, reporting candidate counts from
+// the last run.
+//
+// On the DP path (nrel ≤ MaxDPRelations) memoHits legitimately reports
+// 0: the dynamic program enumerates each (subset, split) structure
+// exactly once, so no plan is ever priced twice and the memo has
+// nothing to serve. The greedy benchmarks below cross MaxDPRelations,
+// where surviving pairs are re-priced every round and the memo pays.
+func benchmarkOptimize(b *testing.B, nrel int, opts optimizer.Options) {
+	opt, qb := benchOptimizeFixture(b, nrel)
 	opt.Opt = opts
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -338,29 +354,43 @@ func benchmarkOptimize(b *testing.B, opts optimizer.Options) {
 // search; compare against BenchmarkOptimizeWorkers4 on a multi-core
 // machine (GOMAXPROCS=1 makes them equivalent).
 func BenchmarkOptimizeSequential(b *testing.B) {
-	benchmarkOptimize(b, optimizer.Options{Pruning: true, MaxDPRelations: 10, Workers: 1})
+	benchmarkOptimize(b, 7, optimizer.Options{Pruning: true, MaxDPRelations: 10, Workers: 1})
 }
 
 // BenchmarkOptimizeWorkers4 shards the dynamic program across 4 workers.
 func BenchmarkOptimizeWorkers4(b *testing.B) {
-	benchmarkOptimize(b, optimizer.Options{Pruning: true, MaxDPRelations: 10, Workers: 4})
+	benchmarkOptimize(b, 7, optimizer.Options{Pruning: true, MaxDPRelations: 10, Workers: 4})
 }
 
 // BenchmarkOptimizeWorkers4Memo adds the plan-cost memo table.
 func BenchmarkOptimizeWorkers4Memo(b *testing.B) {
-	benchmarkOptimize(b, optimizer.Options{Pruning: true, MaxDPRelations: 10, Workers: 4, Memo: true})
+	benchmarkOptimize(b, 7, optimizer.Options{Pruning: true, MaxDPRelations: 10, Workers: 4, Memo: true})
 }
 
 // BenchmarkOptimizeBushySequential widens the search to bushy trees —
 // the heaviest sequential workload.
 func BenchmarkOptimizeBushySequential(b *testing.B) {
-	benchmarkOptimize(b, optimizer.Options{Pruning: true, MaxDPRelations: 10, Bushy: true, Workers: 1})
+	benchmarkOptimize(b, 7, optimizer.Options{Pruning: true, MaxDPRelations: 10, Bushy: true, Workers: 1})
 }
 
 // BenchmarkOptimizeBushyWorkers4 is the bushy search on 4 workers, where
 // the larger per-level candidate count amortizes pool overhead best.
 func BenchmarkOptimizeBushyWorkers4(b *testing.B) {
-	benchmarkOptimize(b, optimizer.Options{Pruning: true, MaxDPRelations: 10, Bushy: true, Workers: 4})
+	benchmarkOptimize(b, 7, optimizer.Options{Pruning: true, MaxDPRelations: 10, Bushy: true, Workers: 4})
+}
+
+// BenchmarkOptimizeGreedy crosses MaxDPRelations: 12 relations force
+// the greedy join heuristic, which re-prices surviving pairs every
+// round.
+func BenchmarkOptimizeGreedy(b *testing.B) {
+	benchmarkOptimize(b, 12, optimizer.Options{Pruning: true, MaxDPRelations: 10, Workers: 1})
+}
+
+// BenchmarkOptimizeGreedyMemo is the greedy search with the plan-cost
+// memo — the configuration where memoHits must be non-zero (gated by
+// TestGreedyMemoHits).
+func BenchmarkOptimizeGreedyMemo(b *testing.B) {
+	benchmarkOptimize(b, 12, optimizer.Options{Pruning: true, MaxDPRelations: 10, Workers: 1, Memo: true})
 }
 
 // benchServingMediator builds the federation the concurrent serving

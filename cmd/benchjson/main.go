@@ -6,17 +6,28 @@
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem . | benchjson > BENCH_pr.json
+//	discoload -demo -bench Soak | benchjson -merge BENCH_pr.json > merged.json
 //
 // Every `Benchmark*` result line becomes one entry with its iteration
 // count and every reported "value unit" pair (ns/op, B/op, allocs/op and
 // custom b.ReportMetric units alike). Header lines (goos, goarch, pkg,
 // cpu) are captured into the context block.
+//
+// With -merge FILE the existing report in FILE is loaded first (a
+// missing file reads as empty) and the stdin results are merged into
+// it: same-name benchmarks are replaced in place, new ones appended.
+// This is how cmd/discoload's serving-latency line joins the
+// optimizer benchmarks already archived by `make ci-bench`.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
+	"flag"
 	"fmt"
+	"io"
+	"io/fs"
 	"os"
 	"strconv"
 	"strings"
@@ -39,13 +50,48 @@ type benchResult struct {
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 	// QError is the feedback suite's headline accuracy metric (the final
 	// round's median cardinality q-error), promoted for the same reason.
-	QError  *float64           `json:"q_error,omitempty"`
-	Metrics map[string]float64 `json:"metrics"`
+	QError *float64 `json:"q_error,omitempty"`
+	// The serving-latency metrics reported by the soak harness
+	// (cmd/discoload and BenchmarkSoakServing): latency percentiles in
+	// wall-clock milliseconds, sustained throughput, and the fraction of
+	// requests shed by admission control.
+	P50MS    *float64           `json:"p50_ms,omitempty"`
+	P99MS    *float64           `json:"p99_ms,omitempty"`
+	P999MS   *float64           `json:"p999_ms,omitempty"`
+	QPS      *float64           `json:"qps,omitempty"`
+	ShedRate *float64           `json:"shed_rate,omitempty"`
+	Metrics  map[string]float64 `json:"metrics"`
 }
 
-func main() {
+// promote copies a parsed "value unit" pair into its named field, if it
+// is one of the promoted units.
+func (r *benchResult) promote(unit string, v float64) {
+	switch unit {
+	case "ns/op":
+		r.NsPerOp = &v
+	case "B/op":
+		r.BytesPerOp = &v
+	case "allocs/op":
+		r.AllocsPerOp = &v
+	case "q-error":
+		r.QError = &v
+	case "p50-ms":
+		r.P50MS = &v
+	case "p99-ms":
+		r.P99MS = &v
+	case "p999-ms":
+		r.P999MS = &v
+	case "qps":
+		r.QPS = &v
+	case "shed-rate":
+		r.ShedRate = &v
+	}
+}
+
+// parseReport scans go-bench text into a report.
+func parseReport(in io.Reader) (report, error) {
 	rep := report{Context: map[string]string{}}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -72,22 +118,71 @@ func main() {
 				break
 			}
 			res.Metrics[fields[i+1]] = v
-			switch fields[i+1] {
-			case "ns/op":
-				res.NsPerOp = &v
-			case "B/op":
-				res.BytesPerOp = &v
-			case "allocs/op":
-				res.AllocsPerOp = &v
-			case "q-error":
-				res.QError = &v
-			}
+			res.promote(fields[i+1], v)
 		}
 		rep.Benchmarks = append(rep.Benchmarks, res)
 	}
-	if err := sc.Err(); err != nil {
+	return rep, sc.Err()
+}
+
+// merge folds incoming results into base: same-name benchmarks are
+// replaced in place (latest run wins), new ones appended, and incoming
+// context keys override.
+func merge(base, in report) report {
+	byName := make(map[string]int, len(base.Benchmarks))
+	for i, b := range base.Benchmarks {
+		byName[b.Name] = i
+	}
+	for _, b := range in.Benchmarks {
+		if i, ok := byName[b.Name]; ok {
+			base.Benchmarks[i] = b
+		} else {
+			byName[b.Name] = len(base.Benchmarks)
+			base.Benchmarks = append(base.Benchmarks, b)
+		}
+	}
+	if base.Context == nil {
+		base.Context = map[string]string{}
+	}
+	for k, v := range in.Context {
+		base.Context[k] = v
+	}
+	return base
+}
+
+// loadReport reads a previously written JSON report; a missing file is
+// an empty report, so first runs need no special casing.
+func loadReport(path string) (report, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return report{Context: map[string]string{}}, nil
+	}
+	if err != nil {
+		return report{}, err
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+func main() {
+	mergePath := flag.String("merge", "", "merge stdin results into the JSON report at this path (missing file = empty)")
+	flag.Parse()
+
+	rep, err := parseReport(os.Stdin)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
+	}
+	if *mergePath != "" {
+		base, err := loadReport(*mergePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		rep = merge(base, rep)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

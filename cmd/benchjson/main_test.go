@@ -1,0 +1,140 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchOut = `goos: linux
+goarch: amd64
+pkg: disco
+cpu: whatever model
+BenchmarkOptimizeSequential-8   	       1	  5379219 ns/op	  1043 plans	       0 memoHits	 2801712 B/op	   22192 allocs/op
+BenchmarkFeedback
+BenchmarkFeedbackConvergence-8  	       1	 93712375 ns/op	     1.52 q-error
+PASS
+`
+
+const soakOut = `BenchmarkDiscoloadDemoSoak	     320	4523003 ns/op	4.479 p50-ms	9.215 p99-ms	10.227 p999-ms	3351.8 qps	0.0250 shed-rate	0.0000 partial-rate
+`
+
+func TestParseReportPromotesStandardMetrics(t *testing.T) {
+	rep, err := parseReport(strings.NewReader(benchOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Context["goos"] != "linux" || rep.Context["cpu"] != "whatever model" {
+		t.Errorf("context = %v", rep.Context)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2 (the name echo must be skipped)", len(rep.Benchmarks))
+	}
+	opt := rep.Benchmarks[0]
+	if opt.Name != "BenchmarkOptimizeSequential-8" || opt.Runs != 1 {
+		t.Errorf("first benchmark = %+v", opt)
+	}
+	if opt.NsPerOp == nil || *opt.NsPerOp != 5379219 {
+		t.Errorf("ns_per_op not promoted: %+v", opt.NsPerOp)
+	}
+	if opt.BytesPerOp == nil || opt.AllocsPerOp == nil {
+		t.Error("benchmem metrics not promoted")
+	}
+	if opt.Metrics["plans"] != 1043 || opt.Metrics["memoHits"] != 0 {
+		t.Errorf("custom metrics = %v", opt.Metrics)
+	}
+	if opt.QError != nil {
+		t.Error("q_error promoted on a benchmark that never reported it")
+	}
+	fb := rep.Benchmarks[1]
+	if fb.QError == nil || *fb.QError != 1.52 {
+		t.Errorf("q_error not promoted: %+v", fb.QError)
+	}
+}
+
+func TestParseReportPromotesServingMetrics(t *testing.T) {
+	rep, err := parseReport(strings.NewReader(soakOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 {
+		t.Fatalf("parsed %d benchmarks", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	for name, got := range map[string]*float64{
+		"p50_ms": b.P50MS, "p99_ms": b.P99MS, "p999_ms": b.P999MS,
+		"qps": b.QPS, "shed_rate": b.ShedRate,
+	} {
+		if got == nil {
+			t.Errorf("%s not promoted from the soak line", name)
+		}
+	}
+	if b.P99MS != nil && *b.P99MS != 9.215 {
+		t.Errorf("p99_ms = %v, want 9.215", *b.P99MS)
+	}
+	if b.QPS != nil && *b.QPS != 3351.8 {
+		t.Errorf("qps = %v, want 3351.8", *b.QPS)
+	}
+	// shed-rate is promoted even at zero: pointer present, value zero —
+	// "no shedding observed" is a result, not a missing metric.
+	if b.ShedRate != nil && *b.ShedRate != 0.025 {
+		t.Errorf("shed_rate = %v, want 0.025", *b.ShedRate)
+	}
+	if b.Metrics["partial-rate"] != 0 {
+		t.Errorf("partial-rate missing from metrics map: %v", b.Metrics)
+	}
+}
+
+func TestMergeReplacesAndAppends(t *testing.T) {
+	base, err := parseReport(strings.NewReader(benchOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	update := `BenchmarkOptimizeSequential-8   	       1	  9999 ns/op
+` + soakOut
+	in, err := parseReport(strings.NewReader(update))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := merge(base, in)
+	if len(got.Benchmarks) != 3 {
+		t.Fatalf("merged %d benchmarks, want 3", len(got.Benchmarks))
+	}
+	// Replaced in place, position preserved.
+	if got.Benchmarks[0].Name != "BenchmarkOptimizeSequential-8" || *got.Benchmarks[0].NsPerOp != 9999 {
+		t.Errorf("replacement: %+v", got.Benchmarks[0])
+	}
+	// Untouched entry survives.
+	if got.Benchmarks[1].Name != "BenchmarkFeedbackConvergence-8" || got.Benchmarks[1].QError == nil {
+		t.Errorf("untouched entry lost: %+v", got.Benchmarks[1])
+	}
+	// New entry appended.
+	if got.Benchmarks[2].Name != "BenchmarkDiscoloadDemoSoak" {
+		t.Errorf("appended entry: %+v", got.Benchmarks[2])
+	}
+	// Context survives when the incoming report has none.
+	if got.Context["goos"] != "linux" {
+		t.Errorf("context lost in merge: %v", got.Context)
+	}
+}
+
+func TestLoadReportMissingFile(t *testing.T) {
+	rep, err := loadReport(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatalf("missing file must read as empty: %v", err)
+	}
+	if len(rep.Benchmarks) != 0 || rep.Context == nil {
+		t.Errorf("empty report = %+v", rep)
+	}
+}
+
+func TestLoadReportRejectsCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadReport(path); err == nil {
+		t.Error("corrupt report must not be silently replaced")
+	}
+}

@@ -13,6 +13,9 @@
 //	\catalog         dump the mediator catalog
 //	\history         dump the recorded cost-vector database
 //	\feedback        dump the execution-feedback q-error table
+//	\stats           dump the serving counters (JSON)
+//	\reregister <w>  re-run the registration phase for wrapper <w>
+//	\setlink <w> <latencyMS> <perByteMS>  perturb a wrapper's link
 //	\quit            exit
 package main
 
@@ -77,6 +80,12 @@ func parseLine(line string) *proto.Request {
 		return &proto.Request{Op: "history"}
 	case line == `\feedback`:
 		return &proto.Request{Op: "feedback"}
+	case line == `\stats`:
+		return &proto.Request{Op: "stats"}
+	case strings.HasPrefix(line, `\reregister `):
+		return &proto.Request{Op: "reregister", Arg: strings.TrimSpace(strings.TrimPrefix(line, `\reregister `))}
+	case strings.HasPrefix(line, `\setlink `):
+		return &proto.Request{Op: "setlink", Arg: strings.TrimSpace(strings.TrimPrefix(line, `\setlink `))}
 	default:
 		return &proto.Request{Op: "query", SQL: line}
 	}

@@ -10,6 +10,7 @@
 //
 //	discod [-listen :4077] [-parts 14000] [-feedback] [-feedback-snapshot file]
 //	       [-max-inflight 32] [-queue-timeout 1s] [-idle-timeout 5m]
+//	       [-drain-timeout 5s]
 //
 // With -feedback (the default) every executed query is profiled and fed
 // back into the cost model; -feedback-snapshot names a JSON file that
@@ -18,15 +19,19 @@
 // queries (0 = unlimited); a query that cannot be admitted within
 // -queue-timeout is shed with an `overloaded` error. -idle-timeout drops
 // connections that stay silent — including half-open peers that will
-// never speak again.
+// never speak again. On SIGINT/SIGTERM the server stops accepting,
+// drains in-flight connections for up to -drain-timeout, and flushes
+// the feedback snapshot.
 //
-// Try it with cmd/discoctl.
+// The serving machinery (federation assembly, protocol loop, graceful
+// shutdown, stats/reregister/setlink admin ops) lives in
+// internal/serving; this command is the flag wrapper. Try it with
+// cmd/discoctl, or load-test it with cmd/discoload.
 package main
 
 import (
 	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net"
 	"os"
@@ -34,9 +39,7 @@ import (
 	"syscall"
 	"time"
 
-	"disco"
-	"disco/internal/oo7"
-	"disco/internal/proto"
+	"disco/internal/serving"
 )
 
 func main() {
@@ -47,225 +50,39 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", 32, "maximum concurrently executing queries (0 = unlimited)")
 	queueTimeout := flag.Duration("queue-timeout", time.Second, "admission queue wait before shedding a query")
 	idleTimeout := flag.Duration("idle-timeout", 5*time.Minute, "drop connections idle longer than this (0 = never)")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "shutdown wait for in-flight connections")
 	flag.Parse()
 
-	srv, err := newServer(serverOptions{
-		parts:        *parts,
-		feedback:     *fb,
-		fbSnapshot:   *fbSnap,
-		maxInFlight:  *maxInFlight,
-		queueTimeout: *queueTimeout,
-		idleTimeout:  *idleTimeout,
+	fed, err := serving.NewDemoFederation(serving.Options{
+		Parts:            *parts,
+		Feedback:         *fb,
+		FeedbackSnapshot: *fbSnap,
+		MaxInFlight:      *maxInFlight,
+		QueueTimeout:     *queueTimeout,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	srv := serving.NewServer(fed, *idleTimeout)
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Flush the debounced feedback snapshot on shutdown.
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sigc
-		if err := srv.med.Close(); err != nil {
-			log.Printf("discod: flushing feedback snapshot: %v", err)
+		log.Printf("discod: draining (up to %s)", *drainTimeout)
+		if err := srv.Shutdown(*drainTimeout); err != nil {
+			log.Printf("discod: shutdown: %v", err)
+			os.Exit(1)
 		}
 		os.Exit(0)
 	}()
 
 	log.Printf("discod: serving the demo federation on %s", ln.Addr())
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "discod:", err)
-			continue
-		}
-		go srv.serve(conn)
-	}
-}
-
-// serverOptions configure a demo-federation server.
-type serverOptions struct {
-	parts        int
-	feedback     bool
-	fbSnapshot   string
-	maxInFlight  int
-	queueTimeout time.Duration
-	idleTimeout  time.Duration
-}
-
-// server wraps the mediator with a connection handler. The mediator is
-// safe for concurrent use, so connections are served without a global
-// lock; note the virtual clock is shared, so measured virtual times
-// interleave across concurrent sessions.
-type server struct {
-	med         *disco.Mediator
-	idleTimeout time.Duration
-}
-
-func newServer(opts serverOptions) (*server, error) {
-	cfg := disco.DefaultConfig()
-	cfg.Feedback = opts.feedback
-	if opts.fbSnapshot != "" {
-		cfg.FeedbackStore = disco.NewFeedbackFileStore(opts.fbSnapshot)
-	}
-	cfg.MaxInFlight = opts.maxInFlight
-	cfg.AdmissionTimeout = opts.queueTimeout
-	m, err := disco.NewMediator(cfg)
-	if err != nil {
-		return nil, err
-	}
-
-	// OO7 object database.
-	scfg := disco.DefaultObjectStoreConfig()
-	scfg.BufferPages = opts.parts/70 + 64
-	ostore := disco.OpenObjectStore(m, scfg)
-	scale := oo7.PaperScale()
-	scale.AtomicParts = opts.parts
-	if err := oo7.Generate(ostore, scale, 1); err != nil {
-		return nil, err
-	}
-	if err := m.Register(disco.NewObjectWrapper("oo7", ostore)); err != nil {
-		return nil, err
-	}
-
-	// Relational suppliers.
-	rstore := disco.OpenRelationalStore(m, disco.DefaultRelationalStoreConfig())
-	sup, err := rstore.CreateTable("Suppliers", disco.NewSchema(
-		disco.Field("Suppliers", "sid", disco.KindInt),
-		disco.Field("Suppliers", "sname", disco.KindString),
-		disco.Field("Suppliers", "region", disco.KindInt),
-	), 64)
-	if err != nil {
-		return nil, err
-	}
-	for i := 0; i < 500; i++ {
-		if err := sup.Insert(disco.Row{
-			disco.Int(int64(i)),
-			disco.Str(fmt.Sprintf("supplier-%03d", i)),
-			disco.Int(int64(i % 12)),
-		}); err != nil {
-			return nil, err
-		}
-	}
-	if err := sup.CreateHashIndex("sid"); err != nil {
-		return nil, err
-	}
-	if err := m.Register(disco.NewRelationalWrapper("suppliers", rstore)); err != nil {
-		return nil, err
-	}
-
-	// Flat-file inspection notes.
-	fstore := disco.OpenFileStore(m, disco.DefaultFileStoreConfig())
-	notes, err := fstore.CreateFile("Inspections", disco.NewSchema(
-		disco.Field("Inspections", "part", disco.KindInt),
-		disco.Field("Inspections", "passed", disco.KindBool),
-	))
-	if err != nil {
-		return nil, err
-	}
-	for i := 0; i < 1000; i++ {
-		if err := notes.Append(disco.Row{
-			disco.Int(int64(i * 17 % opts.parts)),
-			disco.Bool(i%7 != 0),
-		}); err != nil {
-			return nil, err
-		}
-	}
-	if err := m.Register(disco.NewFileWrapper("inspections", fstore)); err != nil {
-		return nil, err
-	}
-
-	return &server{med: m, idleTimeout: opts.idleTimeout}, nil
-}
-
-func (s *server) serve(conn net.Conn) {
-	defer conn.Close()
-	r := proto.NewReader(conn)
-	for {
-		// The read deadline covers the idle wait for the next request; a
-		// half-open connection (peer gone without FIN) times out here
-		// instead of pinning the goroutine and its buffers forever.
-		if s.idleTimeout > 0 {
-			_ = conn.SetReadDeadline(time.Now().Add(s.idleTimeout))
-		}
-		req, err := r.ReadRequest()
-		if err != nil {
-			return
-		}
-		resp := s.handle(req)
-		if s.idleTimeout > 0 {
-			_ = conn.SetWriteDeadline(time.Now().Add(s.idleTimeout))
-		}
-		if err := proto.Write(conn, resp); err != nil {
-			return
-		}
-	}
-}
-
-// errorResponse renders an error, marking admission-control shedding so
-// clients can back off and retry instead of failing the statement.
-func errorResponse(err error) *proto.Response {
-	return &proto.Response{
-		Error:      err.Error(),
-		Overloaded: errors.Is(err, disco.ErrOverloaded),
-	}
-}
-
-func (s *server) handle(req *proto.Request) *proto.Response {
-	switch req.Op {
-	case "ping":
-		return &proto.Response{OK: true, Text: "pong"}
-
-	case "query":
-		res, err := s.med.Query(req.SQL)
-		if err != nil {
-			return errorResponse(err)
-		}
-		resp := &proto.Response{OK: true, ElapsedMS: res.ElapsedMS,
-			Partial: res.Partial, Excluded: res.Excluded}
-		for i := 0; i < res.Schema.Len(); i++ {
-			resp.Columns = append(resp.Columns, res.Schema.Field(i).QualifiedName())
-		}
-		for _, row := range res.Rows {
-			resp.Rows = append(resp.Rows, proto.EncodeRow(row))
-		}
-		return resp
-
-	case "explain":
-		out, err := s.med.Explain(req.SQL)
-		if err != nil {
-			return errorResponse(err)
-		}
-		return &proto.Response{OK: true, Text: out}
-
-	case "explain-analyze":
-		out, err := s.med.ExplainAnalyze(req.SQL)
-		if err != nil {
-			return errorResponse(err)
-		}
-		return &proto.Response{OK: true, Text: out}
-
-	case "feedback":
-		out, err := s.med.FeedbackSummary()
-		if err != nil {
-			return errorResponse(err)
-		}
-		return &proto.Response{OK: true, Text: out}
-
-	case "catalog":
-		return &proto.Response{OK: true, Text: s.med.Catalog.String()}
-
-	case "history":
-		if s.med.History == nil {
-			return &proto.Response{Error: "history recording is disabled"}
-		}
-		return &proto.Response{OK: true, Text: s.med.History.Summary()}
-
-	default:
-		return &proto.Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, serving.ErrServerClosed) {
+		log.Fatal(err)
 	}
 }

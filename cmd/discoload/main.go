@@ -1,0 +1,148 @@
+// Command discoload is the workload-scale load generator for discod: it
+// drives thousands of concurrent clients over real TCP sockets against
+// one or more mediator servers, records per-request wall-clock latency
+// into an HDR-style histogram, and reports p50/p99/p999 latency, qps,
+// overload-shed rate and partial-answer rate.
+//
+// Usage:
+//
+//	discoload -addrs host:4077[,host2:4077...] [flags]
+//	discoload -demo [-parts 2000] [flags]
+//
+// With -addrs it targets running discod processes (client c connects to
+// address c mod len). With -demo it starts an in-process demo-federation
+// server on an ephemeral port and tears it down after the run — the
+// single-binary soak mode CI uses.
+//
+// The workload is deterministic in -seed: a zipf-skewed hot pool of
+// prepared statements (plan-cache hits), a stream of ad-hoc statements
+// with fresh literals (cache misses), and chaos events — explains,
+// wrapper re-registrations (catalog epoch churn) and netsim link
+// perturbations — at -mix weights per 10000 requests. Every -sample'th
+// query records an order-insensitive result digest for offline oracle
+// verification.
+//
+// Output is the JSON report on stdout; with -bench NAME it instead
+// emits one `go test -bench`-style line that cmd/benchjson ingests
+// (`discoload -bench Soak | benchjson -merge BENCH_pr.json`), and the
+// JSON report moves to stderr. Exit status is non-zero when any client
+// wedged (timed out or hit an I/O error mid-schedule).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"disco/internal/loadgen"
+	"disco/internal/serving"
+)
+
+func main() {
+	var (
+		addrs    = flag.String("addrs", "", "comma-separated discod addresses (client c dials addrs[c mod n])")
+		demo     = flag.Bool("demo", false, "serve an in-process demo federation instead of dialing -addrs")
+		parts    = flag.Int("parts", 2000, "demo mode: OO7 AtomicParts cardinality")
+		feedback = flag.Bool("feedback", true, "demo mode: absorb execution feedback into the cost model")
+		inflight = flag.Int("max-inflight", 32, "demo mode: admission-control bound (0 = unlimited)")
+		queue    = flag.Duration("queue-timeout", time.Second, "demo mode: admission queue wait before shedding")
+
+		clients  = flag.Int("clients", 64, "concurrent client connections")
+		requests = flag.Int("requests", 100, "requests per client")
+		seed     = flag.Int64("seed", 1, "workload seed (same seed, same schedule)")
+		hot      = flag.Float64("hot", loadgen.DefaultHotRatio, "fraction of queries drawn from the hot statement pool")
+		hotPool  = flag.Int("hot-pool", loadgen.DefaultHotPool, "hot statement pool size")
+		zipfS    = flag.Float64("zipf", loadgen.DefaultZipfS, "zipf skew parameter s (> 1) over the hot pool")
+		mix      = flag.String("mix", "explain=200,analyze=100,reregister=20,setlink=30", "per-10000 event weights")
+		sample   = flag.Int("sample", 0, "record an oracle digest every n-th query (0 = never)")
+		timeout  = flag.Duration("timeout", loadgen.DefaultTimeout, "per-request wedge bound")
+		bench    = flag.String("bench", "", "emit a go-bench result line named Benchmark<NAME> instead of JSON on stdout")
+	)
+	flag.Parse()
+
+	mixWeights, err := loadgen.ParseMix(*mix)
+	if err != nil {
+		log.Fatal("discoload: ", err)
+	}
+
+	var targets []string
+	if *demo {
+		if *addrs != "" {
+			log.Fatal("discoload: -demo and -addrs are mutually exclusive")
+		}
+		fed, err := serving.NewDemoFederation(serving.Options{
+			Parts:        *parts,
+			Feedback:     *feedback,
+			MaxInFlight:  *inflight,
+			QueueTimeout: *queue,
+		})
+		if err != nil {
+			log.Fatal("discoload: ", err)
+		}
+		srv := serving.NewServer(fed, 5*time.Minute)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal("discoload: ", err)
+		}
+		go srv.Serve(ln)
+		defer srv.Shutdown(5 * time.Second)
+		targets = []string{ln.Addr().String()}
+		fmt.Fprintf(os.Stderr, "discoload: demo server on %s (parts=%d, max-inflight=%d)\n",
+			targets[0], *parts, *inflight)
+	} else {
+		targets = strings.Split(*addrs, ",")
+		if *addrs == "" || len(targets) == 0 {
+			log.Fatal("discoload: need -addrs or -demo")
+		}
+	}
+
+	sched, err := loadgen.Generate(loadgen.Config{
+		Seed:        *seed,
+		Clients:     *clients,
+		Requests:    *requests,
+		Templates:   loadgen.DemoTemplates(*parts),
+		HotRatio:    *hot,
+		HotPool:     *hotPool,
+		ZipfS:       *zipfS,
+		Mix:         mixWeights,
+		SampleEvery: *sample,
+	})
+	if err != nil {
+		log.Fatal("discoload: ", err)
+	}
+	fmt.Fprintf(os.Stderr, "discoload: driving %d clients × %d requests (seed %d) against %s\n",
+		*clients, *requests, *seed, strings.Join(targets, ", "))
+
+	rep, err := loadgen.Drive(sched, loadgen.DriveOptions{
+		Addrs:          targets,
+		RequestTimeout: *timeout,
+	})
+	if err != nil {
+		log.Fatal("discoload: ", err)
+	}
+	if stats, err := loadgen.ScrapeStats(targets[0], *timeout); err == nil {
+		rep.ServerStats = stats
+	} else {
+		fmt.Fprintf(os.Stderr, "discoload: stats scrape failed: %v\n", err)
+	}
+
+	jsonDst := os.Stdout
+	if *bench != "" {
+		fmt.Println(rep.BenchLine(*bench))
+		jsonDst = os.Stderr
+	}
+	enc := json.NewEncoder(jsonDst)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatal("discoload: ", err)
+	}
+	if rep.Wedged > 0 {
+		fmt.Fprintf(os.Stderr, "discoload: FAIL — %d wedged clients\n", rep.Wedged)
+		os.Exit(1)
+	}
+}

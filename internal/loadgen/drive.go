@@ -1,0 +1,292 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"disco/internal/proto"
+)
+
+// DriveOptions configure one run of a schedule against live servers.
+type DriveOptions struct {
+	// Addrs are the discod addresses; client c dials Addrs[c % len].
+	Addrs []string
+	// RequestTimeout bounds each request round-trip (dial, write, read).
+	// A request that exceeds it marks the client wedged — the condition
+	// the soak gate asserts never happens. Zero uses DefaultTimeout.
+	RequestTimeout time.Duration
+	// DialTimeout bounds the initial connect; zero uses RequestTimeout.
+	DialTimeout time.Duration
+}
+
+// DefaultTimeout is the per-request wedge bound.
+const DefaultTimeout = 30 * time.Second
+
+// Sample is one oracle-verification record: the statement, and a
+// position-independent digest of the rows it returned.
+type Sample struct {
+	Client  int    `json:"client"`
+	Request int    `json:"request"`
+	SQL     string `json:"sql"`
+	Rows    int    `json:"rows"`
+	Hash    uint64 `json:"hash"`
+	Partial bool   `json:"partial"`
+}
+
+// Report aggregates one driven run.
+type Report struct {
+	// Workload identity.
+	Seed     int64 `json:"seed"`
+	Clients  int   `json:"clients"`
+	Requests int   `json:"requests"` // requests attempted
+	// Outcome counters.
+	OK        int `json:"ok"`
+	Shed      int `json:"shed"`   // admission-control rejections (overloaded)
+	Errors    int `json:"errors"` // non-overloaded error responses
+	Partials  int `json:"partials"`
+	Wedged    int `json:"wedged"` // clients that hit the request timeout or an I/O failure
+	RowsTotal int `json:"rows_total"`
+	// Latency percentiles over successful requests, wall-clock ms.
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	P999MS float64 `json:"p999_ms"`
+	MaxMS  float64 `json:"max_ms"`
+	MeanMS float64 `json:"mean_ms"`
+	// Throughput over the whole run.
+	ElapsedS float64 `json:"elapsed_s"`
+	QPS      float64 `json:"qps"`
+	// Rates derived from the counters.
+	ShedRate    float64 `json:"shed_rate"`
+	PartialRate float64 `json:"partial_rate"`
+	// WedgedClients carries one error string per wedged client.
+	WedgedClients []string `json:"wedged_clients,omitempty"`
+	// Samples are the oracle-verification records of sampled queries.
+	Samples []Sample `json:"samples,omitempty"`
+	// ServerStats is the raw JSON the server's stats op returned after
+	// the run (absent when scraping failed or was disabled).
+	ServerStats json.RawMessage `json:"server_stats,omitempty"`
+
+	// Hist is the merged latency histogram (not serialized).
+	Hist Histogram `json:"-"`
+}
+
+// clientResult is one client goroutine's contribution.
+type clientResult struct {
+	hist     Histogram
+	ok       int
+	shed     int
+	errors   int
+	partials int
+	rows     int
+	samples  []Sample
+	wedged   error
+}
+
+// Drive runs the schedule: one goroutine per client, each over its own
+// real TCP connection, sending its requests in order and recording
+// wall-clock latency per request. Admission shedding (overloaded
+// responses) is counted, not retried — the shed rate is a headline
+// metric. Returns after every client finished or wedged.
+func Drive(s *Schedule, opts DriveOptions) (*Report, error) {
+	if len(opts.Addrs) == 0 {
+		return nil, fmt.Errorf("loadgen: no server addresses")
+	}
+	if opts.RequestTimeout <= 0 {
+		opts.RequestTimeout = DefaultTimeout
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = opts.RequestTimeout
+	}
+
+	results := make([]clientResult, len(s.Clients))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := range s.Clients {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			driveClient(s.Clients[c], c, opts.Addrs[c%len(opts.Addrs)], opts, &results[c])
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &Report{Seed: s.Cfg.Seed, Clients: len(s.Clients)}
+	for c := range results {
+		r := &results[c]
+		rep.Hist.Merge(&r.hist)
+		rep.OK += r.ok
+		rep.Shed += r.shed
+		rep.Errors += r.errors
+		rep.Partials += r.partials
+		rep.RowsTotal += r.rows
+		rep.Samples = append(rep.Samples, r.samples...)
+		if r.wedged != nil {
+			rep.Wedged++
+			rep.WedgedClients = append(rep.WedgedClients, fmt.Sprintf("client %d: %v", c, r.wedged))
+		}
+	}
+	rep.Requests = rep.OK + rep.Shed + rep.Errors
+	rep.P50MS = rep.Hist.QuantileMS(0.50)
+	rep.P90MS = rep.Hist.QuantileMS(0.90)
+	rep.P99MS = rep.Hist.QuantileMS(0.99)
+	rep.P999MS = rep.Hist.QuantileMS(0.999)
+	rep.MaxMS = float64(rep.Hist.MaxMicros()) / 1000
+	rep.MeanMS = rep.Hist.MeanMicros() / 1000
+	rep.ElapsedS = elapsed.Seconds()
+	if rep.ElapsedS > 0 {
+		rep.QPS = float64(rep.OK) / rep.ElapsedS
+	}
+	if rep.Requests > 0 {
+		rep.ShedRate = float64(rep.Shed) / float64(rep.Requests)
+		rep.PartialRate = float64(rep.Partials) / float64(rep.Requests)
+	}
+	return rep, nil
+}
+
+// driveClient plays one client's request sequence over one connection.
+// A request timeout or I/O failure wedges the client: the rest of its
+// schedule is abandoned and the error recorded. An error *response* is
+// not a wedge — the connection is fine, the statement failed.
+func driveClient(reqs []Request, idx int, addr string, opts DriveOptions, out *clientResult) {
+	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+	if err != nil {
+		out.wedged = fmt.Errorf("dial %s: %w", addr, err)
+		return
+	}
+	defer conn.Close()
+	r := proto.NewReader(conn)
+
+	for i, req := range reqs {
+		wire := &proto.Request{Op: req.Op, SQL: req.SQL, Arg: req.Arg}
+		deadline := time.Now().Add(opts.RequestTimeout)
+		_ = conn.SetDeadline(deadline)
+		t0 := time.Now()
+		if err := proto.Write(conn, wire); err != nil {
+			out.wedged = fmt.Errorf("request %d (%s): write: %w", i, req.Op, err)
+			return
+		}
+		resp, err := r.ReadResponse()
+		if err != nil {
+			out.wedged = fmt.Errorf("request %d (%s): read: %w", i, req.Op, err)
+			return
+		}
+		lat := time.Since(t0)
+		switch {
+		case resp.Overloaded:
+			out.shed++
+			continue // shed before execution: not a latency observation
+		case !resp.OK:
+			out.errors++
+			continue
+		}
+		out.ok++
+		out.hist.RecordMicros(lat.Microseconds())
+		out.rows += len(resp.Rows)
+		if resp.Partial {
+			out.partials++
+		}
+		if req.Sample && req.Op == OpQuery {
+			out.samples = append(out.samples, Sample{
+				Client:  idx,
+				Request: i,
+				SQL:     req.SQL,
+				Rows:    len(resp.Rows),
+				Hash:    HashRows(resp.Rows),
+				Partial: resp.Partial,
+			})
+		}
+	}
+}
+
+// ScrapeStats asks one server for its stats op and returns the raw JSON
+// payload.
+func ScrapeStats(addr string, timeout time.Duration) (json.RawMessage, error) {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	if err := proto.Write(conn, &proto.Request{Op: "stats"}); err != nil {
+		return nil, err
+	}
+	resp, err := proto.NewReader(conn).ReadResponse()
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("stats op: %s", resp.Error)
+	}
+	return json.RawMessage(resp.Text), nil
+}
+
+// HashRows digests a result set independent of row order: each row is
+// hashed on its canonicalized values, and the row hashes are combined
+// with commutative sum and xor lanes plus the count. Two executions of
+// the same statement — possibly under different plans, which may emit
+// rows in different orders — produce equal digests iff they returned the
+// same multiset of rows (up to hash collisions).
+func HashRows(rows [][]any) uint64 {
+	var sum, xor uint64
+	for _, row := range rows {
+		h := fnv.New64a()
+		for _, v := range row {
+			h.Write([]byte(canonValue(v)))
+			h.Write([]byte{0})
+		}
+		rh := h.Sum64()
+		sum += rh
+		xor ^= rh
+	}
+	return sum ^ (xor * 0x9e3779b97f4a7c15) ^ uint64(len(rows))
+}
+
+// canonValue renders one JSON-decoded result value canonically:
+// wire-decoded numbers (float64) and oracle-side int64s of the same
+// value must render identically.
+func canonValue(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return "∅"
+	case bool:
+		if x {
+			return "t"
+		}
+		return "f"
+	case string:
+		return "s" + x
+	case int64:
+		return fmt.Sprintf("i%d", x)
+	case int:
+		return fmt.Sprintf("i%d", x)
+	case float64:
+		if x == float64(int64(x)) {
+			return fmt.Sprintf("i%d", int64(x))
+		}
+		return fmt.Sprintf("g%g", x)
+	default:
+		return fmt.Sprintf("v%v", v)
+	}
+}
+
+// BenchLine renders the report as one `go test -bench` result line, the
+// format cmd/benchjson ingests: the soak's serving metrics ride into
+// BENCH_pr.json next to the optimization benchmarks. ns/op is the mean
+// request latency.
+func (r *Report) BenchLine(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Benchmark%s\t%8d\t%d ns/op", name, r.Requests, int64(r.MeanMS*1e6))
+	fmt.Fprintf(&b, "\t%.3f p50-ms\t%.3f p99-ms\t%.3f p999-ms", r.P50MS, r.P99MS, r.P999MS)
+	fmt.Fprintf(&b, "\t%.1f qps\t%.4f shed-rate\t%.4f partial-rate", r.QPS, r.ShedRate, r.PartialRate)
+	return b.String()
+}

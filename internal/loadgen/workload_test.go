@@ -1,0 +1,228 @@
+package loadgen
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func testConfig(seed int64) Config {
+	return Config{
+		Seed:        seed,
+		Clients:     16,
+		Requests:    400,
+		Templates:   DemoTemplates(2000),
+		Mix:         DefaultMix(),
+		SampleEvery: 10,
+	}
+}
+
+// TestGenerateDeterministic is the determinism gate: the same seed must
+// produce a bit-identical schedule — same requests, same client/request
+// assignment — on every call.
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(testConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(testConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Clients, b.Clients) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatal("same seed produced different digests")
+	}
+}
+
+// TestGenerateSeedSensitivity: different seeds must produce different
+// workload mixes (schedules and hot pools).
+func TestGenerateSeedSensitivity(t *testing.T) {
+	a, err := Generate(testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest() == b.Digest() {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	if reflect.DeepEqual(a.HotStatements(), b.HotStatements()) {
+		t.Error("different seeds produced identical hot pools")
+	}
+}
+
+// TestGenerateZipfSkew sanity-checks the hot-pool popularity skew: under
+// a zipf draw the most popular hot statement must take a far larger
+// share than the uniform 1/pool, and the hot fraction must track
+// HotRatio.
+func TestGenerateZipfSkew(t *testing.T) {
+	cfg := testConfig(3)
+	cfg.Clients = 8
+	cfg.Requests = 2000
+	cfg.Mix = Mix{} // queries only, so shares are exact
+	s, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	counts := make(map[string]int)
+	hot, total := 0, 0
+	for _, c := range s.Clients {
+		for _, r := range c {
+			total++
+			if r.Hot {
+				hot++
+				counts[r.SQL]++
+			}
+		}
+	}
+	hotFrac := float64(hot) / float64(total)
+	if hotFrac < DefaultHotRatio-0.05 || hotFrac > DefaultHotRatio+0.05 {
+		t.Errorf("hot fraction = %.3f, want ~%.2f", hotFrac, DefaultHotRatio)
+	}
+
+	shares := make([]int, 0, len(counts))
+	for _, n := range counts {
+		shares = append(shares, n)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(shares)))
+	top := float64(shares[0]) / float64(hot)
+	uniform := 1.0 / float64(DefaultHotPool)
+	if top < 3*uniform {
+		t.Errorf("zipf skew missing: top statement share %.3f, uniform would be %.3f", top, uniform)
+	}
+}
+
+// TestGenerateMixFractions: the event ops land near their configured
+// per-10000 weights and carry valid arguments.
+func TestGenerateMixFractions(t *testing.T) {
+	cfg := testConfig(11)
+	cfg.Clients = 8
+	cfg.Requests = 5000
+	s, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := s.OpCounts()
+	total := float64(s.Requests())
+	for op, weight := range map[string]int{
+		OpExplain:    cfg.Mix.Explain,
+		OpAnalyze:    cfg.Mix.Analyze,
+		OpReregister: cfg.Mix.Reregister,
+		OpSetLink:    cfg.Mix.SetLink,
+	} {
+		frac := float64(counts[op]) / total
+		want := float64(weight) / 10000
+		if frac < want/2 || frac > want*2 {
+			t.Errorf("op %s fraction = %.4f, want ~%.4f", op, frac, want)
+		}
+	}
+	for _, c := range s.Clients {
+		for _, r := range c {
+			switch r.Op {
+			case OpReregister:
+				if r.Arg == "" || r.SQL != "" {
+					t.Fatalf("bad reregister event: %+v", r)
+				}
+			case OpSetLink:
+				if len(strings.Fields(r.Arg)) != 3 {
+					t.Fatalf("bad setlink event arg %q", r.Arg)
+				}
+			case OpQuery, OpExplain, OpAnalyze:
+				if r.SQL == "" {
+					t.Fatalf("empty SQL for %s", r.Op)
+				}
+			}
+		}
+	}
+}
+
+// TestGenerateSampling: samples appear only on query ops, at roughly the
+// configured spacing.
+func TestGenerateSampling(t *testing.T) {
+	s, err := Generate(testConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, queries := 0, 0
+	for _, c := range s.Clients {
+		for _, r := range c {
+			if r.Op == OpQuery {
+				queries++
+				if r.Sample {
+					samples++
+				}
+			} else if r.Sample {
+				t.Fatalf("sample mark on non-query op %s", r.Op)
+			}
+		}
+	}
+	if samples == 0 {
+		t.Fatal("no samples generated")
+	}
+	if ratio := float64(queries) / float64(samples); ratio < 8 || ratio > 12 {
+		t.Errorf("sample spacing = %.1f, want ~10", ratio)
+	}
+}
+
+// TestParseMix round-trips the CLI mix syntax and rejects bad specs.
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("explain=200, analyze=100,reregister=20,setlink=30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != DefaultMix() {
+		t.Errorf("parsed %+v, want %+v", m, DefaultMix())
+	}
+	if m, err := ParseMix(""); err != nil || m != (Mix{}) {
+		t.Errorf("empty spec: %+v, %v", m, err)
+	}
+	for _, bad := range []string{"explain", "explain=x", "bogus=3", "explain=-1", "explain=9000,analyze=2000"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) should fail", bad)
+		}
+	}
+}
+
+// TestGenerateRejectsBadConfig pins the config validation.
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	for name, mutate := range map[string]func(*Config){
+		"no clients":   func(c *Config) { c.Clients = 0 },
+		"no requests":  func(c *Config) { c.Requests = 0 },
+		"hot ratio >1": func(c *Config) { c.HotRatio = 1.5 },
+		"zipf s <= 1":  func(c *Config) { c.ZipfS = 0.9 },
+		"mix overflow": func(c *Config) { c.Mix = Mix{Explain: 9000, Analyze: 2000} },
+	} {
+		cfg := testConfig(1)
+		mutate(&cfg)
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("%s: Generate should fail", name)
+		}
+	}
+}
+
+// TestHashRowsOrderInsensitive pins the oracle digest: row order must
+// not matter, content must.
+func TestHashRowsOrderInsensitive(t *testing.T) {
+	a := [][]any{{int64(1), "x", true}, {int64(2), "y", false}, {int64(2), "y", false}}
+	b := [][]any{{int64(2), "y", false}, {int64(1), "x", true}, {int64(2), "y", false}}
+	if HashRows(a) != HashRows(b) {
+		t.Error("row order changed the digest")
+	}
+	c := [][]any{{int64(1), "x", true}, {int64(2), "y", false}}
+	if HashRows(a) == HashRows(c) {
+		t.Error("dropping a duplicate row kept the digest")
+	}
+	// Wire responses decode integers as float64; the oracle sees int64.
+	wire := [][]any{{float64(7), "s"}}
+	oracle := [][]any{{int64(7), "s"}}
+	if HashRows(wire) != HashRows(oracle) {
+		t.Error("float64(7) and int64(7) must hash identically")
+	}
+}

@@ -155,6 +155,10 @@ type Mediator struct {
 	adm        *admission
 	deb        *feedback.Debouncer
 	reprepares atomic.Int64
+	// Serving outcome counters (see Stats).
+	served   atomic.Int64
+	qerrors  atomic.Int64
+	partials atomic.Int64
 }
 
 // New builds an empty mediator.
@@ -481,6 +485,14 @@ func (m *Mediator) executeAdmitted(p *Prepared) (*engine.Result, error) {
 	eng := m.Engine
 	res, err := eng.Execute(p.Plan)
 	m.mu.RUnlock()
+	if err != nil {
+		m.qerrors.Add(1)
+	} else {
+		m.served.Add(1)
+		if res != nil && res.Partial {
+			m.partials.Add(1)
+		}
+	}
 	if err == nil && m.Feedback != nil {
 		m.mu.Lock()
 		m.absorbLocked(p, res)
@@ -549,10 +561,24 @@ type Stats struct {
 	InFlight int
 	// FeedbackSaves counts snapshot writes that reached the store.
 	FeedbackSaves int64
+	// QueriesServed counts executions that completed successfully
+	// (partial answers included); QueryErrors counts executions that
+	// failed. Neither includes shed queries or prepare-time failures.
+	QueriesServed int64
+	QueryErrors   int64
+	// PartialAnswers is the subset of QueriesServed that excluded one or
+	// more unavailable wrappers.
+	PartialAnswers int64
+	// Epoch is the catalog registration epoch at snapshot time.
+	Epoch uint64
 }
 
-// Stats reports the serving counters.
+// Stats reports the serving counters. It takes the read lock briefly
+// for the catalog epoch, so it serializes against registrations.
 func (m *Mediator) Stats() Stats {
+	m.mu.RLock()
+	epoch := m.Catalog.Epoch()
+	m.mu.RUnlock()
 	h, mi, st := m.cache.counters()
 	s := Stats{
 		PlanCacheHits:    h,
@@ -562,6 +588,10 @@ func (m *Mediator) Stats() Stats {
 		Reprepares:       m.reprepares.Load(),
 		Shed:             m.adm.shedCount(),
 		InFlight:         m.adm.inFlight(),
+		QueriesServed:    m.served.Load(),
+		QueryErrors:      m.qerrors.Load(),
+		PartialAnswers:   m.partials.Load(),
+		Epoch:            epoch,
 	}
 	if m.deb != nil {
 		s.FeedbackSaves = m.deb.Saves()

@@ -16,10 +16,14 @@ import (
 // Request is one client message.
 type Request struct {
 	// Op selects the action: "query", "explain", "explain-analyze",
-	// "catalog", "history", "feedback", or "ping".
+	// "catalog", "history", "feedback", "stats", "reregister",
+	// "setlink", or "ping".
 	Op string `json:"op"`
 	// SQL carries the query text for query/explain/explain-analyze.
 	SQL string `json:"sql,omitempty"`
+	// Arg carries the non-SQL operand of administrative ops: the wrapper
+	// name for reregister, "wrapper latencyMS perByteMS" for setlink.
+	Arg string `json:"arg,omitempty"`
 }
 
 // Response is one server message.

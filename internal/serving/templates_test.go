@@ -1,0 +1,29 @@
+package serving
+
+import (
+	"testing"
+
+	"disco/internal/loadgen"
+	"disco/internal/proto"
+)
+
+// TestDemoTemplatesExecute ties the load generator's query templates to
+// the demo federation: every template must parse, bind, and execute at
+// both ends of its argument range. A template drifting from the demo
+// schema would otherwise only surface as soak-time error counts.
+func TestDemoTemplatesExecute(t *testing.T) {
+	const parts = 500
+	srv := testServer(t, Options{Parts: parts}, 0)
+	for _, tpl := range loadgen.DemoTemplates(parts) {
+		for _, arg := range []int{tpl.ArgLo, tpl.ArgHi - 1} {
+			sql := tpl.Instantiate(arg)
+			resp := srv.Handle(&proto.Request{Op: "query", SQL: sql})
+			if !resp.OK {
+				t.Errorf("template %s with arg %d: %s\n  %s", tpl.Name, arg, resp.Error, sql)
+			}
+			if resp := srv.Handle(&proto.Request{Op: "explain", SQL: sql}); !resp.OK {
+				t.Errorf("template %s explain: %s", tpl.Name, resp.Error)
+			}
+		}
+	}
+}

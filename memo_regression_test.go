@@ -1,0 +1,71 @@
+// Regression coverage for the plan-cost memo on the greedy search path.
+// In package disco so it can share benchOptimizeFixture with
+// bench_test.go.
+package disco
+
+import (
+	"math"
+	"testing"
+
+	"disco/internal/optimizer"
+)
+
+// TestGreedyMemoHits pins the memo's real workload. The dynamic program
+// prices each (subset, split) structure exactly once, so on the DP path
+// memoHits is legitimately zero — the ROADMAP question "why do the
+// BenchmarkOptimize* runs report memoHits: 0" answers itself once the
+// search crosses Options.MaxDPRelations: the greedy heuristic keeps
+// only the cheapest pair each round and re-prices every surviving pair
+// in the next one, so the memo must serve those repeats. The test
+// asserts the counter fires there, and that serving from the memo never
+// changes the chosen plan's cost.
+func TestGreedyMemoHits(t *testing.T) {
+	const nrel = 12 // > MaxDPRelations below: forces the greedy path
+
+	run := func(memo bool) *optimizer.Result {
+		t.Helper()
+		opt, qb := benchOptimizeFixture(t, nrel)
+		opt.Opt = optimizer.Options{Pruning: true, MaxDPRelations: 10, Workers: 1, Memo: memo}
+		res, err := opt.Optimize(qb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	with := run(true)
+	if with.MemoHits == 0 {
+		t.Fatalf("greedy search with memo reported 0 hits over %d costed plans", with.PlansCosted)
+	}
+	without := run(false)
+	if without.MemoHits != 0 {
+		t.Fatalf("memo disabled but %d hits reported", without.MemoHits)
+	}
+
+	// The memo is a cache, not a heuristic: both searches must choose
+	// plans of identical cost, and the memo side must have priced fewer
+	// candidates from scratch.
+	cw, cwo := with.Cost.TotalTime(), without.Cost.TotalTime()
+	if math.Abs(cw-cwo) > 1e-9*math.Max(cw, cwo) {
+		t.Errorf("memo changed the chosen plan cost: %g with, %g without", cw, cwo)
+	}
+	if with.Plan.StructuralHash() != without.Plan.StructuralHash() {
+		t.Errorf("memo changed the chosen plan structure")
+	}
+}
+
+// TestDPReportsNoMemoHits documents the flip side: under MaxDPRelations
+// the exhaustive DP prices each structure once, so even with the memo
+// enabled there is nothing to serve. A future search-order change that
+// starts re-pricing structures on the DP path would trip this.
+func TestDPReportsNoMemoHits(t *testing.T) {
+	opt, qb := benchOptimizeFixture(t, 7)
+	opt.Opt = optimizer.Options{Pruning: true, MaxDPRelations: 10, Workers: 1, Memo: true}
+	res, err := opt.Optimize(qb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MemoHits != 0 {
+		t.Errorf("DP path reported %d memo hits; each structure should be priced exactly once", res.MemoHits)
+	}
+}
