@@ -8,7 +8,7 @@ GO ?= go
 RACE_PKGS = ./internal/optimizer ./internal/mediator ./internal/wrapper ./internal/netsim
 
 .PHONY: all build test race bench experiments fmt vet clean \
-	ci ci-build ci-test ci-vet ci-fmt ci-lint ci-race ci-alloc ci-faultmatrix ci-feedback ci-fuzz ci-concurrency ci-bench ci-soak
+	ci ci-build ci-test ci-vet ci-fmt ci-lint ci-race ci-alloc ci-faultmatrix ci-feedback ci-fuzz ci-concurrency ci-bench ci-soak ci-resultcache
 
 all: build test
 
@@ -47,13 +47,13 @@ vet:
 
 clean:
 	$(GO) clean ./...
-	rm -f bench.out soak.out BENCH_pr.json BENCH_pr.json.tmp
+	rm -f bench.out soak.out rcoff.out rcon.out BENCH_pr.json BENCH_pr.json.tmp
 	rm -rf .tools
 
 # `make ci` runs exactly what .github/workflows/ci.yml runs; the workflow
 # invokes these ci-* targets so the two cannot drift. Run it before
 # pushing.
-ci: ci-build ci-test ci-vet ci-fmt ci-lint ci-race ci-alloc ci-faultmatrix ci-feedback ci-fuzz ci-concurrency ci-bench ci-soak
+ci: ci-build ci-test ci-vet ci-fmt ci-lint ci-race ci-alloc ci-faultmatrix ci-feedback ci-fuzz ci-concurrency ci-bench ci-soak ci-resultcache
 
 ci-build:
 	$(GO) build ./...
@@ -139,9 +139,36 @@ ci-bench:
 # bound — then a short discoload run whose serving-latency percentiles
 # are merged into BENCH_pr.json next to the optimizer benchmarks.
 ci-soak:
-	$(GO) test -race -count=1 -timeout 600s -run 'TestSoak' ./cmd/discoload
+	$(GO) test -race -count=1 -timeout 600s -run 'TestSoak$$' ./cmd/discoload
 	$(GO) run ./cmd/discoload -demo -parts 2000 -clients 64 -requests 40 -seed 7 \
 		-bench DiscoloadDemoSoak > soak.out
 	$(GO) run ./cmd/benchjson -merge BENCH_pr.json < soak.out > BENCH_pr.json.tmp
 	mv BENCH_pr.json.tmp BENCH_pr.json
 	rm -f soak.out
+
+# The semantic-result-cache gate (DESIGN.md §11, EXPERIMENTS.md E12):
+# the cache-correctness suite under the race detector (unit invariants,
+# plan/result-cache accounting, partial-answer leak guards, histogram
+# oracle properties), the cache-enabled chaos soak, then paired
+# cache-off/cache-on discoload runs merged into BENCH_pr.json. The qps
+# comparison gates at a 10% tolerance: with a zipf-hot workload the
+# cache must not make serving slower (it is expected to make it faster).
+ci-resultcache:
+	$(GO) test -race -count=2 \
+		-run 'ResultCache|NormalizeSQL|PlanCacheStale|Hist' \
+		./internal/resultcache ./internal/mediator ./internal/optimizer ./internal/loadgen
+	$(GO) test -race -count=1 -timeout 600s -run 'TestSoakResultCache' ./cmd/discoload
+	$(GO) run ./cmd/discoload -demo -parts 2000 -clients 64 -requests 40 -seed 7 \
+		-bench DiscoloadDemoSoakCacheOff > rcoff.out
+	$(GO) run ./cmd/discoload -demo -parts 2000 -clients 64 -requests 40 -seed 7 \
+		-result-cache -bench DiscoloadDemoSoakCacheOn > rcon.out
+	$(GO) run ./cmd/benchjson -merge BENCH_pr.json < rcoff.out > BENCH_pr.json.tmp
+	mv BENCH_pr.json.tmp BENCH_pr.json
+	$(GO) run ./cmd/benchjson -merge BENCH_pr.json < rcon.out > BENCH_pr.json.tmp
+	mv BENCH_pr.json.tmp BENCH_pr.json
+	@off=$$(awk '{for(i=1;i<NF;i++) if ($$(i+1)=="qps") print $$i}' rcoff.out); \
+	on=$$(awk '{for(i=1;i<NF;i++) if ($$(i+1)=="qps") print $$i}' rcon.out); \
+	echo "ci-resultcache: qps cache-off=$$off cache-on=$$on"; \
+	awk -v on="$$on" -v off="$$off" 'BEGIN { \
+		if (on + 0 < off * 0.9) { print "ci-resultcache: cache-on qps regressed vs cache-off"; exit 1 } }'
+	rm -f rcoff.out rcon.out

@@ -55,12 +55,15 @@ type benchResult struct {
 	// (cmd/discoload and BenchmarkSoakServing): latency percentiles in
 	// wall-clock milliseconds, sustained throughput, and the fraction of
 	// requests shed by admission control.
-	P50MS    *float64           `json:"p50_ms,omitempty"`
-	P99MS    *float64           `json:"p99_ms,omitempty"`
-	P999MS   *float64           `json:"p999_ms,omitempty"`
-	QPS      *float64           `json:"qps,omitempty"`
-	ShedRate *float64           `json:"shed_rate,omitempty"`
-	Metrics  map[string]float64 `json:"metrics"`
+	P50MS    *float64 `json:"p50_ms,omitempty"`
+	P99MS    *float64 `json:"p99_ms,omitempty"`
+	P999MS   *float64 `json:"p999_ms,omitempty"`
+	QPS      *float64 `json:"qps,omitempty"`
+	ShedRate *float64 `json:"shed_rate,omitempty"`
+	// ResultCacheHitRate is the soak's semantic-result-cache hit
+	// fraction, promoted so cache-on vs cache-off runs diff directly.
+	ResultCacheHitRate *float64           `json:"result_cache_hit_rate,omitempty"`
+	Metrics            map[string]float64 `json:"metrics"`
 }
 
 // promote copies a parsed "value unit" pair into its named field, if it
@@ -85,6 +88,8 @@ func (r *benchResult) promote(unit string, v float64) {
 		r.QPS = &v
 	case "shed-rate":
 		r.ShedRate = &v
+	case "result-cache-hit-rate":
+		r.ResultCacheHitRate = &v
 	}
 }
 

@@ -17,7 +17,7 @@ BenchmarkFeedbackConvergence-8  	       1	 93712375 ns/op	     1.52 q-error
 PASS
 `
 
-const soakOut = `BenchmarkDiscoloadDemoSoak	     320	4523003 ns/op	4.479 p50-ms	9.215 p99-ms	10.227 p999-ms	3351.8 qps	0.0250 shed-rate	0.0000 partial-rate
+const soakOut = `BenchmarkDiscoloadDemoSoak	     320	4523003 ns/op	4.479 p50-ms	9.215 p99-ms	10.227 p999-ms	3351.8 qps	0.0250 shed-rate	0.0000 partial-rate	0.4120 result-cache-hit-rate
 `
 
 func TestParseReportPromotesStandardMetrics(t *testing.T) {
@@ -65,6 +65,7 @@ func TestParseReportPromotesServingMetrics(t *testing.T) {
 	for name, got := range map[string]*float64{
 		"p50_ms": b.P50MS, "p99_ms": b.P99MS, "p999_ms": b.P999MS,
 		"qps": b.QPS, "shed_rate": b.ShedRate,
+		"result_cache_hit_rate": b.ResultCacheHitRate,
 	} {
 		if got == nil {
 			t.Errorf("%s not promoted from the soak line", name)
@@ -83,6 +84,9 @@ func TestParseReportPromotesServingMetrics(t *testing.T) {
 	}
 	if b.Metrics["partial-rate"] != 0 {
 		t.Errorf("partial-rate missing from metrics map: %v", b.Metrics)
+	}
+	if b.ResultCacheHitRate != nil && *b.ResultCacheHitRate != 0.412 {
+		t.Errorf("result_cache_hit_rate = %v, want 0.412", *b.ResultCacheHitRate)
 	}
 }
 

@@ -13,7 +13,8 @@
 //	\catalog         dump the mediator catalog
 //	\history         dump the recorded cost-vector database
 //	\feedback        dump the execution-feedback q-error table
-//	\stats           dump the serving counters (JSON)
+//	\stats           dump the serving counters (JSON), including the
+//	                 plan-cache and result-cache hit/miss/eviction view
 //	\reregister <w>  re-run the registration phase for wrapper <w>
 //	\setlink <w> <latencyMS> <perByteMS>  perturb a wrapper's link
 //	\quit            exit

@@ -10,7 +10,8 @@
 //
 //	discod [-listen :4077] [-parts 14000] [-feedback] [-feedback-snapshot file]
 //	       [-max-inflight 32] [-queue-timeout 1s] [-idle-timeout 5m]
-//	       [-drain-timeout 5s]
+//	       [-drain-timeout 5s] [-result-cache] [-result-cache-entries 1024]
+//	       [-result-cache-bytes 67108864] [-result-cache-ttl-ms 0]
 //
 // With -feedback (the default) every executed query is profiled and fed
 // back into the cost model; -feedback-snapshot names a JSON file that
@@ -22,6 +23,13 @@
 // never speak again. On SIGINT/SIGTERM the server stops accepting,
 // drains in-flight connections for up to -drain-timeout, and flushes
 // the feedback snapshot.
+//
+// -result-cache enables the semantic result cache: materialized answers
+// keyed by structural plan hash, served for repeated (sub)queries and
+// invalidated by re-registration, wrapper outages and feedback
+// corrections. -result-cache-entries / -result-cache-bytes bound it and
+// -result-cache-ttl-ms ages entries on the virtual clock (0 = no TTL).
+// Hit/miss/eviction counters appear in the `stats` admin op.
 //
 // The serving machinery (federation assembly, protocol loop, graceful
 // shutdown, stats/reregister/setlink admin ops) lives in
@@ -39,6 +47,7 @@ import (
 	"syscall"
 	"time"
 
+	"disco/internal/resultcache"
 	"disco/internal/serving"
 )
 
@@ -51,6 +60,10 @@ func main() {
 	queueTimeout := flag.Duration("queue-timeout", time.Second, "admission queue wait before shedding a query")
 	idleTimeout := flag.Duration("idle-timeout", 5*time.Minute, "drop connections idle longer than this (0 = never)")
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "shutdown wait for in-flight connections")
+	rcOn := flag.Bool("result-cache", false, "enable the semantic result cache")
+	rcEntries := flag.Int("result-cache-entries", resultcache.DefaultEntries, "result cache entry bound")
+	rcBytes := flag.Int64("result-cache-bytes", resultcache.DefaultMaxBytes, "result cache byte budget")
+	rcTTL := flag.Float64("result-cache-ttl-ms", 0, "result cache entry TTL in virtual ms (0 = none)")
 	flag.Parse()
 
 	fed, err := serving.NewDemoFederation(serving.Options{
@@ -59,6 +72,12 @@ func main() {
 		FeedbackSnapshot: *fbSnap,
 		MaxInFlight:      *maxInFlight,
 		QueueTimeout:     *queueTimeout,
+		ResultCache: resultcache.Config{
+			Enabled:  *rcOn,
+			Entries:  *rcEntries,
+			MaxBytes: *rcBytes,
+			TTLMS:    *rcTTL,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -12,7 +12,10 @@
 // With -addrs it targets running discod processes (client c connects to
 // address c mod len). With -demo it starts an in-process demo-federation
 // server on an ephemeral port and tears it down after the run — the
-// single-binary soak mode CI uses.
+// single-binary soak mode CI uses. Demo mode accepts -result-cache (plus
+// -result-cache-bytes / -result-cache-ttl-ms) to serve the zipf-hot pool
+// from the semantic result cache; the scraped hit rate lands in the
+// report as result_cache_hit_rate and on the -bench line.
 //
 // The workload is deterministic in -seed: a zipf-skewed hot pool of
 // prepared statements (plan-cache hits), a stream of ad-hoc statements
@@ -40,6 +43,7 @@ import (
 	"time"
 
 	"disco/internal/loadgen"
+	"disco/internal/resultcache"
 	"disco/internal/serving"
 )
 
@@ -51,6 +55,9 @@ func main() {
 		feedback = flag.Bool("feedback", true, "demo mode: absorb execution feedback into the cost model")
 		inflight = flag.Int("max-inflight", 32, "demo mode: admission-control bound (0 = unlimited)")
 		queue    = flag.Duration("queue-timeout", time.Second, "demo mode: admission queue wait before shedding")
+		rcOn     = flag.Bool("result-cache", false, "demo mode: enable the semantic result cache")
+		rcBytes  = flag.Int64("result-cache-bytes", resultcache.DefaultMaxBytes, "demo mode: result cache byte budget")
+		rcTTL    = flag.Float64("result-cache-ttl-ms", 0, "demo mode: result cache TTL in virtual ms (0 = none)")
 
 		clients  = flag.Int("clients", 64, "concurrent client connections")
 		requests = flag.Int("requests", 100, "requests per client")
@@ -80,6 +87,11 @@ func main() {
 			Feedback:     *feedback,
 			MaxInFlight:  *inflight,
 			QueueTimeout: *queue,
+			ResultCache: resultcache.Config{
+				Enabled:  *rcOn,
+				MaxBytes: *rcBytes,
+				TTLMS:    *rcTTL,
+			},
 		})
 		if err != nil {
 			log.Fatal("discoload: ", err)
@@ -126,7 +138,7 @@ func main() {
 		log.Fatal("discoload: ", err)
 	}
 	if stats, err := loadgen.ScrapeStats(targets[0], *timeout); err == nil {
-		rep.ServerStats = stats
+		rep.AttachServerStats(stats)
 	} else {
 		fmt.Fprintf(os.Stderr, "discoload: stats scrape failed: %v\n", err)
 	}

@@ -7,6 +7,7 @@ import (
 
 	"disco/internal/loadgen"
 	"disco/internal/proto"
+	"disco/internal/resultcache"
 	"disco/internal/serving"
 )
 
@@ -115,6 +116,124 @@ func TestSoak(t *testing.T) {
 	// corrections, no concurrency — and compare the order-insensitive
 	// result digests. Plans may differ (the loaded server's model drifted
 	// under feedback); the row multisets must not.
+	oracle, err := serving.NewDemoFederation(serving.Options{Parts: soakParts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	digests := make(map[string]uint64)
+	mismatches := 0
+	for _, s := range rep.Samples {
+		want, ok := digests[s.SQL]
+		if !ok {
+			res, err := oracle.Med.Query(s.SQL)
+			if err != nil {
+				t.Fatalf("oracle: %s: %v", s.SQL, err)
+			}
+			rows := make([][]any, len(res.Rows))
+			for i, row := range res.Rows {
+				rows[i] = proto.EncodeRow(row)
+			}
+			want = loadgen.HashRows(rows)
+			digests[s.SQL] = want
+		}
+		if s.Hash != want {
+			mismatches++
+			t.Errorf("result mismatch: client %d request %d %q: digest %x, oracle %x (%d rows)",
+				s.Client, s.Request, s.SQL, s.Hash, want, s.Rows)
+		}
+	}
+	t.Logf("oracle: %d samples over %d distinct statements, %d mismatches",
+		len(rep.Samples), len(digests), mismatches)
+}
+
+// TestSoakResultCache is the result-cache soak gate (`make
+// ci-resultcache`): the same fixed-seed chaos workload — zipf-hot
+// statements, re-registrations, link perturbations — against a server
+// with the semantic result cache enabled. On top of the TestSoak
+// invariants it asserts the cache actually works under churn: a material
+// hit rate on the hot pool, and zero oracle-digest mismatches — a cached
+// answer must be indistinguishable from a re-execution even while
+// re-registration keeps invalidating entries mid-run.
+func TestSoakResultCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak gate is not a -short test")
+	}
+	fed, err := serving.NewDemoFederation(serving.Options{
+		Parts:        soakParts,
+		Feedback:     true,
+		MaxInFlight:  64,
+		QueueTimeout: 2 * time.Second,
+		ResultCache:  resultcache.Config{Enabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serving.NewServer(fed, time.Minute)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Shutdown(10 * time.Second)
+
+	const clients, perClient = 256, 20
+	sched, err := loadgen.Generate(loadgen.Config{
+		Seed:        42,
+		Clients:     clients,
+		Requests:    perClient,
+		Templates:   loadgen.DemoTemplates(soakParts),
+		Mix:         loadgen.DefaultMix(),
+		SampleEvery: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := loadgen.Drive(sched, loadgen.DriveOptions{
+		Addrs:          []string{ln.Addr().String()},
+		RequestTimeout: 60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stats := srv.Stats()
+	hits, misses := stats.Mediator.ResultCacheHits, stats.Mediator.ResultCacheMisses
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+	t.Logf("result-cache soak: ok=%d shed=%d errors=%d partials=%d p99=%.1fms qps=%.0f "+
+		"rc-hits=%d rc-misses=%d rc-stale=%d rc-inval=%d hit-rate=%.3f",
+		rep.OK, rep.Shed, rep.Errors, rep.Partials, rep.P99MS, rep.QPS,
+		hits, misses, stats.Mediator.ResultCacheStale, stats.Mediator.ResultCacheInvalidations, hitRate)
+
+	if rep.Wedged != 0 {
+		t.Fatalf("%d wedged clients: %v", rep.Wedged, rep.WedgedClients)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("%d error responses", rep.Errors)
+	}
+	if rep.Partials != 0 {
+		t.Errorf("%d partial answers without an injected outage", rep.Partials)
+	}
+	if stats.Mediator.QueryErrors != 0 {
+		t.Errorf("server counted %d execution errors", stats.Mediator.QueryErrors)
+	}
+	// The cache gate: the zipf-hot pool must be served from memory a
+	// material fraction of the time despite the chaos mix invalidating
+	// the cache throughout the run.
+	if hits == 0 {
+		t.Error("the hot pool never hit the result cache")
+	}
+	if hitRate < 0.05 {
+		t.Errorf("result-cache hit rate %.3f below the 0.05 soak floor", hitRate)
+	}
+
+	// Oracle pass, identical to TestSoak: every sampled answer — cached
+	// or executed — must match a fresh cache-off, feedback-off replay.
+	if len(rep.Samples) == 0 {
+		t.Fatal("no oracle samples recorded")
+	}
 	oracle, err := serving.NewDemoFederation(serving.Options{Parts: soakParts})
 	if err != nil {
 		t.Fatal(err)

@@ -15,6 +15,7 @@ import (
 	"disco/internal/algebra"
 	"disco/internal/feedback"
 	"disco/internal/netsim"
+	"disco/internal/resultcache"
 	"disco/internal/rowops"
 	"disco/internal/types"
 	"disco/internal/wrapper"
@@ -30,9 +31,14 @@ type Costs struct {
 	SortPerObj  float64
 	HashPerObj  float64
 	JoinPerPair float64
+	// CachePerObj is the per-row charge for serving a submit from the
+	// semantic result cache, behind the resultcache.HitFloorMS lookup
+	// floor — the executed mirror of the ScopeCache pricing formula.
+	CachePerObj float64
 }
 
-// DefaultCosts matches core.DefaultCoefficients' Med* entries.
+// DefaultCosts matches core.DefaultCoefficients' Med* entries; the cache
+// charge matches resultcache.HitPerRowMS so estimate and execution agree.
 func DefaultCosts() Costs {
 	return Costs{
 		PerObj:      0.004,
@@ -41,7 +47,29 @@ func DefaultCosts() Costs {
 		SortPerObj:  0.010,
 		HashPerObj:  0.012,
 		JoinPerPair: 0.004,
+		CachePerObj: resultcache.HitPerRowMS,
 	}
+}
+
+// SubmitCache serves and admits materialized submit results, keyed by the
+// subtree's 128-bit structural hash. The mediator wires its semantic
+// result cache in through this interface (nil disables it); the engine
+// consults it at every submit boundary whose wrapper is up, and offers
+// every complete wrapper answer back. Implementations must be safe for
+// concurrent use.
+//
+// Callers sharing one plan across goroutines must pre-hash it (computing
+// the root's StructuralHash fills every descendant's cache) — the
+// mediator's Prepare does exactly that via Prepared.Hash.
+type SubmitCache interface {
+	// Begin snapshots the invalidation generation at execution start;
+	// the engine passes it back through Put so inserts that raced an
+	// invalidation (e.g. an outage mark) are refused.
+	Begin() uint64
+	// Get returns the cached rows for a live entry.
+	Get(h algebra.Hash128) ([]types.Row, bool)
+	// Put offers a complete (never partial/excluded) wrapper answer.
+	Put(h algebra.Hash128, rows []types.Row, schema *types.Schema, bytes int64, gen uint64)
 }
 
 // Engine executes optimized plans.
@@ -65,6 +93,10 @@ type Engine struct {
 	// mediator uses it to drop the wrapper's cost rules so estimation
 	// falls back to the generic model.
 	OnUnavailable func(wrapper string)
+	// Results, when set, is the semantic result cache consulted at submit
+	// boundaries (see SubmitCache). Nil leaves execution bit-identical to
+	// a build without the cache.
+	Results SubmitCache
 }
 
 // New builds an engine over the registered wrappers. All wrappers must
@@ -157,6 +189,10 @@ type execState struct {
 	lastTrips    int
 	lastBytes    int64
 	lastExcluded bool
+	lastCached   bool
+	// cacheGen is the result cache's invalidation generation at execution
+	// start; Put carries it so a mid-query invalidation voids the insert.
+	cacheGen uint64
 }
 
 func (st *execState) exclude(name string) {
@@ -173,6 +209,9 @@ func (st *execState) exclude(name string) {
 func (e *Engine) Execute(plan *algebra.Node) (*Result, error) {
 	watch := netsim.StartWatch(e.clock)
 	st := execState{prof: feedback.NewProfile()}
+	if e.Results != nil {
+		st.cacheGen = e.Results.Begin()
+	}
 	rows, err := e.exec(plan, &st)
 	if err != nil {
 		return nil, err
@@ -222,6 +261,10 @@ func (e *Engine) exec(n *algebra.Node, st *execState) ([]types.Row, error) {
 			a.RoundTrips = st.lastTrips
 			a.Bytes = st.lastBytes
 			a.Excluded = st.lastExcluded
+			a.FromCache = st.lastCached
+			if st.lastCached {
+				st.prof.CacheServed++
+			}
 		}
 		st.prof.ByNode[n] = a
 	}
@@ -234,16 +277,29 @@ func (e *Engine) execOp(n *algebra.Node, st *execState) ([]types.Row, error) {
 	}
 	switch n.Kind {
 	case algebra.OpSubmit:
-		st.lastTrips, st.lastBytes, st.lastExcluded = 0, 0, false
+		st.lastTrips, st.lastBytes, st.lastExcluded, st.lastCached = 0, 0, false, false
 		w, ok := e.wrappers[n.Wrapper]
 		if !ok {
 			return nil, fmt.Errorf("engine: submit to unknown wrapper %q", n.Wrapper)
 		}
 		if e.isDown(n.Wrapper) {
 			// Known-dead source: exclude without touching the transport.
+			// The down check comes before the cache — a cached answer must
+			// never mask an outage into a silently complete result; the
+			// mediator invalidated the cache when it marked the wrapper
+			// down anyway.
 			st.exclude(n.Wrapper)
 			st.lastExcluded = true
 			return nil, nil
+		}
+		if e.Results != nil {
+			if rows, ok := e.Results.Get(n.StructuralHash()); ok {
+				// Serve the materialized subtree: charge the ScopeCache
+				// formula instead of the wrapper and the wire.
+				e.clock.Advance(resultcache.HitFloorMS + float64(len(rows))*e.costs.CachePerObj)
+				st.lastCached = true
+				return rows, nil
+			}
 		}
 		start := e.clock.Now()
 		st.lastTrips = 1
@@ -266,6 +322,12 @@ func (e *Engine) execOp(n *algebra.Node, st *execState) ([]types.Row, error) {
 		st.lastBytes = res.Bytes
 		if e.SubmitHook != nil {
 			e.SubmitHook(n.Wrapper, n.Children[0], e.clock.Now()-start, len(res.Rows), res.Bytes)
+		}
+		if e.Results != nil {
+			// Only a complete wrapper answer is offered; the excluded paths
+			// above return before reaching here, so a partial run can never
+			// seed the cache (the partial-answer leakage guard).
+			e.Results.Put(n.StructuralHash(), res.Rows, n.OutSchema, res.Bytes, st.cacheGen)
 		}
 		return res.Rows, nil
 

@@ -96,11 +96,19 @@ func (c *coeffFit) add(x, y float64) {
 // Adjustment describes one applied correction, for experiment tables and
 // diagnostics.
 type Adjustment struct {
-	Kind   string // "extent", "distinct", "histogram" or "coeff"
+	Kind   string // "extent", "extent-learned", "distinct", "histogram" or "coeff"
 	Target string
 	Old    float64
 	New    float64
 }
+
+// CostOnly reports whether the correction touched only the calibrated
+// time model (a "coeff" refit) and not the catalog statistics. Cost-only
+// corrections change which plan the optimizer prefers but not what any
+// plan returns, so consumers invalidating materialized results on
+// feedback can skip them — coefficient refits converge asymptotically
+// and fire on almost every absorbed execution.
+func (a Adjustment) CostOnly() bool { return a.Kind == "coeff" }
 
 func (a Adjustment) String() string {
 	return fmt.Sprintf("%s %s: %.4g -> %.4g", a.Kind, a.Target, a.Old, a.New)

@@ -69,11 +69,39 @@ type Report struct {
 	// Samples are the oracle-verification records of sampled queries.
 	Samples []Sample `json:"samples,omitempty"`
 	// ServerStats is the raw JSON the server's stats op returned after
-	// the run (absent when scraping failed or was disabled).
+	// the run (absent when scraping failed or was disabled). Attach it
+	// with AttachServerStats so the derived fields below are filled.
 	ServerStats json.RawMessage `json:"server_stats,omitempty"`
+	// ResultCacheHits/Misses and ResultCacheHitRate are lifted out of
+	// ServerStats (zero when the server runs without a result cache).
+	ResultCacheHits    int64   `json:"result_cache_hits"`
+	ResultCacheMisses  int64   `json:"result_cache_misses"`
+	ResultCacheHitRate float64 `json:"result_cache_hit_rate"`
 
 	// Hist is the merged latency histogram (not serialized).
 	Hist Histogram `json:"-"`
+}
+
+// AttachServerStats records the scraped stats payload and derives the
+// headline result-cache fields from it. A payload that does not parse —
+// or predates the result cache — leaves the derived fields zero; the raw
+// JSON is kept either way.
+func (r *Report) AttachServerStats(raw json.RawMessage) {
+	r.ServerStats = raw
+	var parsed struct {
+		Mediator struct {
+			ResultCacheHits   int64
+			ResultCacheMisses int64
+		} `json:"mediator"`
+	}
+	if json.Unmarshal(raw, &parsed) != nil {
+		return
+	}
+	r.ResultCacheHits = parsed.Mediator.ResultCacheHits
+	r.ResultCacheMisses = parsed.Mediator.ResultCacheMisses
+	if total := r.ResultCacheHits + r.ResultCacheMisses; total > 0 {
+		r.ResultCacheHitRate = float64(r.ResultCacheHits) / float64(total)
+	}
 }
 
 // clientResult is one client goroutine's contribution.
@@ -288,5 +316,6 @@ func (r *Report) BenchLine(name string) string {
 	fmt.Fprintf(&b, "Benchmark%s\t%8d\t%d ns/op", name, r.Requests, int64(r.MeanMS*1e6))
 	fmt.Fprintf(&b, "\t%.3f p50-ms\t%.3f p99-ms\t%.3f p999-ms", r.P50MS, r.P99MS, r.P999MS)
 	fmt.Fprintf(&b, "\t%.1f qps\t%.4f shed-rate\t%.4f partial-rate", r.QPS, r.ShedRate, r.PartialRate)
+	fmt.Fprintf(&b, "\t%.4f result-cache-hit-rate", r.ResultCacheHitRate)
 	return b.String()
 }

@@ -1,0 +1,151 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// histOracle answers quantiles from the sorted sample itself: the value
+// at rank ceil(q*n), the definition QuantileMicros approximates.
+type histOracle []int64
+
+func (o histOracle) quantile(q float64) int64 {
+	if len(o) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return o[0]
+	}
+	rank := int(math.Ceil(q * float64(len(o))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(o) {
+		rank = len(o)
+	}
+	return o[rank-1]
+}
+
+// checkQuantiles asserts the documented contract at the serving-latency
+// quantiles: a histogram read never under-states the oracle value and
+// over-states it by less than 1/2^subBits relative (bucket granularity),
+// with q=0 and q=1 exact.
+func checkQuantiles(t *testing.T, name string, h *Histogram, values []int64) {
+	t.Helper()
+	oracle := append(histOracle(nil), values...)
+	sort.Slice(oracle, func(i, j int) bool { return oracle[i] < oracle[j] })
+
+	if h.Count() != int64(len(values)) {
+		t.Fatalf("%s: count = %d, want %d", name, h.Count(), len(values))
+	}
+	if got, want := h.QuantileMicros(0), oracle[0]; got != want {
+		t.Errorf("%s: q=0 = %d, want exact min %d", name, got, want)
+	}
+	if got, want := h.QuantileMicros(1), oracle[len(oracle)-1]; got != want {
+		t.Errorf("%s: q=1 = %d, want exact max %d", name, got, want)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		got := h.QuantileMicros(q)
+		want := oracle.quantile(q)
+		if got < want {
+			t.Errorf("%s: q=%.3f = %d under-states oracle %d", name, q, got, want)
+			continue
+		}
+		// Relative error bound: outside the exact linear region a bucket
+		// spans 2^exp values with lower bound >= subCount<<exp, so the
+		// reported upper bound exceeds the true value by < want/subCount.
+		if float64(got) > float64(want)*(1+1.0/subCount)+1e-9 {
+			t.Errorf("%s: q=%.3f = %d exceeds oracle %d beyond 1/%d relative error",
+				name, q, got, want, subCount)
+		}
+	}
+}
+
+// TestHistMergedQuantileProperty drives the merge path the soak driver
+// uses — every client records into a private histogram, the report merges
+// them — across distribution shapes, and checks each quantile against a
+// sorted-sample oracle.
+func TestHistMergedQuantileProperty(t *testing.T) {
+	distributions := []struct {
+		name string
+		n    int
+		gen  func(r *rand.Rand) int64
+	}{
+		{"uniform", 10000, func(r *rand.Rand) int64 { return r.Int63n(10_000_000) }},
+		{"lognormal", 10000, func(r *rand.Rand) int64 {
+			return int64(math.Exp(r.NormFloat64()*2 + 8))
+		}},
+		{"bimodal", 5000, func(r *rand.Rand) int64 {
+			if r.Intn(10) == 0 {
+				return 1_000_000 + r.Int63n(1000) // the slow mode: shed retries
+			}
+			return 200 + r.Int63n(50)
+		}},
+		{"linear-region", 3000, func(r *rand.Rand) int64 { return r.Int63n(subCount) }},
+		{"octave-boundaries", 4096, func(r *rand.Rand) int64 {
+			k := uint(5 + r.Intn(30))
+			return int64(1)<<k + int64(r.Intn(3)) - 1 // (1<<k)-1, 1<<k, (1<<k)+1
+		}},
+	}
+	for _, d := range distributions {
+		r := rand.New(rand.NewSource(42))
+		const clients = 8
+		parts := make([]Histogram, clients)
+		values := make([]int64, 0, d.n)
+		for i := 0; i < d.n; i++ {
+			v := d.gen(r)
+			values = append(values, v)
+			parts[i%clients].RecordMicros(v)
+		}
+		var merged Histogram
+		for i := range parts {
+			merged.Merge(&parts[i])
+		}
+		checkQuantiles(t, d.name, &merged, values)
+
+		var sum int64
+		for _, v := range values {
+			sum += v
+		}
+		if got, want := merged.MeanMicros(), float64(sum)/float64(d.n); got != want {
+			t.Errorf("%s: merged mean = %v, want exact %v", d.name, got, want)
+		}
+	}
+}
+
+// TestHistSingleBucketExact pins the all-equal edge case: when every
+// observation lands in one bucket, the max clamp makes every quantile
+// read exact, even far outside the linear region.
+func TestHistSingleBucketExact(t *testing.T) {
+	for _, v := range []int64{0, 17, 1000, 1 << 40} {
+		var h Histogram
+		for i := 0; i < 100; i++ {
+			h.RecordMicros(v)
+		}
+		for _, q := range []float64{0, 0.001, 0.5, 0.99, 0.999, 1} {
+			if got := h.QuantileMicros(q); got != v {
+				t.Errorf("value %d: q=%.3f = %d, want exact", v, q, got)
+			}
+		}
+	}
+}
+
+// TestHistMaxValueEdge pins the tail clamp: with a small sample the
+// p999 rank IS the max, so the read must return it exactly rather than
+// its bucket's upper bound.
+func TestHistMaxValueEdge(t *testing.T) {
+	var h Histogram
+	values := []int64{100, 200, 300, 1 << 50}
+	for _, v := range values {
+		h.RecordMicros(v)
+	}
+	checkQuantiles(t, "max-edge", &h, values)
+	if got := h.QuantileMicros(0.999); got != 1<<50 {
+		t.Errorf("p999 = %d, want the exact max %d", got, int64(1)<<50)
+	}
+	if got := h.MaxMicros(); got != 1<<50 {
+		t.Errorf("max = %d", got)
+	}
+}

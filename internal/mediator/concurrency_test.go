@@ -499,6 +499,19 @@ func TestNormalizeSQL(t *testing.T) {
 		"  SELECT   a\n\tFROM  b ;": "SELECT a FROM b",
 		"SELECT a FROM b;":          "SELECT a FROM b",
 		"select a from b":           "select a from b",
+		// Literal content is preserved byte-for-byte: embedded runs of
+		// whitespace, leading/trailing spaces, tabs and newlines inside
+		// quotes, and the other quote character as ordinary content (the
+		// lexer has no escape mechanism — see normalizeSQL).
+		"SELECT a FROM b WHERE x = 'a  b'":        "SELECT a FROM b WHERE x = 'a  b'",
+		"SELECT  a FROM b  WHERE x = ' a\t b ' ;": "SELECT a FROM b WHERE x = ' a\t b '",
+		`SELECT a FROM b WHERE x = "it's  ok"`:    `SELECT a FROM b WHERE x = "it's  ok"`,
+		"SELECT a FROM b WHERE x = 'multi\nline'": "SELECT a FROM b WHERE x = 'multi\nline'",
+		// Outside-literal collapsing still applies around literals.
+		"SELECT a FROM b WHERE x =   'a b'  AND y =  2": "SELECT a FROM b WHERE x = 'a b' AND y = 2",
+		// An unterminated literal runs to the end of the statement; the
+		// trailing "; " trim must not amputate its content.
+		"SELECT a FROM b WHERE x = 'dangling  ;": "SELECT a FROM b WHERE x = 'dangling  ;",
 	}
 	for in, want := range cases {
 		if got := normalizeSQL(in); got != want {
@@ -507,5 +520,76 @@ func TestNormalizeSQL(t *testing.T) {
 	}
 	if normalizeSQL("SELECT 'a' FROM b") == normalizeSQL("SELECT 'A' FROM b") {
 		t.Error("case variants must not collide (string constants are case-sensitive)")
+	}
+	if normalizeSQL("SELECT a FROM b WHERE x = 'a  b'") == normalizeSQL("SELECT a FROM b WHERE x = 'a b'") {
+		t.Error("literals differing only in embedded whitespace must not share a cache key")
+	}
+}
+
+// TestPlanCacheStaleAccounting pins the stale-entry bookkeeping of
+// planCache.get: an epoch-stale eviction is exactly one miss AND one
+// stale — Stale is a subset of Misses, never a third disjoint outcome —
+// and plain misses leave the stale counter alone.
+func TestPlanCacheStaleAccounting(t *testing.T) {
+	c := newPlanCache(4)
+	c.put("q", &Prepared{SQL: "q", Epoch: 1})
+
+	// Epoch bump between put and get: evicted on sight, one miss + one
+	// stale.
+	if _, ok := c.get("q", 2); ok {
+		t.Fatal("epoch-stale plan served")
+	}
+	hits, misses, stale := c.counters()
+	if hits != 0 || misses != 1 || stale != 1 {
+		t.Errorf("after stale get: hits/misses/stale = %d/%d/%d, want 0/1/1", hits, misses, stale)
+	}
+	if c.len() != 0 {
+		t.Errorf("stale entry not evicted: len = %d", c.len())
+	}
+
+	// A plain miss on an unknown key counts a miss only.
+	if _, ok := c.get("q", 2); ok {
+		t.Fatal("evicted plan served")
+	}
+	hits, misses, stale = c.counters()
+	if hits != 0 || misses != 2 || stale != 1 {
+		t.Errorf("after plain miss: hits/misses/stale = %d/%d/%d, want 0/2/1", hits, misses, stale)
+	}
+
+	// The refreshed entry hits under the new epoch.
+	c.put("q", &Prepared{SQL: "q", Epoch: 2})
+	if _, ok := c.get("q", 2); !ok {
+		t.Fatal("refreshed plan missing")
+	}
+	hits, misses, stale = c.counters()
+	if hits != 1 || misses != 2 || stale != 1 {
+		t.Errorf("after refresh: hits/misses/stale = %d/%d/%d, want 1/2/1", hits, misses, stale)
+	}
+
+	// Stats() exposes the same counters with the same subset
+	// relationship. (Register clears the cache outright, so a live
+	// mediator sees the stale path only when an entry survives an epoch
+	// bump — e.g. a get racing a registration; the unit part above pins
+	// that path directly.)
+	m := buildMediator(t, DefaultConfig())
+	if _, err := m.Query(`SELECT name FROM Employee WHERE id < 5`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Query(`SELECT name FROM Employee WHERE id < 5`); err != nil {
+		t.Fatal(err)
+	}
+	w, _ := m.Wrapper("rel1")
+	if err := m.Register(w); err != nil { // epoch bump + cache clear
+		t.Fatal(err)
+	}
+	if _, err := m.Query(`SELECT name FROM Employee WHERE id < 5`); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Stats()
+	if s.PlanCacheStale > s.PlanCacheMisses {
+		t.Errorf("Stale (%d) exceeds Misses (%d): stale must be a miss subset", s.PlanCacheStale, s.PlanCacheMisses)
+	}
+	if s.PlanCacheHits != 1 || s.PlanCacheMisses != 2 {
+		t.Errorf("stats = hits %d misses %d, want 1/2", s.PlanCacheHits, s.PlanCacheMisses)
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"disco/internal/history"
 	"disco/internal/netsim"
 	"disco/internal/optimizer"
+	"disco/internal/resultcache"
 	"disco/internal/sqlparser"
 	"disco/internal/types"
 	"disco/internal/wrapper"
@@ -77,6 +78,16 @@ type Config struct {
 	// invalidated by catalog epoch (any re-registration), by wrapper
 	// outages, and by feedback corrections.
 	PlanCacheSize int
+	// ResultCache configures the semantic result cache
+	// (internal/resultcache): materialized row sets keyed by the 128-bit
+	// structural plan hash, served for whole plans and at submit
+	// boundaries, and priced by the optimizer as a ScopeCache access
+	// path. Off by default (the zero value); a disabled cache leaves
+	// chosen plans and results bit-identical to a build without the
+	// subsystem. Entries are invalidated by catalog epoch bumps, wrapper
+	// outage marks and feedback adjustments — the same hooks that clear
+	// the plan cache — and Result.Partial answers are never admitted.
+	ResultCache resultcache.Config
 	// MaxInFlight caps concurrently admitted queries (Query, ExecutePlan,
 	// Explain, ExplainAnalyze). Zero means unlimited. Excess callers
 	// queue for AdmissionTimeout and are then shed with ErrOverloaded.
@@ -151,7 +162,11 @@ type Mediator struct {
 	// paper's behaviour for sources that are only partially registered.
 	unavailable map[string]bool
 
-	cache      *planCache
+	cache *planCache
+	// rcache is the semantic result cache (nil unless
+	// Config.ResultCache.Enabled). Internally synchronized like the plan
+	// cache: it is read and written from the read-locked query path.
+	rcache     *resultcache.Cache
 	adm        *admission
 	deb        *feedback.Debouncer
 	reprepares atomic.Int64
@@ -190,6 +205,7 @@ func New(cfg Config) (*Mediator, error) {
 		wrappers:    make(map[string]wrapper.Wrapper),
 		unavailable: make(map[string]bool),
 		cache:       newPlanCache(cfg.PlanCacheSize),
+		rcache:      resultcache.New(cfg.ResultCache, cfg.Clock.Now),
 		adm:         newAdmission(cfg.MaxInFlight, cfg.AdmissionTimeout),
 	}
 	m.Estimator = core.NewEstimator(reg, m.Catalog, cfg.Net)
@@ -239,8 +255,32 @@ func (m *Mediator) rebuildEngine() error {
 		}
 	}
 	eng.OnUnavailable = m.markUnavailable
+	if m.rcache != nil {
+		eng.Results = submitCacheAdapter{m}
+	}
 	m.Engine = eng
 	return nil
+}
+
+// submitCacheAdapter exposes the mediator's semantic result cache to the
+// engine's submit boundaries. Lookups validate against the live catalog
+// epoch; inserts stamp it. Engine executions run under the mediator's
+// read lock, so the epoch reads here are properly synchronized against
+// registrations.
+type submitCacheAdapter struct{ m *Mediator }
+
+func (a submitCacheAdapter) Begin() uint64 { return a.m.rcache.Gen() }
+
+func (a submitCacheAdapter) Get(h algebra.Hash128) ([]types.Row, bool) {
+	e, ok := a.m.rcache.Get(h, a.m.Catalog.Epoch())
+	if !ok {
+		return nil, false
+	}
+	return e.Rows, true
+}
+
+func (a submitCacheAdapter) Put(h algebra.Hash128, rows []types.Row, schema *types.Schema, bytes int64, gen uint64) {
+	a.m.rcache.Put(h, rows, schema, a.m.Catalog.Epoch(), bytes, gen)
 }
 
 // markUnavailable degrades the mediator after a source outage: the
@@ -260,6 +300,10 @@ func (m *Mediator) markUnavailable(name string) {
 	m.downMu.Unlock()
 	m.Registry.DropWrapper(name)
 	m.cache.clear()
+	// Results computed against the now-dead source are suspect, and the
+	// generation bump refuses inserts from executions that raced this
+	// outage — a Partial answer in flight can never seed the cache.
+	m.rcache.Invalidate()
 }
 
 // Available reports whether a registered wrapper is currently usable.
@@ -339,6 +383,9 @@ func (m *Mediator) Register(w wrapper.Wrapper) error {
 		m.Adjuster.Reapply(m.Catalog)
 	}
 	m.cache.clear()
+	// The epoch bump already invalidates lookups; an explicit clear
+	// releases the memory eagerly and voids raced inserts too.
+	m.rcache.Invalidate()
 	return m.rebuildEngine()
 }
 
@@ -415,6 +462,14 @@ func (m *Mediator) prepareLocked(sql string, trace, capture bool) (*Prepared, *c
 	if capture {
 		opts.CapturePlanCosts = true
 	}
+	// Price cache-hit access paths against a frozen snapshot of the
+	// result cache: the live cache may churn mid-search, and the parallel
+	// workers must all see one consistent view for the chosen plan to
+	// stay deterministic. A nil view (cache disabled or empty) leaves the
+	// search bit-identical to the cache-less build.
+	if view := m.rcache.SnapshotView(m.Catalog.Epoch()); view != nil {
+		opts.CacheView = view
+	}
 	res, err := optimizer.New(m.Catalog, est, opts).Optimize(block)
 	if err != nil {
 		return nil, nil, err
@@ -482,8 +537,31 @@ func (m *Mediator) executeAdmitted(p *Prepared) (*engine.Result, error) {
 		m.reprepares.Add(1)
 		p = fresh
 	}
+	if m.rcache != nil {
+		if e, ok := m.rcache.Get(p.Hash, p.Epoch); ok {
+			// Whole-plan hit: serve the materialized answer, charging the
+			// ScopeCache formula to the virtual clock. No profile is
+			// attached — there is nothing here the feedback loop should
+			// learn source behaviour from.
+			ms := resultcache.HitCostMS(int64(len(e.Rows)))
+			m.Clock.Advance(ms)
+			res := &engine.Result{Rows: e.Rows, Schema: e.Schema, ElapsedMS: ms}
+			m.mu.RUnlock()
+			m.served.Add(1)
+			return res, nil
+		}
+	}
+	gen := m.rcache.Gen()
 	eng := m.Engine
 	res, err := eng.Execute(p.Plan)
+	if err == nil && res != nil && !res.Partial && m.rcache != nil {
+		// Admit the complete answer under the read lock (no registration
+		// can interleave, so the epoch stamp is the one the plan ran
+		// under). Partial answers are refused here, and gen — snapshotted
+		// before execution — voids the insert if an outage mark or
+		// feedback adjustment invalidated the cache mid-run.
+		m.rcache.Put(p.Hash, res.Rows, res.Schema, p.Epoch, 0, gen)
+	}
 	m.mu.RUnlock()
 	if err != nil {
 		m.qerrors.Add(1)
@@ -511,6 +589,13 @@ func (m *Mediator) absorbLocked(p *Prepared, res *engine.Result) *feedback.Repor
 	if m.Feedback == nil || p == nil || p.Cost == nil || res == nil || res.Profile == nil {
 		return nil
 	}
+	if res.Profile.CacheServed > 0 {
+		// Cache-served submits measured an in-memory lookup, not the
+		// source; absorbing them would teach the adjuster that wrappers
+		// are nearly free. (Whole-plan cache hits carry no profile at all
+		// and never reach this point.)
+		return nil
+	}
 	rep := m.Feedback.Observe(p.Plan, p.Cost, res.Profile)
 	m.LastReport = rep
 	if m.Adjuster != nil {
@@ -518,6 +603,19 @@ func (m *Mediator) absorbLocked(p *Prepared, res *engine.Result) *feedback.Repor
 			// The corrections changed the model cached plans were costed
 			// against; drop them so the next prepare re-plans.
 			m.cache.clear()
+			// Materialized results are dropped only for catalog-touching
+			// corrections: a statistics fix means observations contradicted
+			// the model, so re-executing is the conservative move. Pure
+			// time-coefficient refits are exempt — they change nothing
+			// about what a plan returns and fire on almost every absorbed
+			// execution, so honoring them would starve the result cache
+			// under feedback.
+			for _, ad := range adj {
+				if !ad.CostOnly() {
+					m.rcache.Invalidate()
+					break
+				}
+			}
 		}
 	}
 	if m.deb != nil {
@@ -551,6 +649,24 @@ type Stats struct {
 	PlanCacheStale  int64
 	// PlanCacheEntries is the current cache population.
 	PlanCacheEntries int
+	// Result-cache counters (all zero when Config.ResultCache is
+	// disabled). Hits and misses count lookups at whole-plan and submit
+	// granularity; Stale and Expired are the miss subsets evicted by an
+	// epoch bump or the TTL. Evictions counts budget displacements,
+	// Invalidations whole-cache clears (registration, outage, feedback
+	// adjustment), Rejected refused inserts (raced invalidations,
+	// over-budget results).
+	ResultCacheHits          int64
+	ResultCacheMisses        int64
+	ResultCacheStale         int64
+	ResultCacheExpired       int64
+	ResultCacheEvictions     int64
+	ResultCacheInvalidations int64
+	ResultCacheRejected      int64
+	// ResultCacheEntries/Bytes are the current population and its
+	// estimated memory footprint.
+	ResultCacheEntries int
+	ResultCacheBytes   int64
 	// Reprepares counts stale plans transparently re-planned by
 	// ExecutePlan.
 	Reprepares int64
@@ -580,18 +696,30 @@ func (m *Mediator) Stats() Stats {
 	epoch := m.Catalog.Epoch()
 	m.mu.RUnlock()
 	h, mi, st := m.cache.counters()
+	rc := m.rcache.Counters()
 	s := Stats{
 		PlanCacheHits:    h,
 		PlanCacheMisses:  mi,
 		PlanCacheStale:   st,
 		PlanCacheEntries: m.cache.len(),
-		Reprepares:       m.reprepares.Load(),
-		Shed:             m.adm.shedCount(),
-		InFlight:         m.adm.inFlight(),
-		QueriesServed:    m.served.Load(),
-		QueryErrors:      m.qerrors.Load(),
-		PartialAnswers:   m.partials.Load(),
-		Epoch:            epoch,
+
+		ResultCacheHits:          rc.Hits,
+		ResultCacheMisses:        rc.Misses,
+		ResultCacheStale:         rc.Stale,
+		ResultCacheExpired:       rc.Expired,
+		ResultCacheEvictions:     rc.Evictions,
+		ResultCacheInvalidations: rc.Invalidations,
+		ResultCacheRejected:      rc.Rejected,
+		ResultCacheEntries:       rc.Entries,
+		ResultCacheBytes:         rc.Bytes,
+
+		Reprepares:     m.reprepares.Load(),
+		Shed:           m.adm.shedCount(),
+		InFlight:       m.adm.inFlight(),
+		QueriesServed:  m.served.Load(),
+		QueryErrors:    m.qerrors.Load(),
+		PartialAnswers: m.partials.Load(),
+		Epoch:          epoch,
 	}
 	if m.deb != nil {
 		s.FeedbackSaves = m.deb.Saves()

@@ -135,11 +135,29 @@ func (c *planCache) counters() (hits, misses, stale int64) {
 // statement, so formatting variants of one query share a cache entry.
 // Case is preserved: keywords are case-insensitive but string constants
 // are not, and a cosmetic miss is cheaper than a wrong hit.
+//
+// Quoted string literals pass through verbatim: collapsing whitespace
+// inside them would key `WHERE name = 'a  b'` and `WHERE name = 'a b'`
+// to the same cache entry and serve one query's plan — with the wrong
+// constant baked in — for the other. The literal rules mirror the
+// lexer's (internal/sqlparser): ' or " opens a literal, the matching
+// quote closes it, and there is no escape mechanism (the other quote
+// character is ordinary content). An unterminated literal runs to the
+// end of the statement, exactly as the lexer consumes it, so the
+// trailing trim is skipped rather than amputating literal content.
 func normalizeSQL(sql string) string {
 	var b strings.Builder
 	b.Grow(len(sql))
 	space := false
+	var quote rune // 0 = outside any literal
 	for _, r := range sql {
+		if quote != 0 {
+			b.WriteRune(r)
+			if r == quote {
+				quote = 0
+			}
+			continue
+		}
 		if unicode.IsSpace(r) {
 			space = true
 			continue
@@ -148,7 +166,13 @@ func normalizeSQL(sql string) string {
 			b.WriteByte(' ')
 		}
 		space = false
+		if r == '\'' || r == '"' {
+			quote = r
+		}
 		b.WriteRune(r)
+	}
+	if quote != 0 {
+		return b.String()
 	}
 	return strings.TrimRight(b.String(), " ;")
 }

@@ -16,6 +16,7 @@ import (
 	"disco/internal/algebra"
 	"disco/internal/catalog"
 	"disco/internal/core"
+	"disco/internal/resultcache"
 )
 
 // Rel is one base relation of a query block with its single-relation
@@ -84,6 +85,15 @@ type Options struct {
 	// these predictions against observed actuals, so it needs estimated
 	// cardinalities and times at every node, not just the root.
 	CapturePlanCosts bool
+	// CacheView, when set, prices cache-hit access paths: a submit-rooted
+	// candidate whose structural hash the view answers costs the
+	// ScopeCache formula (resultcache.HitCostMS over the known
+	// cardinality) instead of a model estimation — the semantic result
+	// cache as a candidate access path in the blending hierarchy. The
+	// view must be immutable for the duration of one Optimize call (the
+	// mediator passes a frozen resultcache snapshot), or the parallel
+	// search's bit-identical-plan guarantee would break.
+	CacheView CacheView
 	// ExactMemo keys the memo table by the full canonical signature
 	// string (algebra.Signature) instead of its 128-bit structural hash.
 	// The hash is collision-free for any realistic search space; this
@@ -91,6 +101,13 @@ type Options struct {
 	// the differential tests use it to prove the hashed table chooses
 	// identical plans.
 	ExactMemo bool
+}
+
+// CacheView answers whether a materialized result for the plan with the
+// given structural hash is available, and at what cardinality.
+// resultcache.Snapshot implements it.
+type CacheView interface {
+	Lookup(h algebra.Hash128) (rows int64, ok bool)
 }
 
 // Objective is the plan-ranking metric.
@@ -138,6 +155,9 @@ type Result struct {
 	// MemoHits counts candidate estimations answered from the memo table
 	// (always 0 with Options.Memo disabled).
 	MemoHits int
+	// CachePricedPaths counts candidates priced as cache-hit access
+	// paths through Options.CacheView (always 0 without a view).
+	CachePricedPaths int
 }
 
 // Optimizer searches plans for query blocks.
@@ -588,6 +608,18 @@ var planHash = (*algebra.Node).StructuralHash
 // already-resolved subtrees is a no-op.
 func (s *search) costTagged(est *core.Estimator, t *tagged, budget float64) (float64, error) {
 	plan := t.materialize()
+	if cv := s.o.Opt.CacheView; cv != nil && plan.Kind == algebra.OpSubmit {
+		// ScopeCache access path: the subtree's answer is already
+		// materialized at the mediator, so the candidate costs a cache
+		// lookup at a known cardinality — cheaper than any submit, and
+		// exact. Returned before the memo (and never memoized): the memo
+		// outlives no Optimize call, but keeping cache pricing out of it
+		// means a hash-colliding submit could never inherit a cache cost.
+		if rows, ok := cv.Lookup(planHash(plan)); ok {
+			s.cacheHits.Add(1)
+			return resultcache.HitCostMS(rows), nil
+		}
+	}
 	var key memoKey
 	if s.memo != nil {
 		if s.o.Opt.ExactMemo {

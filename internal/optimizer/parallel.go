@@ -20,6 +20,7 @@ type search struct {
 	plansCosted atomic.Int64
 	pruned      atomic.Int64
 	memoHits    atomic.Int64
+	cacheHits   atomic.Int64
 }
 
 func newSearch(o *Optimizer) *search {
@@ -36,6 +37,7 @@ func (s *search) result() *Result {
 		PlansCosted:       int(s.plansCosted.Load()),
 		PrunedEstimations: int(s.pruned.Load()),
 		MemoHits:          int(s.memoHits.Load()),
+		CachePricedPaths:  int(s.cacheHits.Load()),
 	}
 }
 

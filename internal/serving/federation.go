@@ -19,6 +19,7 @@ import (
 	"disco/internal/objstore"
 	"disco/internal/oo7"
 	"disco/internal/relstore"
+	"disco/internal/resultcache"
 	"disco/internal/types"
 	"disco/internal/wrapper"
 )
@@ -40,6 +41,9 @@ type Options struct {
 	// PlanCacheSize overrides the prepared-plan cache bound (0 default,
 	// negative disables).
 	PlanCacheSize int
+	// ResultCache configures the semantic result cache (off by default;
+	// see mediator.Config.ResultCache).
+	ResultCache resultcache.Config
 }
 
 // Federation is one assembled demo deployment: the mediator plus the
@@ -68,6 +72,7 @@ func NewDemoFederation(opts Options) (*Federation, error) {
 	cfg.MaxInFlight = opts.MaxInFlight
 	cfg.AdmissionTimeout = opts.QueueTimeout
 	cfg.PlanCacheSize = opts.PlanCacheSize
+	cfg.ResultCache = opts.ResultCache
 	m, err := mediator.New(cfg)
 	if err != nil {
 		return nil, err
