@@ -8,7 +8,7 @@ GO ?= go
 RACE_PKGS = ./internal/optimizer ./internal/mediator ./internal/wrapper ./internal/netsim
 
 .PHONY: all build test race bench experiments fmt vet clean \
-	ci ci-build ci-test ci-vet ci-fmt ci-lint ci-race ci-alloc ci-faultmatrix ci-feedback ci-fuzz ci-concurrency ci-bench ci-soak ci-resultcache
+	ci ci-build ci-test ci-vet ci-fmt ci-lint ci-race ci-alloc ci-faultmatrix ci-feedback ci-fuzz ci-concurrency ci-bench ci-exec ci-soak ci-resultcache
 
 all: build test
 
@@ -47,13 +47,13 @@ vet:
 
 clean:
 	$(GO) clean ./...
-	rm -f bench.out soak.out rcoff.out rcon.out BENCH_pr.json BENCH_pr.json.tmp
+	rm -f bench.out exec.out soak.out soakexec.out rcoff.out rcon.out BENCH_pr.json BENCH_pr.json.tmp
 	rm -rf .tools
 
 # `make ci` runs exactly what .github/workflows/ci.yml runs; the workflow
 # invokes these ci-* targets so the two cannot drift. Run it before
 # pushing.
-ci: ci-build ci-test ci-vet ci-fmt ci-lint ci-race ci-alloc ci-faultmatrix ci-feedback ci-fuzz ci-concurrency ci-bench ci-soak ci-resultcache
+ci: ci-build ci-test ci-vet ci-fmt ci-lint ci-race ci-alloc ci-faultmatrix ci-feedback ci-fuzz ci-concurrency ci-bench ci-exec ci-soak ci-resultcache
 
 ci-build:
 	$(GO) build ./...
@@ -133,18 +133,49 @@ ci-bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . | tee bench.out
 	$(GO) run ./cmd/benchjson < bench.out > BENCH_pr.json
 
+# The vectorized-execution gate (DESIGN.md §12, EXPERIMENTS.md E13):
+# the vexec/engine suites (bit-identity, spill properties, morsel
+# parallelism) under the race detector, the single-thread throughput
+# gate (the batch pipeline must move rows >= 3x faster than the
+# materializing baseline), the steady-state allocation gate (~0
+# allocations per batch once the pool is warm), the morsel-parallel
+# spilling chaos soak with its digest oracle, and finally one iteration
+# of every exec benchmark — BenchmarkExecPipeline's rows/sec lands in
+# BENCH_pr.json as rows_per_sec, next to the workers=2/4/8 scaling
+# series and the spill-budget crossover.
+ci-exec:
+	$(GO) test -race -count=1 ./internal/vexec ./internal/engine
+	$(GO) test -count=1 -run 'TestExecPipelineSpeedup|TestExecSteadyStateAllocs' -v ./internal/vexec
+	$(GO) test -race -count=1 -timeout 600s -run 'TestSoakExecParallel' ./cmd/discoload
+	$(GO) test -run '^$$' -bench 'BenchmarkExec|BenchmarkSort' -benchmem -benchtime 1x \
+		./internal/vexec ./internal/rowops | tee exec.out
+	$(GO) run ./cmd/benchjson -merge BENCH_pr.json < exec.out > BENCH_pr.json.tmp
+	mv BENCH_pr.json.tmp BENCH_pr.json
+	rm -f exec.out
+
 # The workload-scale soak gate (EXPERIMENTS.md E11): the fixed-seed
 # 256-client mixed workload under the race detector — zero wedged
 # connections, zero oracle mismatches, p99 under a generous liveness
-# bound — then a short discoload run whose serving-latency percentiles
-# are merged into BENCH_pr.json next to the optimizer benchmarks.
+# bound — then paired discoload runs with the morsel-parallel engine off
+# and on, both merged into BENCH_pr.json next to the optimizer
+# benchmarks. The qps comparison gates at a 10% tolerance: turning the
+# vectorized engine's workers on must not make serving slower.
 ci-soak:
 	$(GO) test -race -count=1 -timeout 600s -run 'TestSoak$$' ./cmd/discoload
 	$(GO) run ./cmd/discoload -demo -parts 2000 -clients 64 -requests 40 -seed 7 \
 		-bench DiscoloadDemoSoak > soak.out
+	$(GO) run ./cmd/discoload -demo -parts 2000 -clients 64 -requests 40 -seed 7 \
+		-exec-workers 4 -bench DiscoloadDemoSoakExecOn > soakexec.out
 	$(GO) run ./cmd/benchjson -merge BENCH_pr.json < soak.out > BENCH_pr.json.tmp
 	mv BENCH_pr.json.tmp BENCH_pr.json
-	rm -f soak.out
+	$(GO) run ./cmd/benchjson -merge BENCH_pr.json < soakexec.out > BENCH_pr.json.tmp
+	mv BENCH_pr.json.tmp BENCH_pr.json
+	@off=$$(awk '{for(i=1;i<NF;i++) if ($$(i+1)=="qps") print $$i}' soak.out); \
+	on=$$(awk '{for(i=1;i<NF;i++) if ($$(i+1)=="qps") print $$i}' soakexec.out); \
+	echo "ci-soak: qps exec-off=$$off exec-on=$$on"; \
+	awk -v on="$$on" -v off="$$off" 'BEGIN { \
+		if (on + 0 < off * 0.9) { print "ci-soak: exec-workers-on qps regressed vs off"; exit 1 } }'
+	rm -f soak.out soakexec.out
 
 # The semantic-result-cache gate (DESIGN.md §11, EXPERIMENTS.md E12):
 # the cache-correctness suite under the race detector (unit invariants,

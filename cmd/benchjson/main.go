@@ -62,8 +62,12 @@ type benchResult struct {
 	ShedRate *float64 `json:"shed_rate,omitempty"`
 	// ResultCacheHitRate is the soak's semantic-result-cache hit
 	// fraction, promoted so cache-on vs cache-off runs diff directly.
-	ResultCacheHitRate *float64           `json:"result_cache_hit_rate,omitempty"`
-	Metrics            map[string]float64 `json:"metrics"`
+	ResultCacheHitRate *float64 `json:"result_cache_hit_rate,omitempty"`
+	// RowsPerSec is the vectorized engine's pipeline throughput
+	// (BenchmarkExecPipeline's b.ReportMetric), promoted so the morsel
+	// scaling series diffs across commits without map spelunking.
+	RowsPerSec *float64           `json:"rows_per_sec,omitempty"`
+	Metrics    map[string]float64 `json:"metrics"`
 }
 
 // promote copies a parsed "value unit" pair into its named field, if it
@@ -90,6 +94,8 @@ func (r *benchResult) promote(unit string, v float64) {
 		r.ShedRate = &v
 	case "result-cache-hit-rate":
 		r.ResultCacheHitRate = &v
+	case "rows/sec":
+		r.RowsPerSec = &v
 	}
 }
 

@@ -20,6 +20,26 @@ PASS
 const soakOut = `BenchmarkDiscoloadDemoSoak	     320	4523003 ns/op	4.479 p50-ms	9.215 p99-ms	10.227 p999-ms	3351.8 qps	0.0250 shed-rate	0.0000 partial-rate	0.4120 result-cache-hit-rate
 `
 
+const execOut = `BenchmarkExecPipeline/workers=4-8	      50	 21034567 ns/op	 5311072 rows/sec	       3 allocs/op
+`
+
+func TestParseReportPromotesRowsPerSec(t *testing.T) {
+	rep, err := parseReport(strings.NewReader(execOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 {
+		t.Fatalf("parsed %d benchmarks", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.RowsPerSec == nil || *b.RowsPerSec != 5311072 {
+		t.Errorf("rows_per_sec not promoted: %+v", b.RowsPerSec)
+	}
+	if b.AllocsPerOp == nil || *b.AllocsPerOp != 3 {
+		t.Errorf("allocs_per_op = %+v", b.AllocsPerOp)
+	}
+}
+
 func TestParseReportPromotesStandardMetrics(t *testing.T) {
 	rep, err := parseReport(strings.NewReader(benchOut))
 	if err != nil {

@@ -12,6 +12,7 @@
 //	       [-max-inflight 32] [-queue-timeout 1s] [-idle-timeout 5m]
 //	       [-drain-timeout 5s] [-result-cache] [-result-cache-entries 1024]
 //	       [-result-cache-bytes 67108864] [-result-cache-ttl-ms 0]
+//	       [-exec-workers 4] [-exec-mem-bytes 0] [-exec-spill-dir dir]
 //
 // With -feedback (the default) every executed query is profiled and fed
 // back into the cost model; -feedback-snapshot names a JSON file that
@@ -30,6 +31,12 @@
 // corrections. -result-cache-entries / -result-cache-bytes bound it and
 // -result-cache-ttl-ms ages entries on the virtual clock (0 = no TTL).
 // Hit/miss/eviction counters appear in the `stats` admin op.
+//
+// -exec-workers turns on morsel-parallel execution inside the mediator's
+// pipeline breakers (hash join, aggregation, sort, duplicate
+// elimination); answers stay bit-identical to sequential runs.
+// -exec-mem-bytes bounds the memory those breakers may hold before
+// Grace-style spilling to -exec-spill-dir (0 = never spill).
 //
 // The serving machinery (federation assembly, protocol loop, graceful
 // shutdown, stats/reregister/setlink admin ops) lives in
@@ -64,6 +71,9 @@ func main() {
 	rcEntries := flag.Int("result-cache-entries", resultcache.DefaultEntries, "result cache entry bound")
 	rcBytes := flag.Int64("result-cache-bytes", resultcache.DefaultMaxBytes, "result cache byte budget")
 	rcTTL := flag.Float64("result-cache-ttl-ms", 0, "result cache entry TTL in virtual ms (0 = none)")
+	execWorkers := flag.Int("exec-workers", 0, "morsel-parallel workers for mediator pipeline breakers (<2 = sequential)")
+	execMem := flag.Int64("exec-mem-bytes", 0, "spill budget for mediator hash joins/aggregations (0 = never spill)")
+	execSpillDir := flag.String("exec-spill-dir", "", "directory for spill partitions (default: OS temp dir)")
 	flag.Parse()
 
 	fed, err := serving.NewDemoFederation(serving.Options{
@@ -78,6 +88,9 @@ func main() {
 			MaxBytes: *rcBytes,
 			TTLMS:    *rcTTL,
 		},
+		ExecWorkers:  *execWorkers,
+		ExecMemBytes: *execMem,
+		ExecSpillDir: *execSpillDir,
 	})
 	if err != nil {
 		log.Fatal(err)

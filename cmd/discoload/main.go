@@ -15,7 +15,9 @@
 // single-binary soak mode CI uses. Demo mode accepts -result-cache (plus
 // -result-cache-bytes / -result-cache-ttl-ms) to serve the zipf-hot pool
 // from the semantic result cache; the scraped hit rate lands in the
-// report as result_cache_hit_rate and on the -bench line.
+// report as result_cache_hit_rate and on the -bench line. -exec-workers
+// and -exec-mem-bytes switch the mediator's vectorized engine into
+// morsel-parallel and spill-bounded modes respectively.
 //
 // The workload is deterministic in -seed: a zipf-skewed hot pool of
 // prepared statements (plan-cache hits), a stream of ad-hoc statements
@@ -58,6 +60,8 @@ func main() {
 		rcOn     = flag.Bool("result-cache", false, "demo mode: enable the semantic result cache")
 		rcBytes  = flag.Int64("result-cache-bytes", resultcache.DefaultMaxBytes, "demo mode: result cache byte budget")
 		rcTTL    = flag.Float64("result-cache-ttl-ms", 0, "demo mode: result cache TTL in virtual ms (0 = none)")
+		execW    = flag.Int("exec-workers", 0, "demo mode: morsel-parallel breaker workers (<2 = sequential)")
+		execMem  = flag.Int64("exec-mem-bytes", 0, "demo mode: breaker spill budget in bytes (0 = never spill)")
 
 		clients  = flag.Int("clients", 64, "concurrent client connections")
 		requests = flag.Int("requests", 100, "requests per client")
@@ -92,6 +96,8 @@ func main() {
 				MaxBytes: *rcBytes,
 				TTLMS:    *rcTTL,
 			},
+			ExecWorkers:  *execW,
+			ExecMemBytes: *execMem,
 		})
 		if err != nil {
 			log.Fatal("discoload: ", err)

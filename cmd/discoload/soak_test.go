@@ -146,6 +146,114 @@ func TestSoak(t *testing.T) {
 		len(rep.Samples), len(digests), mismatches)
 }
 
+// TestSoakExecParallel is the vectorized-engine soak gate (`make
+// ci-exec`): the fixed-seed chaos workload against a server running the
+// mediator's breakers morsel-parallel (4 workers) under a deliberately
+// tiny spill budget, so hash joins and aggregations Grace-partition to
+// disk mid-serving, under the race detector. On top of the TestSoak
+// liveness invariants it asserts the execution mode is invisible to
+// clients: every sampled result digest matches a sequential,
+// spill-free, feedback-off oracle re-execution. Digests are
+// order-insensitive, which is exactly the guarantee spilled execution
+// keeps (multiset-identical, bit-exact values).
+func TestSoakExecParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak gate is not a -short test")
+	}
+	fed, err := serving.NewDemoFederation(serving.Options{
+		Parts:        soakParts,
+		Feedback:     true,
+		MaxInFlight:  64,
+		QueueTimeout: 2 * time.Second,
+		ExecWorkers:  4,
+		ExecMemBytes: 64 << 10, // tiny: force spills at soak scale
+		ExecSpillDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serving.NewServer(fed, time.Minute)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Shutdown(10 * time.Second)
+
+	const clients, perClient = 128, 20
+	sched, err := loadgen.Generate(loadgen.Config{
+		Seed:        42,
+		Clients:     clients,
+		Requests:    perClient,
+		Templates:   loadgen.DemoTemplates(soakParts),
+		Mix:         loadgen.DefaultMix(),
+		SampleEvery: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := loadgen.Drive(sched, loadgen.DriveOptions{
+		Addrs:          []string{ln.Addr().String()},
+		RequestTimeout: 60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("exec soak: ok=%d shed=%d errors=%d partials=%d p50=%.1fms p99=%.1fms qps=%.0f",
+		rep.OK, rep.Shed, rep.Errors, rep.Partials, rep.P50MS, rep.P99MS, rep.QPS)
+
+	if rep.Wedged != 0 {
+		t.Fatalf("%d wedged clients: %v", rep.Wedged, rep.WedgedClients)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("%d error responses", rep.Errors)
+	}
+	if rep.Partials != 0 {
+		t.Errorf("%d partial answers without an injected outage", rep.Partials)
+	}
+	if stats := srv.Stats(); stats.Mediator.QueryErrors != 0 {
+		t.Errorf("server counted %d execution errors", stats.Mediator.QueryErrors)
+	}
+	if rep.P99MS > 20000 {
+		t.Errorf("p99 = %.1f ms exceeds the 20s soak bound", rep.P99MS)
+	}
+	if len(rep.Samples) == 0 {
+		t.Fatal("no oracle samples recorded")
+	}
+
+	// Oracle pass: a fresh federation with the vectorized engine in its
+	// default sequential spill-free mode and feedback off. Parallel and
+	// spilled answers must be indistinguishable digest-for-digest.
+	oracle, err := serving.NewDemoFederation(serving.Options{Parts: soakParts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	digests := make(map[string]uint64)
+	mismatches := 0
+	for _, s := range rep.Samples {
+		want, ok := digests[s.SQL]
+		if !ok {
+			res, err := oracle.Med.Query(s.SQL)
+			if err != nil {
+				t.Fatalf("oracle: %s: %v", s.SQL, err)
+			}
+			rows := make([][]any, len(res.Rows))
+			for i, row := range res.Rows {
+				rows[i] = proto.EncodeRow(row)
+			}
+			want = loadgen.HashRows(rows)
+			digests[s.SQL] = want
+		}
+		if s.Hash != want {
+			mismatches++
+			t.Errorf("result mismatch: client %d request %d %q: digest %x, oracle %x (%d rows)",
+				s.Client, s.Request, s.SQL, s.Hash, want, s.Rows)
+		}
+	}
+	t.Logf("oracle: %d samples over %d distinct statements, %d mismatches",
+		len(rep.Samples), len(digests), mismatches)
+}
+
 // TestSoakResultCache is the result-cache soak gate (`make
 // ci-resultcache`): the same fixed-seed chaos workload — zipf-hot
 // statements, re-registrations, link perturbations — against a server

@@ -1,9 +1,19 @@
 // Package engine implements the mediator's physical execution engine
-// (paper Figure 2 steps 4-6): it walks an optimized plan, delegates
-// submit subtrees to their wrappers, ships results over the simulated
-// network, and combines subanswers with mediator-side operators, charging
-// all work to the shared virtual clock. Measured (virtual) response times
-// from this engine are the "Experiment" series of the reproduction.
+// (paper Figure 2 steps 4-6): it runs an optimized plan through the
+// vectorized batch pipeline (internal/vexec), delegates submit subtrees
+// to their wrappers, ships results over the simulated network, and
+// combines subanswers with mediator-side operators, charging all work to
+// the shared virtual clock. Measured (virtual) response times from this
+// engine are the "Experiment" series of the reproduction.
+//
+// Virtual time is decoupled from the pipeline's wall-clock execution:
+// submits charge the clock live (wrapper work, shipping, cache hits),
+// while mediator-side operator time is charged analytically after the
+// pipeline drains, from the per-operator row counts vexec reports. The
+// analytic charges use exactly the formulas the row-at-a-time engine
+// charged inline, so simulated response times — and the per-operator
+// profile built from them — are preserved across the refactor, while
+// wall-clock execution gets batching, morsel parallelism and spilling.
 package engine
 
 import (
@@ -16,10 +26,24 @@ import (
 	"disco/internal/feedback"
 	"disco/internal/netsim"
 	"disco/internal/resultcache"
-	"disco/internal/rowops"
 	"disco/internal/types"
+	"disco/internal/vexec"
 	"disco/internal/wrapper"
 )
+
+// MorselSpeedup models the simulated wall-clock speedup of the
+// parallelizable breaker work (sort, hash, join pair matching) at a
+// given worker count: near-linear with the standard 0.7 morsel
+// efficiency factor. Workers <= 1 is exactly 1, keeping single-threaded
+// simulated times bit-identical to the pre-vectorization engine. The
+// mediator divides its Med* cost-model coefficients by the same factor
+// so estimates and measurements stay aligned.
+func MorselSpeedup(workers int) float64 {
+	if workers <= 1 {
+		return 1
+	}
+	return 1 + 0.7*float64(workers-1)
+}
 
 // Costs are the mediator's per-row processing times in milliseconds. They
 // intentionally mirror the local-scope cost model's coefficients so that
@@ -97,6 +121,10 @@ type Engine struct {
 	// boundaries (see SubmitCache). Nil leaves execution bit-identical to
 	// a build without the cache.
 	Results SubmitCache
+	// Exec configures the vectorized pipeline: morsel workers inside
+	// breakers, the spill memory budget, spill directory and batch size.
+	// The zero value (sequential, no spill) is the bit-identical mode.
+	Exec vexec.Options
 }
 
 // New builds an engine over the registered wrappers. All wrappers must
@@ -177,19 +205,23 @@ type Result struct {
 	Profile *feedback.Profile
 }
 
-// execState accumulates per-execution degradation facts and the profile
-// under construction.
+// submitFacts are the transport facts of one executed submit boundary,
+// recorded while the pipeline's Leaf hook runs it and folded into the
+// profile afterwards.
+type submitFacts struct {
+	trips     int
+	bytes     int64
+	excluded  bool
+	cached    bool
+	elapsedMS float64
+}
+
+// execState accumulates per-execution degradation facts, the profile
+// under construction, and the per-submit transport facts.
 type execState struct {
 	excluded map[string]bool
 	prof     *feedback.Profile
-	// Submit-boundary scratch: execOp's submit case stores the transport
-	// facts here and exec folds them into the submit's profile entry
-	// right after execOp returns (submits never recurse through exec, so
-	// the values cannot be clobbered in between).
-	lastTrips    int
-	lastBytes    int64
-	lastExcluded bool
-	lastCached   bool
+	submits  map[*algebra.Node]*submitFacts
 	// cacheGen is the result cache's invalidation generation at execution
 	// start; Put carries it so a mid-query invalidation voids the insert.
 	cacheGen uint64
@@ -208,14 +240,20 @@ func (st *execState) exclude(name string) {
 // is marked Partial with the wrapper listed in Excluded.
 func (e *Engine) Execute(plan *algebra.Node) (*Result, error) {
 	watch := netsim.StartWatch(e.clock)
-	st := execState{prof: feedback.NewProfile()}
+	st := execState{prof: feedback.NewProfile(), submits: make(map[*algebra.Node]*submitFacts)}
 	if e.Results != nil {
 		st.cacheGen = e.Results.Begin()
 	}
-	rows, err := e.exec(plan, &st)
+	counts := vexec.Counts{}
+	rows, err := vexec.Run(plan, &vexec.Env{
+		Opts:   e.Exec,
+		Counts: counts,
+		Leaf:   func(n *algebra.Node) ([]types.Row, bool, error) { return e.leaf(n, &st) },
+	})
 	if err != nil {
 		return nil, err
 	}
+	e.charge(plan, counts, &st)
 	res := &Result{Rows: rows, Schema: plan.OutSchema, ElapsedMS: watch.ElapsedMS(), Profile: st.prof}
 	if len(st.excluded) > 0 {
 		res.Partial = true
@@ -230,190 +268,160 @@ func (e *Engine) Execute(plan *algebra.Node) (*Result, error) {
 	return res, nil
 }
 
-// exec runs one operator and records its actuals into the profile: the
-// subtree's virtual time is measured around execOp, the operator's own
-// share and consumed rows are derived from the children's entries, and
-// submit boundaries carry their transport facts from the execState
-// scratch.
-func (e *Engine) exec(n *algebra.Node, st *execState) ([]types.Row, error) {
-	start := e.clock.Now()
-	rows, err := e.execOp(n, st)
-	if err != nil {
-		return nil, err
-	}
-	if st.prof != nil {
-		a := &feedback.OpActual{
-			RowsOut:   int64(len(rows)),
-			SubtreeMS: e.clock.Now() - start,
-		}
-		a.OwnMS = a.SubtreeMS
-		for _, c := range n.Children {
-			if ca, ok := st.prof.ByNode[c]; ok {
-				a.OwnMS -= ca.SubtreeMS
-				a.RowsIn += ca.RowsOut
-			}
-		}
-		if n.Kind == algebra.OpSubmit {
-			// The wrapper executes the subtree opaquely; the boundary's
-			// consumed rows are the rows it delivered.
-			a.RowsIn = a.RowsOut
-			a.Wrapper = n.Wrapper
-			a.RoundTrips = st.lastTrips
-			a.Bytes = st.lastBytes
-			a.Excluded = st.lastExcluded
-			a.FromCache = st.lastCached
-			if st.lastCached {
-				st.prof.CacheServed++
-			}
-		}
-		st.prof.ByNode[n] = a
-	}
-	return rows, nil
-}
-
-func (e *Engine) execOp(n *algebra.Node, st *execState) ([]types.Row, error) {
-	if n.OutSchema == nil {
-		return nil, fmt.Errorf("engine: unresolved plan node %s", n.Kind)
-	}
+// leaf is the pipeline's Leaf hook: it executes submit boundaries
+// (wrapper delegation, outage degradation, result cache, shipping) with
+// live clock charging, rejects bare scans, and leaves every other node
+// to the generic vectorized operators.
+func (e *Engine) leaf(n *algebra.Node, st *execState) ([]types.Row, bool, error) {
 	switch n.Kind {
 	case algebra.OpSubmit:
-		st.lastTrips, st.lastBytes, st.lastExcluded, st.lastCached = 0, 0, false, false
-		w, ok := e.wrappers[n.Wrapper]
-		if !ok {
-			return nil, fmt.Errorf("engine: submit to unknown wrapper %q", n.Wrapper)
-		}
-		if e.isDown(n.Wrapper) {
-			// Known-dead source: exclude without touching the transport.
-			// The down check comes before the cache — a cached answer must
-			// never mask an outage into a silently complete result; the
-			// mediator invalidated the cache when it marked the wrapper
-			// down anyway.
-			st.exclude(n.Wrapper)
-			st.lastExcluded = true
-			return nil, nil
-		}
-		if e.Results != nil {
-			if rows, ok := e.Results.Get(n.StructuralHash()); ok {
-				// Serve the materialized subtree: charge the ScopeCache
-				// formula instead of the wrapper and the wire.
-				e.clock.Advance(resultcache.HitFloorMS + float64(len(rows))*e.costs.CachePerObj)
-				st.lastCached = true
-				return rows, nil
-			}
-		}
-		start := e.clock.Now()
-		st.lastTrips = 1
-		res, err := w.Execute(n.Children[0])
-		if err != nil {
-			if errors.Is(err, wrapper.ErrUnavailable) {
-				// The source died mid-query: degrade to a partial answer
-				// rather than failing, per the paper's unavailable-source
-				// discussion.
-				e.MarkUnavailable(n.Wrapper)
-				st.exclude(n.Wrapper)
-				st.lastExcluded = true
-				return nil, nil
-			}
-			return nil, fmt.Errorf("engine: wrapper %s: %w", n.Wrapper, err)
-		}
-		if e.net != nil {
-			e.net.Ship(n.Wrapper, res.Bytes)
-		}
-		st.lastBytes = res.Bytes
-		if e.SubmitHook != nil {
-			e.SubmitHook(n.Wrapper, n.Children[0], e.clock.Now()-start, len(res.Rows), res.Bytes)
-		}
-		if e.Results != nil {
-			// Only a complete wrapper answer is offered; the excluded paths
-			// above return before reaching here, so a partial run can never
-			// seed the cache (the partial-answer leakage guard).
-			e.Results.Put(n.StructuralHash(), res.Rows, n.OutSchema, res.Bytes, st.cacheGen)
-		}
-		return res.Rows, nil
+		t0 := e.clock.Now()
+		f := &submitFacts{}
+		st.submits[n] = f
+		rows, err := e.submit(n, st, f)
+		f.elapsedMS = e.clock.Now() - t0
+		return rows, true, err
 
 	case algebra.OpScan:
-		return nil, fmt.Errorf("engine: scan of %s@%s not placed under a submit", n.Collection, n.Wrapper)
-
-	case algebra.OpSelect:
-		rows, err := e.exec(n.Children[0], st)
-		if err != nil {
-			return nil, err
-		}
-		e.clock.Advance(float64(len(rows)) * e.costs.PerPred)
-		return rowops.Filter(n.OutSchema, rows, n.Pred), nil
-
-	case algebra.OpProject:
-		rows, err := e.exec(n.Children[0], st)
-		if err != nil {
-			return nil, err
-		}
-		e.clock.Advance(float64(len(rows)) * e.costs.ProjPerObj)
-		return rowops.Project(n.Children[0].OutSchema, rows, n.Cols)
-
-	case algebra.OpSort:
-		rows, err := e.exec(n.Children[0], st)
-		if err != nil {
-			return nil, err
-		}
-		e.clock.Advance(nLogN(len(rows)) * e.costs.SortPerObj)
-		return rowops.Sort(n.OutSchema, rows, n.Keys)
-
-	case algebra.OpDupElim:
-		rows, err := e.exec(n.Children[0], st)
-		if err != nil {
-			return nil, err
-		}
-		e.clock.Advance(float64(len(rows)) * e.costs.HashPerObj)
-		return rowops.DupElim(rows), nil
-
-	case algebra.OpAggregate:
-		rows, err := e.exec(n.Children[0], st)
-		if err != nil {
-			return nil, err
-		}
-		e.clock.Advance(float64(len(rows)) * e.costs.HashPerObj)
-		out, err := rowops.Aggregate(n.Children[0].OutSchema, rows, n.GroupBy, n.Aggs)
-		if err != nil {
-			return nil, err
-		}
-		e.clock.Advance(float64(len(out)) * e.costs.PerObj)
-		return out, nil
-
-	case algebra.OpUnion:
-		left, err := e.exec(n.Children[0], st)
-		if err != nil {
-			return nil, err
-		}
-		right, err := e.exec(n.Children[1], st)
-		if err != nil {
-			return nil, err
-		}
-		out := rowops.Union(left, right)
-		e.clock.Advance(float64(len(out)) * e.costs.PerObj)
-		return out, nil
-
-	case algebra.OpJoin:
-		left, err := e.exec(n.Children[0], st)
-		if err != nil {
-			return nil, err
-		}
-		right, err := e.exec(n.Children[1], st)
-		if err != nil {
-			return nil, err
-		}
-		ls, rs := n.Children[0].OutSchema, n.Children[1].OutSchema
-		if out, ok := rowops.HashJoin(ls, rs, n.OutSchema, left, right, n.Pred, nil); ok {
-			e.clock.Advance(float64(len(left)+len(right)) * e.costs.HashPerObj)
-			e.clock.Advance(float64(len(out)) * e.costs.PerObj)
-			return out, nil
-		}
-		out := rowops.NestedLoopJoin(n.OutSchema, left, right, n.Pred, nil)
-		e.clock.Advance(float64(len(left)*len(right)) * e.costs.JoinPerPair)
-		return out, nil
-
-	default:
-		return nil, fmt.Errorf("engine: cannot execute operator %s", n.Kind)
+		return nil, false, fmt.Errorf("engine: scan of %s@%s not placed under a submit", n.Collection, n.Wrapper)
 	}
+	return nil, false, nil
+}
+
+// submit executes one submit boundary exactly as the row-at-a-time
+// engine did, recording the transport facts for the profile.
+func (e *Engine) submit(n *algebra.Node, st *execState, f *submitFacts) ([]types.Row, error) {
+	w, ok := e.wrappers[n.Wrapper]
+	if !ok {
+		return nil, fmt.Errorf("engine: submit to unknown wrapper %q", n.Wrapper)
+	}
+	if e.isDown(n.Wrapper) {
+		// Known-dead source: exclude without touching the transport.
+		// The down check comes before the cache — a cached answer must
+		// never mask an outage into a silently complete result; the
+		// mediator invalidated the cache when it marked the wrapper
+		// down anyway.
+		st.exclude(n.Wrapper)
+		f.excluded = true
+		return nil, nil
+	}
+	if e.Results != nil {
+		if rows, ok := e.Results.Get(n.StructuralHash()); ok {
+			// Serve the materialized subtree: charge the ScopeCache
+			// formula instead of the wrapper and the wire.
+			e.clock.Advance(resultcache.HitFloorMS + float64(len(rows))*e.costs.CachePerObj)
+			f.cached = true
+			return rows, nil
+		}
+	}
+	start := e.clock.Now()
+	f.trips = 1
+	res, err := w.Execute(n.Children[0])
+	if err != nil {
+		if errors.Is(err, wrapper.ErrUnavailable) {
+			// The source died mid-query: degrade to a partial answer
+			// rather than failing, per the paper's unavailable-source
+			// discussion.
+			e.MarkUnavailable(n.Wrapper)
+			st.exclude(n.Wrapper)
+			f.excluded = true
+			return nil, nil
+		}
+		return nil, fmt.Errorf("engine: wrapper %s: %w", n.Wrapper, err)
+	}
+	if e.net != nil {
+		e.net.Ship(n.Wrapper, res.Bytes)
+	}
+	f.bytes = res.Bytes
+	if e.SubmitHook != nil {
+		e.SubmitHook(n.Wrapper, n.Children[0], e.clock.Now()-start, len(res.Rows), res.Bytes)
+	}
+	if e.Results != nil {
+		// Only a complete wrapper answer is offered; the excluded paths
+		// above return before reaching here, so a partial run can never
+		// seed the cache (the partial-answer leakage guard).
+		e.Results.Put(n.StructuralHash(), res.Rows, n.OutSchema, res.Bytes, st.cacheGen)
+	}
+	return res.Rows, nil
+}
+
+// charge replays the mediator-side operator costs analytically after the
+// pipeline drains, advancing the virtual clock and building the profile
+// in post-order. The per-operator formulas are identical to the charges
+// the row-at-a-time engine made inline, so SubtreeMS/OwnMS decompose the
+// same way they always did: a node's own share is its formula, its
+// subtree time is that plus the children's. Submit boundaries carry the
+// live-measured facts from the Leaf hook and are opaque below (the
+// wrapper executed the subtree; there are no mediator charges under it).
+// Breaker charges (sort, hash, pair matching) are divided by
+// MorselSpeedup — the simulated benefit of intra-query parallelism.
+func (e *Engine) charge(n *algebra.Node, counts vexec.Counts, st *execState) *feedback.OpActual {
+	if n.Kind == algebra.OpSubmit {
+		f := st.submits[n]
+		if f == nil {
+			f = &submitFacts{}
+		}
+		out := counts.Out(n)
+		a := &feedback.OpActual{
+			// The wrapper executes the subtree opaquely; the boundary's
+			// consumed rows are the rows it delivered.
+			RowsIn:     out,
+			RowsOut:    out,
+			SubtreeMS:  f.elapsedMS,
+			OwnMS:      f.elapsedMS,
+			Wrapper:    n.Wrapper,
+			RoundTrips: f.trips,
+			Bytes:      f.bytes,
+			Excluded:   f.excluded,
+			FromCache:  f.cached,
+		}
+		if f.cached {
+			st.prof.CacheServed++
+		}
+		st.prof.ByNode[n] = a
+		return a
+	}
+	var kidsMS float64
+	var in int64
+	for _, c := range n.Children {
+		ca := e.charge(c, counts, st)
+		kidsMS += ca.SubtreeMS
+		in += ca.RowsOut
+	}
+	out := counts.Out(n)
+	own := e.ownCharge(n, counts, in, out)
+	e.clock.Advance(own)
+	a := &feedback.OpActual{RowsIn: in, RowsOut: out, OwnMS: own, SubtreeMS: own + kidsMS}
+	st.prof.ByNode[n] = a
+	return a
+}
+
+// ownCharge is one mediator operator's virtual-time formula over its
+// consumed and produced cardinalities.
+func (e *Engine) ownCharge(n *algebra.Node, counts vexec.Counts, in, out int64) float64 {
+	speed := MorselSpeedup(e.Exec.Workers)
+	switch n.Kind {
+	case algebra.OpSelect:
+		return float64(in) * e.costs.PerPred
+	case algebra.OpProject:
+		return float64(in) * e.costs.ProjPerObj
+	case algebra.OpSort:
+		return nLogN(int(in)) * e.costs.SortPerObj / speed
+	case algebra.OpDupElim:
+		return float64(in) * e.costs.HashPerObj / speed
+	case algebra.OpAggregate:
+		return float64(in)*e.costs.HashPerObj/speed + float64(out)*e.costs.PerObj
+	case algebra.OpUnion:
+		return float64(out) * e.costs.PerObj
+	case algebra.OpJoin:
+		l := counts.Out(n.Children[0])
+		r := counts.Out(n.Children[1])
+		if counts.Stat(n).HashJoin {
+			return float64(l+r)*e.costs.HashPerObj/speed + float64(out)*e.costs.PerObj
+		}
+		return float64(l*r) * e.costs.JoinPerPair / speed
+	}
+	return 0
 }
 
 func nLogN(n int) float64 {

@@ -27,6 +27,7 @@ import (
 	"disco/internal/resultcache"
 	"disco/internal/sqlparser"
 	"disco/internal/types"
+	"disco/internal/vexec"
 	"disco/internal/wrapper"
 )
 
@@ -98,6 +99,21 @@ type Config struct {
 	AdmissionTimeout time.Duration
 	// OptimizerOptions tune the plan search.
 	OptimizerOptions optimizer.Options
+	// ExecWorkers is the morsel-driven parallelism inside the engine's
+	// pipeline breakers (sort, hash join, aggregation, dup-elim). Values
+	// below 2 run sequentially — the mode whose results and simulated
+	// times are bit-identical to the pre-vectorization engine. With
+	// workers, the Med* cost-model coefficients are divided by
+	// engine.MorselSpeedup(ExecWorkers) so estimates track the faster
+	// simulated breaker execution.
+	ExecWorkers int
+	// ExecMemBytes bounds the memory a mediator-side hash join build or
+	// aggregation input may hold before Grace-spilling to disk. Zero
+	// disables spilling.
+	ExecMemBytes int64
+	// ExecSpillDir is where spill partitions are written ("" uses the
+	// OS temp dir).
+	ExecSpillDir string
 }
 
 // DefaultConfig enables wrapper rules and history with default search
@@ -209,6 +225,17 @@ func New(cfg Config) (*Mediator, error) {
 		adm:         newAdmission(cfg.MaxInFlight, cfg.AdmissionTimeout),
 	}
 	m.Estimator = core.NewEstimator(reg, m.Catalog, cfg.Net)
+	if speed := engine.MorselSpeedup(cfg.ExecWorkers); speed != 1 {
+		// The engine divides its breaker charges by the morsel speedup;
+		// divide the matching estimator coefficients so predicted and
+		// measured mediator times stay aligned. Factor 1 (the default)
+		// leaves the globals untouched — bit-identical estimates.
+		for _, g := range []string{"MedSortPerObj", "MedHashPerObj", "MedJoinPerPair"} {
+			if v, ok := m.Estimator.Globals[g]; ok {
+				m.Estimator.Globals[g] = types.Float(v.AsFloat() / speed)
+			}
+		}
+	}
 	m.Optimizer = optimizer.New(m.Catalog, m.Estimator, cfg.OptimizerOptions)
 	if cfg.RecordHistory {
 		m.History = history.NewRecorder(reg)
@@ -246,6 +273,11 @@ func (m *Mediator) rebuildEngine() error {
 	eng, err := engine.New(m.Clock, m.Net, m.wrappers, m.cfg.EngineCosts)
 	if err != nil {
 		return err
+	}
+	eng.Exec = vexec.Options{
+		Workers:  m.cfg.ExecWorkers,
+		MemBytes: m.cfg.ExecMemBytes,
+		SpillDir: m.cfg.ExecSpillDir,
 	}
 	if m.History != nil {
 		rec := m.History

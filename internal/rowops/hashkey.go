@@ -35,12 +35,14 @@ func fnvStr(h uint64, s string) uint64 {
 	return h
 }
 
-// joinKeyHash hashes one join attribute value to its hash-table bucket.
+// JoinKeyHash hashes one join attribute value to its hash-table bucket.
 // Numerics are canonicalized through their float64 value so Int(3) and
 // Float(3) land in the same bucket (they must join). Bucket collisions are
 // harmless: HashJoin re-verifies every candidate pair with the full
-// predicate before emitting it.
-func joinKeyHash(c types.Constant) uint64 {
+// predicate before emitting it. Exported for the vectorized engine, whose
+// partitioned hash joins and Grace spill partitioning must bucket values
+// exactly like this reference implementation.
+func JoinKeyHash(c types.Constant) uint64 {
 	h := uint64(fnvOffset64)
 	switch {
 	case c.IsNull():
@@ -107,3 +109,25 @@ func (e *keyEnc) row(r types.Row) {
 		e.constant(c)
 	}
 }
+
+// KeyEncoder is the exported face of keyEnc for the vectorized engine:
+// its grouping and duplicate-elimination operators must produce exactly
+// the same map keys as the reference operators above. The zero value is
+// ready to use; Bytes aliases an internal buffer that the next Reset
+// invalidates, but an indexing conversion m[string(e.Bytes())] does not
+// allocate.
+type KeyEncoder struct {
+	enc keyEnc
+}
+
+// Reset clears the buffer for the next key.
+func (e *KeyEncoder) Reset() { e.enc.reset() }
+
+// Constant appends one value's exact, kind-distinguishing encoding.
+func (e *KeyEncoder) Constant(c types.Constant) { e.enc.constant(c) }
+
+// Row appends every value of the row.
+func (e *KeyEncoder) Row(r types.Row) { e.enc.row(r) }
+
+// Bytes returns the encoded key, valid until the next Reset.
+func (e *KeyEncoder) Bytes() []byte { return e.enc.buf }

@@ -1,14 +1,17 @@
 // Package rowops implements the row-level operator algorithms shared by
 // the wrapper-side subplan evaluator and the mediator's physical engine:
 // filtering, projection, sorting, nested-loop and hash joins, duplicate
-// elimination, grouping and aggregation. All operators are materializing
-// (the reproduction favours determinism and simplicity over pipelining;
-// timing is charged by the callers through the simulation clock).
+// elimination, grouping and aggregation. The operators here are
+// materializing and single-threaded — they are the reference semantics
+// the pipelined batch engine in internal/vexec must reproduce
+// bit-identically, and they remain the equivalence oracle in its tests.
+// Timing is charged by the callers through the simulation clock.
 package rowops
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"strings"
 
 	"disco/internal/algebra"
 	"disco/internal/types"
@@ -28,15 +31,13 @@ func Filter(schema *types.Schema, rows []types.Row, pred *algebra.Predicate) []t
 	return out
 }
 
-// Project maps each row onto the named columns.
+// Project maps each row onto the named columns. Columns resolve with
+// the same qualified-then-bare fallback sort keys get (a rel.col ref a
+// sort key accepts is equally valid as a projection column).
 func Project(schema *types.Schema, rows []types.Row, cols []string) ([]types.Row, error) {
-	idx := make([]int, len(cols))
-	for i, c := range cols {
-		pos, ok := schema.Lookup(c)
-		if !ok {
-			return nil, fmt.Errorf("rowops: unknown projection column %q", c)
-		}
-		idx[i] = pos
+	idx, err := ProjectIndex(schema, cols)
+	if err != nil {
+		return nil, err
 	}
 	out := make([]types.Row, len(rows))
 	for ri, r := range rows {
@@ -49,36 +50,88 @@ func Project(schema *types.Schema, rows []types.Row, cols []string) ([]types.Row
 	return out, nil
 }
 
-// Sort orders rows by the keys (stable).
-func Sort(schema *types.Schema, rows []types.Row, keys []algebra.SortKey) ([]types.Row, error) {
-	type keyPos struct {
-		pos  int
-		desc bool
+// ProjectIndex resolves projection columns to row positions via ColIndex.
+func ProjectIndex(schema *types.Schema, cols []string) ([]int, error) {
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		pos, ok := ColIndex(schema, c)
+		if !ok {
+			return nil, fmt.Errorf("rowops: unknown projection column %q", c)
+		}
+		idx[i] = pos
 	}
+	return idx, nil
+}
+
+// ColIndex resolves a column name, possibly written in qualified rel.col
+// form, against a schema: the qualified name first, then the bare
+// attribute — algebra.RefIndex semantics, so every column spelling a
+// sort key accepts resolves here too.
+func ColIndex(schema *types.Schema, col string) (int, bool) {
+	if coll, attr, ok := strings.Cut(col, "."); ok {
+		return algebra.RefIndex(schema, algebra.Ref{Collection: coll, Attr: attr})
+	}
+	return schema.Lookup(col)
+}
+
+// Sort orders rows by the keys (stable). The comparator is compiled once
+// over resolved key positions instead of a closure resolving names per
+// comparison; BenchmarkSort tracks the allocation delta.
+func Sort(schema *types.Schema, rows []types.Row, keys []algebra.SortKey) ([]types.Row, error) {
+	cmp, err := CompileComparator(schema, keys)
+	if err != nil {
+		return nil, err
+	}
+	out := append([]types.Row(nil), rows...)
+	slices.SortStableFunc(out, cmp.Compare)
+	return out, nil
+}
+
+// keyPos is one compiled sort key: a resolved position and a direction.
+type keyPos struct {
+	pos  int
+	desc bool
+}
+
+// RowComparator is a precompiled multi-key row comparator: sort keys are
+// resolved to row positions once, so each comparison is two index loads
+// and a Constant.Compare with no name lookups and no captured state.
+type RowComparator struct {
+	keys []keyPos
+}
+
+// CompileComparator resolves sort keys against the schema into a
+// position-based comparator.
+func CompileComparator(schema *types.Schema, keys []algebra.SortKey) (RowComparator, error) {
 	kps := make([]keyPos, len(keys))
 	for i, k := range keys {
 		pos, ok := algebra.RefIndex(schema, k.Attr)
 		if !ok {
-			return nil, fmt.Errorf("rowops: unknown sort key %s", k.Attr)
+			return RowComparator{}, fmt.Errorf("rowops: unknown sort key %s", k.Attr)
 		}
 		kps[i] = keyPos{pos: pos, desc: k.Desc}
 	}
-	out := append([]types.Row(nil), rows...)
-	sort.SliceStable(out, func(i, j int) bool {
-		for _, kp := range kps {
-			c := out[i][kp.pos].Compare(out[j][kp.pos])
-			if c == 0 {
-				continue
-			}
-			if kp.desc {
-				return c > 0
-			}
-			return c < 0
-		}
-		return false
-	})
-	return out, nil
+	return RowComparator{keys: kps}, nil
 }
+
+// Compare orders a against b: negative when a sorts first, positive when
+// b does, zero when the keys tie.
+func (rc RowComparator) Compare(a, b types.Row) int {
+	for _, kp := range rc.keys {
+		c := a[kp.pos].Compare(b[kp.pos])
+		if c == 0 {
+			continue
+		}
+		if kp.desc {
+			return -c
+		}
+		return c
+	}
+	return 0
+}
+
+// Less reports whether a sorts strictly before b.
+func (rc RowComparator) Less(a, b types.Row) bool { return rc.Compare(a, b) < 0 }
 
 // NestedLoopJoin joins left and right under the predicate, concatenating
 // matching rows. cb, when non-nil, is invoked once per considered pair
@@ -106,26 +159,8 @@ func NestedLoopJoin(joined *types.Schema, left, right []types.Row,
 // when non-nil, runs once per row processed.
 func HashJoin(leftSchema, rightSchema, joined *types.Schema,
 	left, right []types.Row, pred *algebra.Predicate, cb func()) ([]types.Row, bool) {
-	var lpos, rpos = -1, -1
-	for _, c := range pred.JoinComparisons() {
-		if c.Op.String() != "=" {
-			continue
-		}
-		lp, lok := algebra.RefIndex(leftSchema, c.Left)
-		rp, rok := algebra.RefIndex(rightSchema, *c.RightAttr)
-		if lok && rok {
-			lpos, rpos = lp, rp
-			break
-		}
-		// The conjunct may be written right-to-left.
-		lp, lok = algebra.RefIndex(leftSchema, *c.RightAttr)
-		rp, rok = algebra.RefIndex(rightSchema, c.Left)
-		if lok && rok {
-			lpos, rpos = lp, rp
-			break
-		}
-	}
-	if lpos < 0 {
+	lpos, rpos, ok := EquiJoinCols(leftSchema, rightSchema, pred)
+	if !ok {
 		return nil, false
 	}
 	// Buckets are keyed by a uint64 hash of the join value (numerics
@@ -136,7 +171,7 @@ func HashJoin(leftSchema, rightSchema, joined *types.Schema,
 		if cb != nil {
 			cb()
 		}
-		k := joinKeyHash(r[rpos])
+		k := JoinKeyHash(r[rpos])
 		table[k] = append(table[k], r)
 	}
 	var out []types.Row
@@ -144,7 +179,7 @@ func HashJoin(leftSchema, rightSchema, joined *types.Schema,
 		if cb != nil {
 			cb()
 		}
-		for _, r := range table[joinKeyHash(l[lpos])] {
+		for _, r := range table[JoinKeyHash(l[lpos])] {
 			row := l.Concat(r)
 			if pred.Eval(joined, row) {
 				out = append(out, row)
@@ -152,6 +187,31 @@ func HashJoin(leftSchema, rightSchema, joined *types.Schema,
 		}
 	}
 	return out, true
+}
+
+// EquiJoinCols finds the first `=` conjunct joining an attribute of
+// leftSchema to one of rightSchema (either writing orientation) and
+// returns the two resolved positions. ok=false means the predicate has
+// no usable equi-join conjunct and the caller must fall back to nested
+// loops.
+func EquiJoinCols(leftSchema, rightSchema *types.Schema, pred *algebra.Predicate) (lpos, rpos int, ok bool) {
+	for _, c := range pred.JoinComparisons() {
+		if c.Op.String() != "=" {
+			continue
+		}
+		lp, lok := algebra.RefIndex(leftSchema, c.Left)
+		rp, rok := algebra.RefIndex(rightSchema, *c.RightAttr)
+		if lok && rok {
+			return lp, rp, true
+		}
+		// The conjunct may be written right-to-left.
+		lp, lok = algebra.RefIndex(leftSchema, *c.RightAttr)
+		rp, rok = algebra.RefIndex(rightSchema, c.Left)
+		if lok && rok {
+			return lp, rp, true
+		}
+	}
+	return -1, -1, false
 }
 
 // Union concatenates two row sets (bag semantics).
@@ -208,7 +268,7 @@ func Aggregate(schema *types.Schema, rows []types.Row,
 
 	type group struct {
 		key    types.Row
-		states []aggState
+		states []AggState
 	}
 	groups := make(map[string]*group)
 	var order []*group
@@ -226,7 +286,7 @@ func Aggregate(schema *types.Schema, rows []types.Row,
 			for i, p := range gpos {
 				key[i] = r[p]
 			}
-			g = &group{key: key, states: newAggStates(aggs)}
+			g = &group{key: key, states: NewAggStates(aggs)}
 			groups[string(enc.buf)] = g
 			order = append(order, g)
 		}
@@ -235,11 +295,11 @@ func Aggregate(schema *types.Schema, rows []types.Row,
 			if apos[i] >= 0 {
 				v = r[apos[i]]
 			}
-			g.states[i].add(v)
+			g.states[i].Add(v)
 		}
 	}
 	if len(groupBy) == 0 && len(groups) == 0 {
-		g := &group{key: types.Row{}, states: newAggStates(aggs)}
+		g := &group{key: types.Row{}, states: NewAggStates(aggs)}
 		groups[""] = g
 		order = append(order, g)
 	}
@@ -247,15 +307,17 @@ func Aggregate(schema *types.Schema, rows []types.Row,
 	for _, g := range order {
 		row := append(types.Row(nil), g.key...)
 		for i := range aggs {
-			row = append(row, g.states[i].result())
+			row = append(row, g.states[i].Result())
 		}
 		out = append(out, row)
 	}
 	return out, nil
 }
 
-// aggState accumulates one aggregate function.
-type aggState struct {
+// AggState accumulates one aggregate function. Accumulation order
+// matters for the float sum (addition is not associative), so callers
+// needing bit-exact results must feed rows in input order.
+type AggState struct {
 	fn    algebra.AggFunc
 	count int64
 	sum   float64
@@ -263,26 +325,40 @@ type aggState struct {
 	max   types.Constant
 }
 
-func newAggStates(aggs []algebra.AggSpec) []aggState {
-	out := make([]aggState, len(aggs))
+// NewAggStates builds one fresh accumulator per aggregate spec.
+func NewAggStates(aggs []algebra.AggSpec) []AggState {
+	out := make([]AggState, len(aggs))
 	for i, a := range aggs {
-		out[i] = aggState{fn: a.Func, min: types.Null, max: types.Null}
+		out[i] = AggState{fn: a.Func, min: types.Null, max: types.Null}
 	}
 	return out
 }
 
-func (s *aggState) add(v types.Constant) {
-	s.count++
-	s.sum += v.AsFloat()
-	if s.min.IsNull() || v.Less(s.min) {
-		s.min = v
-	}
-	if s.max.IsNull() || s.max.Less(v) {
-		s.max = v
+// Add folds one value into the accumulator. Only the fields the
+// function's Result reads are maintained — the extrema comparisons are
+// the expensive part, and a COUNT/SUM accumulator never looks at them.
+func (s *AggState) Add(v types.Constant) {
+	switch s.fn {
+	case algebra.AggCount:
+		s.count++
+	case algebra.AggSum:
+		s.sum += v.AsFloat()
+	case algebra.AggAvg:
+		s.count++
+		s.sum += v.AsFloat()
+	case algebra.AggMin:
+		if s.min.IsNull() || v.Less(s.min) {
+			s.min = v
+		}
+	case algebra.AggMax:
+		if s.max.IsNull() || s.max.Less(v) {
+			s.max = v
+		}
 	}
 }
 
-func (s *aggState) result() types.Constant {
+// Result finalizes the accumulator into the aggregate's value.
+func (s *AggState) Result() types.Constant {
 	switch s.fn {
 	case algebra.AggCount:
 		return types.Int(s.count)

@@ -50,6 +50,73 @@ func TestProject(t *testing.T) {
 	}
 }
 
+// TestProjectQualifiedRefs: projection columns resolve like sort keys do
+// — the qualified rel.col form first, then the bare attribute — so a
+// join output with the same attribute name in two collections projects
+// unambiguously.
+func TestProjectQualifiedRefs(t *testing.T) {
+	s := types.NewSchema(
+		types.Field{Name: "id", Collection: "Emp", Type: types.KindInt},
+		types.Field{Name: "name", Collection: "Emp", Type: types.KindString},
+		types.Field{Name: "id", Collection: "Dept", Type: types.KindInt},
+		types.Field{Name: "name", Collection: "Dept", Type: types.KindString},
+	)
+	rows := []types.Row{{types.Int(7), types.Str("ana"), types.Int(4), types.Str("sales")}}
+
+	got, err := Project(s, rows, []string{"Dept.name", "Emp.id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0][0].AsString() != "sales" || got[0][1].AsInt() != 7 {
+		t.Errorf("qualified projection = %v", got[0])
+	}
+	// A bare ambiguous name resolves to whatever position Schema.Lookup
+	// indexes for it — the fallback step of algebra.RefIndex. The same
+	// holds for an unknown qualifier with a known bare attribute, so
+	// Emp.name and Nowhere.name need not agree; only a fully unknown
+	// attribute fails.
+	wantBare, ok := ColIndex(s, "name")
+	if !ok {
+		t.Fatal("bare ambiguous name should resolve")
+	}
+	bare, err := Project(s, rows, []string{"name"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare[0][0] != rows[0][wantBare] {
+		t.Errorf("bare projection = %v, want %v", bare[0][0], rows[0][wantBare])
+	}
+	if _, err := Project(s, rows, []string{"Nowhere.bogus"}); err == nil {
+		t.Error("unknown attribute should fail")
+	}
+}
+
+// TestCompileComparator pins the precompiled comparator's contract:
+// position-resolved keys, direction flips, and tie fall-through.
+func TestCompileComparator(t *testing.T) {
+	s := schemaAB()
+	cmp, err := CompileComparator(s, []algebra.SortKey{
+		{Attr: algebra.Ref{Attr: "b"}},
+		{Attr: algebra.Ref{Attr: "a"}, Desc: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rowsAB()
+	if c := cmp.Compare(rows[0], rows[1]); c >= 0 { // "x" < "y"
+		t.Errorf("Compare = %d, want < 0", c)
+	}
+	if !cmp.Less(rows[0], rows[2]) { // tie on "x", 3 > 2 desc
+		t.Error("desc tiebreak: want row{3,x} before row{2,x}")
+	}
+	if c := cmp.Compare(rows[1], rows[3]); c != 0 {
+		t.Errorf("equal rows Compare = %d, want 0", c)
+	}
+	if _, err := CompileComparator(s, []algebra.SortKey{{Attr: algebra.Ref{Attr: "zz"}}}); err == nil {
+		t.Error("unknown key should fail to compile")
+	}
+}
+
 func TestSort(t *testing.T) {
 	s := schemaAB()
 	got, err := Sort(s, rowsAB(), []algebra.SortKey{{Attr: algebra.Ref{Attr: "a"}}})

@@ -44,6 +44,15 @@ type Options struct {
 	// ResultCache configures the semantic result cache (off by default;
 	// see mediator.Config.ResultCache).
 	ResultCache resultcache.Config
+	// ExecWorkers enables morsel-parallel execution inside the engine's
+	// pipeline breakers (see mediator.Config.ExecWorkers; <2 =
+	// sequential).
+	ExecWorkers int
+	// ExecMemBytes is the spill budget for mediator-side hash joins and
+	// aggregations (see mediator.Config.ExecMemBytes; 0 = never spill).
+	ExecMemBytes int64
+	// ExecSpillDir overrides where spill partitions are written.
+	ExecSpillDir string
 }
 
 // Federation is one assembled demo deployment: the mediator plus the
@@ -73,6 +82,9 @@ func NewDemoFederation(opts Options) (*Federation, error) {
 	cfg.AdmissionTimeout = opts.QueueTimeout
 	cfg.PlanCacheSize = opts.PlanCacheSize
 	cfg.ResultCache = opts.ResultCache
+	cfg.ExecWorkers = opts.ExecWorkers
+	cfg.ExecMemBytes = opts.ExecMemBytes
+	cfg.ExecSpillDir = opts.ExecSpillDir
 	m, err := mediator.New(cfg)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,306 @@
+package vexec
+
+import (
+	"fmt"
+	"slices"
+
+	"disco/internal/algebra"
+	"disco/internal/rowops"
+	"disco/internal/types"
+)
+
+// aggOp is the grouping/aggregation breaker. Because float sums are not
+// associative, every mode accumulates each group's values in exact input
+// order (never via merged partial states), so aggregate values are
+// bit-identical in all modes:
+//
+//   - no grouping attributes: a single accumulator folded streamingly —
+//     O(1) state, never spills, fully pipelined.
+//   - sequential: streaming fold into the group table (grouped output in
+//     first-seen order, exactly rowops.Aggregate).
+//   - morsel-parallel (Workers > 1): partition-owner workers — each
+//     scans the full materialized input in order, folding only groups
+//     that hash to its partition and recording each group's first-seen
+//     global row index; the final merge sorts groups by that index,
+//     restoring the sequential first-seen output order exactly.
+//   - Grace spill (input exceeds Options.MemBytes): raw input rows
+//     partition to disk by group-key hash (a group never straddles
+//     partitions), each partition folds in input order, outputs
+//     concatenate partition-major (multiset-identical order, bit-exact
+//     values).
+type aggOp struct {
+	child    Op
+	inSchema *types.Schema
+	groupBy  []algebra.Ref
+	aggs     []algebra.AggSpec
+	opts     Options
+	stat     *NodeStat
+	size     int
+
+	started bool
+	out     []types.Row
+	pos     int
+	spills  []*spillSet
+}
+
+func (o *aggOp) Open() error { return o.child.Open() }
+
+func (o *aggOp) Next(b *Batch) (bool, error) {
+	if !o.started {
+		if err := o.build(); err != nil {
+			return false, err
+		}
+		o.started = true
+	}
+	return emitSlice(o.out, &o.pos, o.size, b), nil
+}
+
+func (o *aggOp) Close() error {
+	for _, s := range o.spills {
+		s.cleanup()
+	}
+	o.spills = nil
+	return o.child.Close()
+}
+
+func (o *aggOp) build() error {
+	fold, err := newFoldState(o.inSchema, o.groupBy, o.aggs)
+	if err != nil {
+		return err
+	}
+	b := getBatch(o.size)
+	defer putBatch(b)
+	budget := o.opts.MemBytes
+	w := o.opts.workers()
+
+	// Pure streaming: no grouping attributes (single O(1) accumulator,
+	// parallelism and spill are pointless), or sequential with no budget
+	// to enforce.
+	if len(o.groupBy) == 0 || (w <= 1 && budget <= 0) {
+		for {
+			ok, err := o.child.Next(b)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			for _, r := range b.Rows {
+				fold.add(r, 0)
+			}
+		}
+		o.out = fold.finish()
+		return nil
+	}
+
+	// Materialize the input, tracking bytes against the budget; the
+	// moment it exceeds, redistribute everything into spill partitions
+	// keyed by group hash and keep draining straight to disk.
+	var rows []types.Row
+	var bytes int64
+	var sset *spillSet
+	for {
+		ok, err := o.child.Next(b)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if sset != nil {
+			for _, r := range b.Rows {
+				if err := sset.add(fold.keyHash(r), r); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		rows = append(rows, b.Rows...)
+		if budget > 0 {
+			bytes += rowops.RowBytes(b.Rows)
+			if bytes > budget {
+				sset, err = newSpillSet(o.opts.SpillDir, 0)
+				if err != nil {
+					return err
+				}
+				o.spills = append(o.spills, sset)
+				for _, r := range rows {
+					if err := sset.add(fold.keyHash(r), r); err != nil {
+						return err
+					}
+				}
+				rows = nil
+			}
+		}
+	}
+	if sset != nil {
+		o.stat.Spilled = true
+		return o.spillAgg(sset)
+	}
+	if w > 1 {
+		return o.parallelAgg(rows)
+	}
+	for _, r := range rows {
+		fold.add(r, 0)
+	}
+	o.out = fold.finish()
+	return nil
+}
+
+// parallelAgg: partition-owner folding over the materialized input.
+func (o *aggOp) parallelAgg(rows []types.Row) error {
+	w := o.opts.workers()
+	folds := make([]*foldState, w)
+	runWorkers(w, func(p int) {
+		f, _ := newFoldState(o.inSchema, o.groupBy, o.aggs)
+		f.owner, f.ownerOf = p, w
+		for i, r := range rows {
+			f.add(r, i)
+		}
+		folds[p] = f
+	})
+	var all []*foldGroup
+	for _, f := range folds {
+		all = append(all, f.order...)
+	}
+	slices.SortFunc(all, func(a, b *foldGroup) int { return a.first - b.first })
+	o.out = renderGroups(all, o.aggs)
+	return nil
+}
+
+// spillAgg folds each disk partition independently, in partition order.
+func (o *aggOp) spillAgg(sset *spillSet) error {
+	for p := 0; p < spillFanout; p++ {
+		sr, err := sset.parts[p].startRead()
+		if err != nil {
+			return err
+		}
+		f, err := newFoldState(o.inSchema, o.groupBy, o.aggs)
+		if err != nil {
+			return err
+		}
+		for {
+			r, ok, err := sr.next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			f.add(r, 0)
+		}
+		o.out = append(o.out, renderGroups(f.order, o.aggs)...)
+	}
+	return nil
+}
+
+// foldGroup is one group under accumulation.
+type foldGroup struct {
+	key    types.Row
+	states []rowops.AggState
+	first  int // first-seen global row index (parallel merge order)
+}
+
+// foldState replicates rowops.Aggregate's accumulation loop
+// incrementally: same key encoding, same first-seen ordering, same
+// AggState arithmetic — streaming batches through it yields exactly the
+// reference output. With owner/ownerOf set it becomes a partition-owner
+// fold: rows whose group hash belongs to another partition are skipped
+// (but still encoded, preserving the full-scan input ordering).
+type foldState struct {
+	gpos, apos []int
+	aggs       []algebra.AggSpec
+	groups     map[string]*foldGroup
+	order      []*foldGroup
+	enc        rowops.KeyEncoder
+	owner      int
+	ownerOf    int // 0 = own everything (sequential)
+}
+
+func newFoldState(schema *types.Schema, groupBy []algebra.Ref, aggs []algebra.AggSpec) (*foldState, error) {
+	f := &foldState{
+		gpos:   make([]int, len(groupBy)),
+		apos:   make([]int, len(aggs)),
+		aggs:   aggs,
+		groups: make(map[string]*foldGroup),
+	}
+	for i, g := range groupBy {
+		pos, ok := algebra.RefIndex(schema, g)
+		if !ok {
+			return nil, fmt.Errorf("vexec: unknown group-by attribute %s", g)
+		}
+		f.gpos[i] = pos
+	}
+	for i, a := range aggs {
+		if a.Star {
+			f.apos[i] = -1
+			continue
+		}
+		pos, ok := algebra.RefIndex(schema, a.Attr)
+		if !ok {
+			return nil, fmt.Errorf("vexec: unknown aggregate attribute %s", a.Attr)
+		}
+		f.apos[i] = pos
+	}
+	return f, nil
+}
+
+// keyHash encodes the row's grouping values and hashes them (the spill
+// and partition-owner distribution key).
+func (f *foldState) keyHash(r types.Row) uint64 {
+	f.enc.Reset()
+	for _, p := range f.gpos {
+		f.enc.Constant(r[p])
+	}
+	return fnvBytes(f.enc.Bytes())
+}
+
+// add folds one row; idx is its global input index (first-seen order for
+// the parallel merge; sequential callers pass 0).
+func (f *foldState) add(r types.Row, idx int) {
+	f.enc.Reset()
+	for _, p := range f.gpos {
+		f.enc.Constant(r[p])
+	}
+	if f.ownerOf > 0 && int(fnvBytes(f.enc.Bytes())%uint64(f.ownerOf)) != f.owner {
+		return
+	}
+	g, ok := f.groups[string(f.enc.Bytes())]
+	if !ok {
+		key := make(types.Row, len(f.gpos))
+		for i, p := range f.gpos {
+			key[i] = r[p]
+		}
+		g = &foldGroup{key: key, states: rowops.NewAggStates(f.aggs), first: idx}
+		f.groups[string(f.enc.Bytes())] = g
+		f.order = append(f.order, g)
+	}
+	for i := range f.aggs {
+		v := types.Null
+		if f.apos[i] >= 0 {
+			v = r[f.apos[i]]
+		}
+		g.states[i].Add(v)
+	}
+}
+
+// finish renders the groups in first-seen order, including the
+// zero-group row an ungrouped aggregate over empty input produces.
+func (f *foldState) finish() []types.Row {
+	if len(f.gpos) == 0 && len(f.order) == 0 {
+		f.order = append(f.order, &foldGroup{key: types.Row{}, states: rowops.NewAggStates(f.aggs)})
+	}
+	return renderGroups(f.order, f.aggs)
+}
+
+func renderGroups(groups []*foldGroup, aggs []algebra.AggSpec) []types.Row {
+	out := make([]types.Row, 0, len(groups))
+	for _, g := range groups {
+		row := append(types.Row(nil), g.key...)
+		for i := range aggs {
+			row = append(row, g.states[i].Result())
+		}
+		out = append(out, row)
+	}
+	return out
+}

@@ -1,0 +1,258 @@
+package vexec
+
+import (
+	"slices"
+
+	"disco/internal/algebra"
+	"disco/internal/rowops"
+	"disco/internal/types"
+)
+
+// This file holds the two breakers without a spill path: sort and
+// duplicate elimination. Both materialize their input (they must), and
+// both produce exactly the sequential reference order under any worker
+// count — see the package comment's determinism contract.
+
+// sortOp materializes, sorts and streams. Workers > 1 stable-sorts
+// contiguous chunks in parallel and merges pairwise with left-chunk tie
+// priority, which reproduces the sequential stable sort bit for bit.
+type sortOp struct {
+	child  Op
+	schema *types.Schema
+	keys   []algebra.SortKey
+	opts   Options
+	size   int
+
+	started bool
+	rows    []types.Row
+	pos     int
+}
+
+func (s *sortOp) Open() error { return s.child.Open() }
+
+func (s *sortOp) Next(b *Batch) (bool, error) {
+	if !s.started {
+		if err := s.build(); err != nil {
+			return false, err
+		}
+		s.started = true
+	}
+	return emitSlice(s.rows, &s.pos, s.size, b), nil
+}
+
+// emitSlice streams a materialized result in aliasing batches; it is the
+// common drain of every breaker.
+func emitSlice(rows []types.Row, pos *int, size int, b *Batch) bool {
+	if *pos >= len(rows) {
+		b.Rows = nil
+		return false
+	}
+	n := len(rows) - *pos
+	if n > size {
+		n = size
+	}
+	b.Rows = rows[*pos : *pos+n]
+	*pos += n
+	return true
+}
+
+func (s *sortOp) build() error {
+	rows, err := drainChild(s.child, s.size)
+	if err != nil {
+		return err
+	}
+	cmp, err := rowops.CompileComparator(s.schema, s.keys)
+	if err != nil {
+		return err
+	}
+	w := s.opts.workers()
+	if w <= 1 || len(rows) < 2*morselRows {
+		slices.SortStableFunc(rows, cmp.Compare)
+		s.rows = rows
+		return nil
+	}
+	s.rows = parallelStableSort(rows, cmp, w)
+	return nil
+}
+
+func (s *sortOp) Close() error { return s.child.Close() }
+
+// parallelStableSort stable-sorts w contiguous chunks concurrently and
+// merges adjacent pairs (also concurrently) until one run remains. A
+// stable merge that prefers the left run on ties yields exactly the
+// sequential stable sort's order.
+func parallelStableSort(rows []types.Row, cmp rowops.RowComparator, w int) []types.Row {
+	chunks := chunkBounds(len(rows), w)
+	runWorkers(len(chunks), func(i int) {
+		c := chunks[i]
+		slices.SortStableFunc(rows[c[0]:c[1]], cmp.Compare)
+	})
+	buf := make([]types.Row, len(rows))
+	for len(chunks) > 1 {
+		pairs := len(chunks) / 2
+		next := make([][2]int, 0, (len(chunks)+1)/2)
+		for p := 0; p < pairs; p++ {
+			next = append(next, [2]int{chunks[2*p][0], chunks[2*p+1][1]})
+		}
+		if len(chunks)%2 == 1 {
+			next = append(next, chunks[len(chunks)-1])
+		}
+		runWorkers(pairs, func(p int) {
+			l, r := chunks[2*p], chunks[2*p+1]
+			mergeStable(buf[l[0]:r[1]], rows[l[0]:l[1]], rows[r[0]:r[1]], cmp)
+		})
+		for p := 0; p < pairs; p++ {
+			copy(rows[chunks[2*p][0]:chunks[2*p+1][1]], buf[chunks[2*p][0]:chunks[2*p+1][1]])
+		}
+		chunks = next
+	}
+	return rows
+}
+
+// mergeStable merges two sorted runs into dst, left run winning ties.
+func mergeStable(dst, l, r []types.Row, cmp rowops.RowComparator) {
+	i, j, k := 0, 0, 0
+	for i < len(l) && j < len(r) {
+		if cmp.Compare(l[i], r[j]) <= 0 {
+			dst[k] = l[i]
+			i++
+		} else {
+			dst[k] = r[j]
+			j++
+		}
+		k++
+	}
+	k += copy(dst[k:], l[i:])
+	copy(dst[k:], r[j:])
+}
+
+// dupElimOp removes duplicate rows keeping first occurrences in order.
+// Sequentially it streams (the seen-set is the only state); with workers
+// it materializes and uses partition-owner scanning: worker w encodes
+// every row in order but only consults its own seen-set for rows hashing
+// to its partition, recording survivors with their global index; a final
+// index sort restores the exact first-seen order.
+type dupElimOp struct {
+	child Op
+	opts  Options
+	size  int
+
+	// streaming state (workers <= 1)
+	seen map[string]struct{}
+	enc  rowops.KeyEncoder
+	in   *Batch
+	done bool
+
+	// materialized state (workers > 1)
+	started bool
+	out     []types.Row
+	pos     int
+}
+
+func (d *dupElimOp) Open() error {
+	if d.opts.workers() <= 1 {
+		d.seen = make(map[string]struct{})
+		d.in = getBatch(d.size)
+	}
+	return d.child.Open()
+}
+
+func (d *dupElimOp) Next(b *Batch) (bool, error) {
+	if d.opts.workers() > 1 {
+		if !d.started {
+			if err := d.buildParallel(); err != nil {
+				return false, err
+			}
+			d.started = true
+		}
+		return emitSlice(d.out, &d.pos, d.size, b), nil
+	}
+	out := b.own()
+	for !d.done {
+		ok, err := d.child.Next(d.in)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			d.done = true
+			break
+		}
+		for _, r := range d.in.Rows {
+			d.enc.Reset()
+			d.enc.Row(r)
+			if _, dup := d.seen[string(d.enc.Bytes())]; dup {
+				continue
+			}
+			d.seen[string(d.enc.Bytes())] = struct{}{}
+			out = append(out, r)
+		}
+		if len(out) >= d.size/2 {
+			b.emit(out)
+			return true, nil
+		}
+	}
+	b.emit(out)
+	return len(out) > 0, nil
+}
+
+func (d *dupElimOp) buildParallel() error {
+	rows, err := drainChild(d.child, d.size)
+	if err != nil {
+		return err
+	}
+	w := d.opts.workers()
+	type survivor struct {
+		row types.Row
+		idx int
+	}
+	parts := make([][]survivor, w)
+	runWorkers(w, func(p int) {
+		var enc rowops.KeyEncoder
+		seen := make(map[string]struct{})
+		var mine []survivor
+		for i, r := range rows {
+			enc.Reset()
+			enc.Row(r)
+			if int(fnvBytes(enc.Bytes())%uint64(w)) != p {
+				continue
+			}
+			if _, dup := seen[string(enc.Bytes())]; dup {
+				continue
+			}
+			seen[string(enc.Bytes())] = struct{}{}
+			mine = append(mine, survivor{row: r, idx: i})
+		}
+		parts[p] = mine
+	})
+	var all []survivor
+	for _, p := range parts {
+		all = append(all, p...)
+	}
+	slices.SortFunc(all, func(a, b survivor) int { return a.idx - b.idx })
+	d.out = make([]types.Row, len(all))
+	for i, s := range all {
+		d.out[i] = s.row
+	}
+	return nil
+}
+
+func (d *dupElimOp) Close() error {
+	putBatch(d.in)
+	d.in = nil
+	return d.child.Close()
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvBytes is the FNV-1a hash partition-owner breakers use to assign
+// encoded keys to partitions.
+func fnvBytes(b []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for _, c := range b {
+		h = (h ^ uint64(c)) * fnvPrime64
+	}
+	return h
+}

@@ -1,0 +1,372 @@
+package vexec
+
+import (
+	"disco/internal/rowops"
+	"disco/internal/types"
+)
+
+// hashJoinOp is the equi-join breaker. The right child is the build side
+// and the left the probe side (matching rowops.HashJoin). Three modes:
+//
+//   - sequential in-memory: one hash table built in input order, probe
+//     batches streamed through it — fully pipelined on the probe side
+//     and bit-identical to the reference join.
+//   - morsel-parallel in-memory (Workers > 1): the build table is
+//     partitioned by hash across workers (each worker scans the full
+//     build input in order, keeping its partition, so bucket lists stay
+//     input-ordered); the probe side is split into morsels claimed off
+//     an atomic cursor, each morsel's matches land in its own slot, and
+//     slots concatenate in morsel order — still bit-identical.
+//   - Grace spill (build side exceeds Options.MemBytes): both sides
+//     partition to disk by join-key hash, partitions join independently
+//     (recursing with the next hash window when one is still over
+//     budget), and outputs concatenate partition-major — a
+//     multiset-identical permutation.
+type hashJoinOp struct {
+	left, right Op
+	lpos, rpos  int
+	pred        pairPred
+	// equiOnly short-circuits candidate verification when the predicate
+	// is exactly the hashed equi conjunct: Constant.Equal on the two key
+	// positions is what the compiled slot would compute (Equal is
+	// symmetric, so conjunct orientation does not matter), minus the
+	// slot loop and side dispatch.
+	equiOnly bool
+	opts     Options
+	stat     *NodeStat
+	size     int
+
+	started bool
+	// streaming probe state (sequential in-memory mode)
+	streaming bool
+	transient bool
+	table     map[uint64][]types.Row
+	in        *Batch
+	done      bool
+	arena     arena
+	// materialized output (parallel and spill modes)
+	out    []types.Row
+	pos    int
+	spills []*spillSet
+}
+
+func (o *hashJoinOp) Open() error {
+	o.in = getBatch(o.size)
+	if err := o.left.Open(); err != nil {
+		return err
+	}
+	return o.right.Open()
+}
+
+func (o *hashJoinOp) Next(b *Batch) (bool, error) {
+	if !o.started {
+		if err := o.build(); err != nil {
+			return false, err
+		}
+		o.started = true
+	}
+	if o.streaming {
+		return o.probeStream(b)
+	}
+	return emitSlice(o.out, &o.pos, o.size, b), nil
+}
+
+func (o *hashJoinOp) Close() error {
+	for _, s := range o.spills {
+		s.cleanup()
+	}
+	o.spills = nil
+	putBatch(o.in)
+	o.in = nil
+	err := o.left.Close()
+	if err2 := o.right.Close(); err == nil {
+		err = err2
+	}
+	return err
+}
+
+// build drains the build (right) side, switching to spill partitioning
+// the moment the tracked bytes exceed the budget, then picks the probe
+// mode.
+func (o *hashJoinOp) build() error {
+	b := getBatch(o.size)
+	defer putBatch(b)
+	budget := o.opts.MemBytes
+	var buildRows []types.Row
+	var bytes int64
+	var bset *spillSet
+	for {
+		ok, err := o.right.Next(b)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if bset != nil {
+			for _, r := range b.Rows {
+				if err := bset.add(rowops.JoinKeyHash(r[o.rpos]), r); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		buildRows = append(buildRows, b.Rows...)
+		if budget > 0 {
+			bytes += rowops.RowBytes(b.Rows)
+			if bytes > budget {
+				bset, err = newSpillSet(o.opts.SpillDir, 0)
+				if err != nil {
+					return err
+				}
+				o.spills = append(o.spills, bset)
+				for _, r := range buildRows {
+					if err := bset.add(rowops.JoinKeyHash(r[o.rpos]), r); err != nil {
+						return err
+					}
+				}
+				buildRows = nil
+			}
+		}
+	}
+	if bset != nil {
+		o.stat.Spilled = true
+		return o.spillJoin(bset)
+	}
+	if o.opts.workers() > 1 {
+		return o.parallelJoin(buildRows)
+	}
+	o.table = buildSeqTable(buildRows, o.rpos)
+	o.streaming = true
+	return nil
+}
+
+// match verifies one candidate pair from a hash bucket.
+func (o *hashJoinOp) match(l, r types.Row) bool {
+	if o.equiOnly {
+		return l[o.lpos].Equal(r[o.rpos])
+	}
+	return o.pred.eval(l, r)
+}
+
+func buildSeqTable(rows []types.Row, rpos int) map[uint64][]types.Row {
+	t := make(map[uint64][]types.Row, len(rows))
+	for _, r := range rows {
+		h := rowops.JoinKeyHash(r[rpos])
+		t[h] = append(t[h], r)
+	}
+	return t
+}
+
+// probeStream pipelines probe batches through the in-memory table.
+func (o *hashJoinOp) probeStream(b *Batch) (bool, error) {
+	if o.transient {
+		o.arena.reset()
+	}
+	out := b.own()
+	for !o.done {
+		ok, err := o.left.Next(o.in)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			o.done = true
+			break
+		}
+		if o.equiOnly {
+			for _, l := range o.in.Rows {
+				lk := l[o.lpos]
+				for _, r := range o.table[rowops.JoinKeyHash(lk)] {
+					if lk.Equal(r[o.rpos]) {
+						out = append(out, o.arena.concat(l, r))
+					}
+				}
+			}
+		} else {
+			for _, l := range o.in.Rows {
+				for _, r := range o.table[rowops.JoinKeyHash(l[o.lpos])] {
+					if o.pred.eval(l, r) {
+						out = append(out, o.arena.concat(l, r))
+					}
+				}
+			}
+		}
+		if len(out) >= o.size/2 {
+			b.emit(out)
+			return true, nil
+		}
+	}
+	b.emit(out)
+	return len(out) > 0, nil
+}
+
+// parallelJoin is the morsel-parallel in-memory mode.
+func (o *hashJoinOp) parallelJoin(buildRows []types.Row) error {
+	w := o.opts.workers()
+	// Hash the build keys once, in parallel morsels (disjoint ranges).
+	hashes := make([]uint64, len(buildRows))
+	hq := newMorselQueue(len(buildRows))
+	runWorkers(w, func(int) {
+		for {
+			lo, hi, _, ok := hq.claim()
+			if !ok {
+				return
+			}
+			for i := lo; i < hi; i++ {
+				hashes[i] = rowops.JoinKeyHash(buildRows[i][o.rpos])
+			}
+		}
+	})
+	// Partition-owner build: worker p scans the full build input in
+	// order, keeping rows hashing to its partition — bucket lists are
+	// input-ordered exactly like the sequential table's.
+	tables := make([]map[uint64][]types.Row, w)
+	runWorkers(w, func(p int) {
+		t := make(map[uint64][]types.Row, len(buildRows)/w+1)
+		for i, r := range buildRows {
+			if int(hashes[i]%uint64(w)) == p {
+				t[hashes[i]] = append(t[hashes[i]], r)
+			}
+		}
+		tables[p] = t
+	})
+	probeRows, err := drainChild(o.left, o.size)
+	if err != nil {
+		return err
+	}
+	// Morsel-driven probe: dynamic claiming, deterministic merge by
+	// morsel ordinal.
+	pq := newMorselQueue(len(probeRows))
+	outs := make([][]types.Row, pq.count())
+	arenas := make([]arena, w)
+	runWorkers(w, func(wk int) {
+		a := &arenas[wk]
+		for {
+			lo, hi, idx, ok := pq.claim()
+			if !ok {
+				return
+			}
+			var slot []types.Row
+			for i := lo; i < hi; i++ {
+				l := probeRows[i]
+				h := rowops.JoinKeyHash(l[o.lpos])
+				for _, r := range tables[h%uint64(w)][h] {
+					if o.match(l, r) {
+						slot = append(slot, a.concat(l, r))
+					}
+				}
+			}
+			outs[idx] = slot
+		}
+	})
+	total := 0
+	for _, s := range outs {
+		total += len(s)
+	}
+	o.out = make([]types.Row, 0, total)
+	for _, s := range outs {
+		o.out = append(o.out, s...)
+	}
+	return nil
+}
+
+// spillJoin partitions the probe side to disk and joins partition pairs.
+func (o *hashJoinOp) spillJoin(bset *spillSet) error {
+	pset, err := newSpillSet(o.opts.SpillDir, 0)
+	if err != nil {
+		return err
+	}
+	o.spills = append(o.spills, pset)
+	b := getBatch(o.size)
+	defer putBatch(b)
+	for {
+		ok, err := o.left.Next(b)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		for _, l := range b.Rows {
+			if err := pset.add(rowops.JoinKeyHash(l[o.lpos]), l); err != nil {
+				return err
+			}
+		}
+	}
+	for p := 0; p < spillFanout; p++ {
+		if err := o.joinPartition(bset, pset, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// joinPartition joins one build/probe partition pair, repartitioning
+// with the next hash window when the build partition alone still
+// exceeds the budget.
+func (o *hashJoinOp) joinPartition(bset, pset *spillSet, p int) error {
+	build, err := bset.readAll(p)
+	if err != nil {
+		return err
+	}
+	level := bset.level
+	if level+1 < maxSpillLevels && o.opts.MemBytes > 0 && rowops.RowBytes(build) > o.opts.MemBytes {
+		bsub, err := newSpillSet(o.opts.SpillDir, level+1)
+		if err != nil {
+			return err
+		}
+		o.spills = append(o.spills, bsub)
+		for _, r := range build {
+			if err := bsub.add(rowops.JoinKeyHash(r[o.rpos]), r); err != nil {
+				return err
+			}
+		}
+		build = nil
+		psub, err := newSpillSet(o.opts.SpillDir, level+1)
+		if err != nil {
+			return err
+		}
+		o.spills = append(o.spills, psub)
+		pr, err := pset.parts[p].startRead()
+		if err != nil {
+			return err
+		}
+		for {
+			l, ok, err := pr.next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			if err := psub.add(rowops.JoinKeyHash(l[o.lpos]), l); err != nil {
+				return err
+			}
+		}
+		for sp := 0; sp < spillFanout; sp++ {
+			if err := o.joinPartition(bsub, psub, sp); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	table := buildSeqTable(build, o.rpos)
+	pr, err := pset.parts[p].startRead()
+	if err != nil {
+		return err
+	}
+	for {
+		l, ok, err := pr.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		for _, r := range table[rowops.JoinKeyHash(l[o.lpos])] {
+			if o.match(l, r) {
+				o.out = append(o.out, o.arena.concat(l, r))
+			}
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package vexec
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// morselRows is the number of input rows one morsel covers. Morsels are
+// the work-stealing unit inside pipeline breakers: workers claim them
+// dynamically off a shared atomic cursor (arXiv 2501.08896's
+// morsel-driven scheduling), while every per-morsel output lands in a
+// slot indexed by the morsel's position so merges are deterministic no
+// matter which worker ran which morsel.
+const morselRows = 1024
+
+// morselQueue hands out index ranges [lo,hi) over a total of n rows.
+type morselQueue struct {
+	next  atomic.Int64
+	total int
+}
+
+func newMorselQueue(total int) *morselQueue {
+	return &morselQueue{total: total}
+}
+
+// count is the number of morsels the queue will hand out in total.
+func (q *morselQueue) count() int {
+	return (q.total + morselRows - 1) / morselRows
+}
+
+// claim returns the next unclaimed morsel: its row range and its ordinal
+// (the deterministic output slot).
+func (q *morselQueue) claim() (lo, hi, idx int, ok bool) {
+	i := int(q.next.Add(1)) - 1
+	lo = i * morselRows
+	if lo >= q.total {
+		return 0, 0, 0, false
+	}
+	hi = lo + morselRows
+	if hi > q.total {
+		hi = q.total
+	}
+	return lo, hi, i, true
+}
+
+// runWorkers runs fn(0..n-1) on n goroutines (the calling goroutine is
+// worker 0) and waits for all of them.
+func runWorkers(n int, fn func(w int)) {
+	if n <= 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 1; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			fn(w)
+		}(w)
+	}
+	fn(0)
+	wg.Wait()
+}
+
+// chunkBounds splits n items into at most w contiguous, near-equal
+// chunks (the parallel sort's partitioning; never empty chunks).
+func chunkBounds(n, w int) [][2]int {
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	out := make([][2]int, 0, w)
+	for i := 0; i < w; i++ {
+		lo := i * n / w
+		hi := (i + 1) * n / w
+		if lo < hi {
+			out = append(out, [2]int{lo, hi})
+		}
+	}
+	return out
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package vexec_test
+
+const raceEnabled = false

@@ -1,0 +1,224 @@
+// Package vexec is the mediator's pipelined, vectorized execution
+// engine: the batch-iterator replacement for evaluating algebra trees
+// one materialized operator at a time. Operators consume and produce
+// fixed-size row batches (DefaultBatchSize rows) through a pull-based
+// Next(batch) interface; filter, project, union and nested-loop join run
+// fully pipelined, while sort, duplicate elimination, hash join and
+// aggregation are pipeline breakers with morsel-driven intra-query
+// parallelism (Options.Workers) and Grace-style spill-to-disk
+// partitioning for inputs larger than the memory budget
+// (Options.MemBytes).
+//
+// Determinism contract (relied on by the engine's bit-identity tests and
+// the loadgen digest oracle):
+//
+//   - Workers <= 1 and no spill: output is bit-identical to the
+//     materializing reference operators in internal/rowops.
+//   - Workers > 1, no spill: still bit-identical — breakers use
+//     partition-owner scheduling (each worker folds the full input in
+//     order, keeping only its partition) and morsel-ordered merges, so
+//     even float aggregate sums accumulate in exact input order.
+//   - Spill: row values stay bit-identical (per-group/per-pair work is
+//     still input-ordered inside a partition) but output order becomes
+//     partition-major — a multiset-identical permutation.
+//
+// The engine charges virtual-clock time analytically from the operator
+// row counts this package reports (see Counts), so the wall-clock gains
+// here never perturb the simulation's measured response times.
+package vexec
+
+import (
+	"sync"
+
+	"disco/internal/types"
+)
+
+// DefaultBatchSize is the target rows-per-batch of the pipeline.
+const DefaultBatchSize = 1024
+
+// Options configures one pipeline execution.
+type Options struct {
+	// Workers is the morsel-driven parallelism inside pipeline breakers;
+	// values below 2 mean sequential execution (the bit-identical mode).
+	Workers int
+	// MemBytes bounds the bytes a hash join build side or an aggregation
+	// input may hold in memory before Grace-partitioning to disk.
+	// 0 disables spilling.
+	MemBytes int64
+	// SpillDir is where spill partitions are created ("" = os.TempDir()).
+	SpillDir string
+	// BatchSize overrides DefaultBatchSize (0 = default).
+	BatchSize int
+}
+
+func (o Options) workers() int {
+	if o.Workers < 1 {
+		return 1
+	}
+	return o.Workers
+}
+
+func (o Options) batchSize() int {
+	if o.BatchSize <= 0 {
+		return DefaultBatchSize
+	}
+	return o.BatchSize
+}
+
+// Batch is one vector of rows flowing through the pipeline. The slice
+// header is reused across Next calls; the row backing arrays are not, so
+// retaining row values across pulls is safe (breakers depend on this),
+// retaining the Rows slice itself is not.
+type Batch struct {
+	// Rows is the batch contents. It may alias upstream storage (a
+	// source's row set, a breaker's materialized output) — read-only for
+	// the consumer.
+	Rows []types.Row
+	// buf is the batch's owned backing array. Operators that build output
+	// into the caller's batch MUST append into own() and publish with
+	// emit(); appending into Rows[:0] would write through whatever
+	// storage the batch last aliased (e.g. a source's catalog rows once
+	// the batch cycles through the pool).
+	buf []types.Row
+}
+
+// own returns the batch's owned storage, emptied, for building output.
+func (b *Batch) own() []types.Row { return b.buf[:0] }
+
+// emit publishes rows built in own() storage (append may have grown it).
+func (b *Batch) emit(rows []types.Row) {
+	b.buf = rows
+	b.Rows = rows
+}
+
+// Op is the pull-based batch iterator every operator implements.
+//
+// Next fills b.Rows (possibly aliasing upstream storage) and reports
+// whether the batch carries any rows; false means the operator is
+// exhausted and b.Rows is empty. The batch contents are valid until the
+// next Next or Close call on the same operator. Open must be called
+// once before Next; Close releases resources (spill files, pooled
+// batches) and must be called exactly once, even after an error.
+type Op interface {
+	Open() error
+	Next(b *Batch) (bool, error)
+	Close() error
+}
+
+// batchPool recycles batch buffers across pipelines so steady-state
+// execution performs no per-batch allocations.
+var batchPool = sync.Pool{New: func() any { return new(Batch) }}
+
+func getBatch(size int) *Batch {
+	b := batchPool.Get().(*Batch)
+	if cap(b.buf) < size {
+		b.buf = make([]types.Row, 0, size)
+	}
+	b.Rows = nil
+	return b
+}
+
+func putBatch(b *Batch) {
+	if b == nil {
+		return
+	}
+	b.Rows = nil // drop any alias of upstream storage
+	batchPool.Put(b)
+}
+
+// Drain opens the pipeline, pulls it to exhaustion and returns every row
+// in emission order. It is the materialization boundary the engine and
+// wrapper use at the plan root.
+func Drain(root Op, batchSize int) ([]types.Row, error) {
+	if err := root.Open(); err != nil {
+		root.Close()
+		return nil, err
+	}
+	b := getBatch(batchSize)
+	defer putBatch(b)
+	var out []types.Row
+	for {
+		ok, err := root.Next(b)
+		if err != nil {
+			root.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		out = append(out, b.Rows...)
+	}
+	if err := root.Close(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Discard opens the pipeline and pulls it to exhaustion without
+// materializing the output. The steady-state allocation gate uses it so
+// the measurement sees only the pipeline's own allocations, not the
+// result slice growing.
+func Discard(root Op, batchSize int) error {
+	if err := root.Open(); err != nil {
+		root.Close()
+		return err
+	}
+	b := getBatch(batchSize)
+	defer putBatch(b)
+	for {
+		ok, err := root.Next(b)
+		if err != nil {
+			root.Close()
+			return err
+		}
+		if !ok {
+			break
+		}
+	}
+	return root.Close()
+}
+
+// arenaChunk is the constants-per-slab granularity of the row arena.
+const arenaChunk = 16384
+
+// arena bump-allocates row storage in large slabs so operators that
+// build output rows (project, joins) do not allocate per row. By default
+// slabs are never recycled: emitted rows reference them, and the arena
+// simply drops its pointer when a slab fills (the rows keep it alive).
+// An operator marked transient (its consumer provably never retains row
+// storage past the next pull — see markTransient) calls reset() at the
+// top of each Next instead, reusing one steady-state slab so join- and
+// project-heavy pipelines stop allocating per batch.
+type arena struct {
+	slab []types.Constant
+}
+
+// reset rewinds the slab for reuse. Only safe when every row handed out
+// since the last reset is already dead (the transient contract).
+func (a *arena) reset() { a.slab = a.slab[:0] }
+
+// alloc returns a row of n constants carved from the slab (zeroed when
+// the slab is fresh; callers overwrite every position). The full slice
+// expression pins the capacity so a later append on the row cannot
+// clobber a neighbour.
+func (a *arena) alloc(n int) types.Row {
+	if len(a.slab)+n > cap(a.slab) {
+		c := arenaChunk
+		if n > c {
+			c = n
+		}
+		a.slab = make([]types.Constant, 0, c)
+	}
+	off := len(a.slab)
+	a.slab = a.slab[:off+n]
+	return types.Row(a.slab[off : off+n : off+n])
+}
+
+// concat builds l ++ r in arena storage (the pipelined replacement for
+// types.Row.Concat, which allocates per call).
+func (a *arena) concat(l, r types.Row) types.Row {
+	row := a.alloc(len(l) + len(r))
+	copy(row, l)
+	copy(row[len(l):], r)
+	return row
+}

@@ -14,6 +14,7 @@ import (
 	"disco/internal/rowops"
 	"disco/internal/stats"
 	"disco/internal/types"
+	"disco/internal/vexec"
 )
 
 // Capabilities lists the algebra operators a wrapper can execute locally.
@@ -106,28 +107,35 @@ type planSource interface {
 	deliver(n int)
 }
 
-// execPlan evaluates a resolved subplan against a source. Selections
-// directly over scans try an index access path for one sargable conjunct,
-// mirroring source autonomy: the wrapper, not the mediator, picks its
-// access method.
+// execPlan evaluates a resolved subplan against a source through the
+// vectorized batch pipeline. The source-specific access paths live in
+// the pipeline's Leaf hook: scans read the store, and selections
+// directly over scans try an index access path for one sargable
+// conjunct, mirroring source autonomy — the wrapper, not the mediator,
+// picks its access method. Everything else (projections, sorts, joins a
+// capable wrapper accepted) runs on the generic batch operators,
+// sequentially: morsel parallelism and spilling are mediator-side
+// features, and a wrapper's virtual time is charged by its store, not
+// by operator formulas.
 func execPlan(src planSource, n *algebra.Node) ([]types.Row, error) {
-	if n.OutSchema == nil {
-		return nil, fmt.Errorf("wrapper: unresolved plan node %s", n.Kind)
-	}
-	switch n.Kind {
-	case algebra.OpScan:
-		return src.scanAll(n.Collection)
+	return vexec.Run(n, &vexec.Env{Leaf: func(n *algebra.Node) ([]types.Row, bool, error) {
+		switch n.Kind {
+		case algebra.OpScan:
+			rows, err := src.scanAll(n.Collection)
+			return rows, true, err
 
-	case algebra.OpSelect:
-		child := n.Children[0]
-		if child.Kind == algebra.OpScan && n.Pred != nil {
+		case algebra.OpSelect:
+			child := n.Children[0]
+			if child.Kind != algebra.OpScan || n.Pred == nil {
+				return nil, false, nil
+			}
 			for i, cmp := range n.Pred.Conjuncts {
 				if cmp.IsJoin() {
 					continue
 				}
 				rows, ok, err := src.indexSelect(child.Collection, cmp)
 				if err != nil {
-					return nil, err
+					return nil, true, err
 				}
 				if !ok {
 					continue
@@ -138,75 +146,15 @@ func execPlan(src planSource, n *algebra.Node) ([]types.Row, error) {
 						rest.Conjuncts = append(rest.Conjuncts, c.Clone())
 					}
 				}
-				return rowops.Filter(n.OutSchema, rows, rest), nil
+				return rowops.Filter(n.OutSchema, rows, rest), true, nil
 			}
-		}
-		rows, err := execPlan(src, child)
-		if err != nil {
-			return nil, err
-		}
-		return rowops.Filter(n.OutSchema, rows, n.Pred), nil
+			return nil, false, nil
 
-	case algebra.OpProject:
-		rows, err := execPlan(src, n.Children[0])
-		if err != nil {
-			return nil, err
+		case algebra.OpSubmit:
+			return nil, false, fmt.Errorf("wrapper: nested submit in a wrapper subplan")
 		}
-		return rowops.Project(n.Children[0].OutSchema, rows, n.Cols)
-
-	case algebra.OpSort:
-		rows, err := execPlan(src, n.Children[0])
-		if err != nil {
-			return nil, err
-		}
-		return rowops.Sort(n.OutSchema, rows, n.Keys)
-
-	case algebra.OpDupElim:
-		rows, err := execPlan(src, n.Children[0])
-		if err != nil {
-			return nil, err
-		}
-		return rowops.DupElim(rows), nil
-
-	case algebra.OpAggregate:
-		rows, err := execPlan(src, n.Children[0])
-		if err != nil {
-			return nil, err
-		}
-		return rowops.Aggregate(n.Children[0].OutSchema, rows, n.GroupBy, n.Aggs)
-
-	case algebra.OpUnion:
-		left, err := execPlan(src, n.Children[0])
-		if err != nil {
-			return nil, err
-		}
-		right, err := execPlan(src, n.Children[1])
-		if err != nil {
-			return nil, err
-		}
-		return rowops.Union(left, right), nil
-
-	case algebra.OpJoin:
-		left, err := execPlan(src, n.Children[0])
-		if err != nil {
-			return nil, err
-		}
-		right, err := execPlan(src, n.Children[1])
-		if err != nil {
-			return nil, err
-		}
-		if rows, ok := rowops.HashJoin(n.Children[0].OutSchema, n.Children[1].OutSchema,
-			n.OutSchema, left, right, n.Pred, nil); ok {
-			return rows, nil
-		}
-		return rowops.NestedLoopJoin(n.OutSchema, left, right, n.Pred, nil), nil
-
-	case algebra.OpSubmit:
-		return nil, fmt.Errorf("wrapper: nested submit in a wrapper subplan")
-
-	default:
-		return nil, fmt.Errorf("wrapper: cannot execute operator %s", n.Kind)
-	}
+		return nil, false, nil
+	}})
 }
 
 // runSubplan executes a subplan and wraps the result, charging delivery.
