@@ -8,7 +8,7 @@ GO ?= go
 RACE_PKGS = ./internal/optimizer ./internal/mediator ./internal/wrapper ./internal/netsim
 
 .PHONY: all build test race bench experiments fmt vet clean \
-	ci ci-build ci-test ci-vet ci-fmt ci-lint ci-race ci-alloc ci-faultmatrix ci-feedback ci-fuzz ci-concurrency ci-bench ci-exec ci-soak ci-resultcache
+	ci ci-build ci-test ci-vet ci-fmt ci-lint ci-race ci-alloc ci-faultmatrix ci-feedback ci-fuzz ci-concurrency ci-bench ci-exec ci-soak ci-resultcache ci-router
 
 all: build test
 
@@ -47,13 +47,13 @@ vet:
 
 clean:
 	$(GO) clean ./...
-	rm -f bench.out exec.out soak.out soakexec.out rcoff.out rcon.out BENCH_pr.json BENCH_pr.json.tmp
+	rm -f bench.out exec.out soak.out soakexec.out rcoff.out rcon.out router1.out router2.out router4.out BENCH_pr.json BENCH_pr.json.tmp
 	rm -rf .tools
 
 # `make ci` runs exactly what .github/workflows/ci.yml runs; the workflow
 # invokes these ci-* targets so the two cannot drift. Run it before
 # pushing.
-ci: ci-build ci-test ci-vet ci-fmt ci-lint ci-race ci-alloc ci-faultmatrix ci-feedback ci-fuzz ci-concurrency ci-bench ci-exec ci-soak ci-resultcache
+ci: ci-build ci-test ci-vet ci-fmt ci-lint ci-race ci-alloc ci-faultmatrix ci-feedback ci-fuzz ci-concurrency ci-bench ci-exec ci-soak ci-resultcache ci-router
 
 ci-build:
 	$(GO) build ./...
@@ -203,3 +203,42 @@ ci-resultcache:
 	awk -v on="$$on" -v off="$$off" 'BEGIN { \
 		if (on + 0 < off * 0.9) { print "ci-resultcache: cache-on qps regressed vs cache-off"; exit 1 } }'
 	rm -f rcoff.out rcon.out
+
+# The federation-router gate (DESIGN.md §13, EXPERIMENTS.md E14): the
+# router suite under the race detector — ring distribution/minimal-
+# movement properties, the pinned cost-bias test (a deliberately slowed
+# replica must lose ring weight and routed share), gossip warm-through,
+# scatter-gather digest identity against a single-mediator oracle — then
+# the multi-replica chaos soak (a replica killed and restarted mid-run:
+# zero wedged clients, zero oracle mismatches), and finally the E14
+# scale-out sweep: discoload at 1, 2 and 4 replicas, all three merged
+# into BENCH_pr.json. The >=1.7x qps gate (4 replicas vs 1) only
+# enforces on hosts with >=4 CPUs — with fewer cores the replicas share
+# the same silicon and scale-out cannot show (EXPERIMENTS.md E14 caveat);
+# the sweep is still recorded.
+ci-router:
+	$(GO) test -race -count=1 ./internal/router
+	$(GO) test -race -count=1 -timeout 600s -run 'TestSoakRouter' ./cmd/discoload
+	$(GO) run ./cmd/discoload -demo -replicas 1 -parts 2000 -clients 64 -requests 40 -seed 7 \
+		-bench DiscoloadRouterReplicas1 > router1.out
+	$(GO) run ./cmd/discoload -demo -replicas 2 -parts 2000 -clients 64 -requests 40 -seed 7 \
+		-bench DiscoloadRouterReplicas2 > router2.out
+	$(GO) run ./cmd/discoload -demo -replicas 4 -parts 2000 -clients 64 -requests 40 -seed 7 \
+		-bench DiscoloadRouterReplicas4 > router4.out
+	$(GO) run ./cmd/benchjson -merge BENCH_pr.json < router1.out > BENCH_pr.json.tmp
+	mv BENCH_pr.json.tmp BENCH_pr.json
+	$(GO) run ./cmd/benchjson -merge BENCH_pr.json < router2.out > BENCH_pr.json.tmp
+	mv BENCH_pr.json.tmp BENCH_pr.json
+	$(GO) run ./cmd/benchjson -merge BENCH_pr.json < router4.out > BENCH_pr.json.tmp
+	mv BENCH_pr.json.tmp BENCH_pr.json
+	@one=$$(awk '{for(i=1;i<NF;i++) if ($$(i+1)=="qps") print $$i}' router1.out); \
+	four=$$(awk '{for(i=1;i<NF;i++) if ($$(i+1)=="qps") print $$i}' router4.out); \
+	ncpu=$$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1); \
+	echo "ci-router: qps replicas=1 $$one, replicas=4 $$four (cpus=$$ncpu)"; \
+	if [ "$$ncpu" -ge 4 ]; then \
+		awk -v one="$$one" -v four="$$four" 'BEGIN { \
+			if (four + 0 < one * 1.7) { print "ci-router: 4-replica qps below 1.7x the single-replica baseline"; exit 1 } }'; \
+	else \
+		echo "ci-router: <4 CPUs — scale-out ratio recorded, not gated (EXPERIMENTS.md E14)"; \
+	fi
+	rm -f router1.out router2.out router4.out

@@ -3,10 +3,15 @@
 //
 // Usage:
 //
-//	discoctl [-connect localhost:4077] [query]
+//	discoctl [-connect localhost:4077[,host2:4177...]] [query]
 //
 // With a query argument it runs once and exits; otherwise it reads
-// queries from standard input. Shell commands:
+// queries from standard input. -connect accepts a comma-separated list
+// of addresses — a replica set, typically the replicas behind a
+// discorouter: queries and admin ops go to the first address, while
+// \stats scrapes every address and renders one aggregated table (one
+// row per replica plus a TOTAL row) instead of per-server JSON.
+// Shell commands:
 //
 //	\explain <sql>   show the chosen plan with cost annotations
 //	\analyze <sql>   execute and show the plan with estimated vs actual
@@ -22,20 +27,27 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
 	"os"
 	"strings"
+	"time"
 
 	"disco/internal/proto"
 )
 
 func main() {
-	addr := flag.String("connect", "localhost:4077", "mediator address")
+	addr := flag.String("connect", "localhost:4077", "mediator address, or a comma-separated replica list")
 	flag.Parse()
 
-	conn, err := net.Dial("tcp", *addr)
+	addrs := splitAddrs(*addr)
+	if len(addrs) == 0 {
+		fmt.Fprintln(os.Stderr, "discoctl: no addresses in -connect")
+		os.Exit(1)
+	}
+	conn, err := net.Dial("tcp", addrs[0])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "discoctl:", err)
 		os.Exit(1)
@@ -43,14 +55,22 @@ func main() {
 	defer conn.Close()
 	r := proto.NewReader(conn)
 
+	dispatch := func(line string) bool {
+		req := parseLine(line)
+		if req.Op == "stats" && len(addrs) > 1 {
+			return aggregateStats(addrs)
+		}
+		return roundtrip(conn, r, req)
+	}
+
 	if q := strings.Join(flag.Args(), " "); strings.TrimSpace(q) != "" {
-		if !roundtrip(conn, r, parseLine(q)) {
+		if !dispatch(q) {
 			os.Exit(1)
 		}
 		return
 	}
 
-	fmt.Println("connected to", *addr, "— \\quit to exit")
+	fmt.Println("connected to", strings.Join(addrs, ", "), "— \\quit to exit")
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Print("disco> ")
 	for sc.Scan() {
@@ -62,9 +82,121 @@ func main() {
 		if line == `\quit` || line == `\q` {
 			return
 		}
-		roundtrip(conn, r, parseLine(line))
+		dispatch(line)
 		fmt.Print("disco> ")
 	}
+}
+
+func splitAddrs(spec string) []string {
+	var out []string
+	for _, a := range strings.Split(spec, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// statsView is the slice of a discod stats payload the aggregated table
+// renders. Mediator counters are serialized under their Go field names
+// (mediator.Stats carries no JSON tags).
+type statsView struct {
+	Mediator struct {
+		QueriesServed   int64
+		QueryErrors     int64
+		Shed            int64
+		InFlight        int
+		PartialAnswers  int64
+		PlanCacheHits   int64
+		PlanCacheMisses int64
+		ResultCacheHits int64
+	} `json:"mediator"`
+	Accepted    int64  `json:"accepted"`
+	ActiveConns int    `json:"active_conns"`
+	Epoch       uint64 `json:"epoch"`
+}
+
+// aggregateStats scrapes every replica's stats op and renders one table:
+// a row per replica and a TOTAL row, the fleet view a federation
+// operator reads instead of n JSON dumps.
+func aggregateStats(addrs []string) bool {
+	header := []string{"replica", "served", "errors", "shed", "inflight", "partials",
+		"plan-hits", "rc-hits", "conns", "epoch"}
+	rows := [][]string{header}
+	var total statsView
+	ok := true
+	for _, a := range addrs {
+		var v statsView
+		if err := scrapeInto(a, &v); err != nil {
+			fmt.Fprintf(os.Stderr, "discoctl: %s: %v\n", a, err)
+			rows = append(rows, []string{a, "-", "-", "-", "-", "-", "-", "-", "-", "-"})
+			ok = false
+			continue
+		}
+		m := &v.Mediator
+		rows = append(rows, []string{a,
+			fmt.Sprint(m.QueriesServed), fmt.Sprint(m.QueryErrors), fmt.Sprint(m.Shed),
+			fmt.Sprint(m.InFlight), fmt.Sprint(m.PartialAnswers),
+			fmt.Sprint(m.PlanCacheHits), fmt.Sprint(m.ResultCacheHits),
+			fmt.Sprint(v.ActiveConns), fmt.Sprint(v.Epoch)})
+		total.Mediator.QueriesServed += m.QueriesServed
+		total.Mediator.QueryErrors += m.QueryErrors
+		total.Mediator.Shed += m.Shed
+		total.Mediator.InFlight += m.InFlight
+		total.Mediator.PartialAnswers += m.PartialAnswers
+		total.Mediator.PlanCacheHits += m.PlanCacheHits
+		total.Mediator.ResultCacheHits += m.ResultCacheHits
+		total.ActiveConns += v.ActiveConns
+	}
+	tm := &total.Mediator
+	rows = append(rows, []string{"TOTAL",
+		fmt.Sprint(tm.QueriesServed), fmt.Sprint(tm.QueryErrors), fmt.Sprint(tm.Shed),
+		fmt.Sprint(tm.InFlight), fmt.Sprint(tm.PartialAnswers),
+		fmt.Sprint(tm.PlanCacheHits), fmt.Sprint(tm.ResultCacheHits),
+		fmt.Sprint(total.ActiveConns), "-"})
+
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for ri, row := range rows {
+		for ci, cell := range row {
+			fmt.Printf("%-*s  ", widths[ci], cell)
+		}
+		fmt.Println()
+		if ri == 0 {
+			for _, w := range widths {
+				fmt.Print(strings.Repeat("-", w), "  ")
+			}
+			fmt.Println()
+		}
+	}
+	return ok
+}
+
+// scrapeInto runs one stats op against addr on a fresh connection.
+func scrapeInto(addr string, v *statsView) error {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
+	if err := proto.Write(conn, &proto.Request{Op: "stats"}); err != nil {
+		return err
+	}
+	resp, err := proto.NewReader(conn).ReadResponse()
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("stats op: %s", resp.Error)
+	}
+	return json.Unmarshal([]byte(resp.Text), v)
 }
 
 func parseLine(line string) *proto.Request {

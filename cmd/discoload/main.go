@@ -17,7 +17,11 @@
 // from the semantic result cache; the scraped hit rate lands in the
 // report as result_cache_hit_rate and on the -bench line. -exec-workers
 // and -exec-mem-bytes switch the mediator's vectorized engine into
-// morsel-parallel and spill-bounded modes respectively.
+// morsel-parallel and spill-bounded modes respectively. -replicas N
+// (N > 1) brings up N identical demo replicas fronted by an in-process
+// federation router (internal/router) with scatter-gather partitions
+// declared — the scale-out soak mode; the report's per_target section
+// then breaks the run down by serving replica.
 //
 // The workload is deterministic in -seed: a zipf-skewed hot pool of
 // prepared statements (plan-cache hits), a stream of ad-hoc statements
@@ -46,6 +50,7 @@ import (
 
 	"disco/internal/loadgen"
 	"disco/internal/resultcache"
+	"disco/internal/router"
 	"disco/internal/serving"
 )
 
@@ -62,6 +67,7 @@ func main() {
 		rcTTL    = flag.Float64("result-cache-ttl-ms", 0, "demo mode: result cache TTL in virtual ms (0 = none)")
 		execW    = flag.Int("exec-workers", 0, "demo mode: morsel-parallel breaker workers (<2 = sequential)")
 		execMem  = flag.Int64("exec-mem-bytes", 0, "demo mode: breaker spill budget in bytes (0 = never spill)")
+		replicas = flag.Int("replicas", 1, "demo mode: identical replicas fronted by an in-process federation router (1 = single server)")
 
 		clients  = flag.Int("clients", 64, "concurrent client connections")
 		requests = flag.Int("requests", 100, "requests per client")
@@ -86,32 +92,62 @@ func main() {
 		if *addrs != "" {
 			log.Fatal("discoload: -demo and -addrs are mutually exclusive")
 		}
-		fed, err := serving.NewDemoFederation(serving.Options{
-			Parts:        *parts,
-			Feedback:     *feedback,
-			MaxInFlight:  *inflight,
-			QueueTimeout: *queue,
-			ResultCache: resultcache.Config{
-				Enabled:  *rcOn,
-				MaxBytes: *rcBytes,
-				TTLMS:    *rcTTL,
-			},
-			ExecWorkers:  *execW,
-			ExecMemBytes: *execMem,
-		})
-		if err != nil {
-			log.Fatal("discoload: ", err)
+		if *replicas < 1 {
+			log.Fatal("discoload: -replicas must be at least 1")
 		}
-		srv := serving.NewServer(fed, 5*time.Minute)
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			log.Fatal("discoload: ", err)
+		// Every replica is the same deterministic demo federation, so a
+		// router may scatter partitioned scans across them and bag-union
+		// the shards into exact answers.
+		repConfigs := make([]router.ReplicaConfig, 0, *replicas)
+		for i := 0; i < *replicas; i++ {
+			fed, err := serving.NewDemoFederation(serving.Options{
+				Parts:        *parts,
+				Feedback:     *feedback,
+				MaxInFlight:  *inflight,
+				QueueTimeout: *queue,
+				ResultCache: resultcache.Config{
+					Enabled:  *rcOn,
+					MaxBytes: *rcBytes,
+					TTLMS:    *rcTTL,
+				},
+				ExecWorkers:  *execW,
+				ExecMemBytes: *execMem,
+			})
+			if err != nil {
+				log.Fatal("discoload: ", err)
+			}
+			srv := serving.NewServer(fed, 5*time.Minute)
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				log.Fatal("discoload: ", err)
+			}
+			go srv.Serve(ln)
+			defer srv.Shutdown(5 * time.Second)
+			repConfigs = append(repConfigs, router.ReplicaConfig{Addr: ln.Addr().String()})
 		}
-		go srv.Serve(ln)
-		defer srv.Shutdown(5 * time.Second)
-		targets = []string{ln.Addr().String()}
-		fmt.Fprintf(os.Stderr, "discoload: demo server on %s (parts=%d, max-inflight=%d)\n",
-			targets[0], *parts, *inflight)
+		if *replicas == 1 {
+			targets = []string{repConfigs[0].Addr}
+			fmt.Fprintf(os.Stderr, "discoload: demo server on %s (parts=%d, max-inflight=%d)\n",
+				targets[0], *parts, *inflight)
+		} else {
+			rt, err := router.New(router.Config{
+				Replicas:   repConfigs,
+				Partitions: router.DemoPartitions(*parts),
+			})
+			if err != nil {
+				log.Fatal("discoload: ", err)
+			}
+			rsrv := serving.NewConnServer(rt, 5*time.Minute, rt.Close)
+			rln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				log.Fatal("discoload: ", err)
+			}
+			go rsrv.Serve(rln)
+			defer rsrv.Shutdown(5 * time.Second)
+			targets = []string{rln.Addr().String()}
+			fmt.Fprintf(os.Stderr, "discoload: demo router on %s fronting %d replicas (parts=%d, max-inflight=%d)\n",
+				targets[0], *replicas, *parts, *inflight)
+		}
 	} else {
 		targets = strings.Split(*addrs, ",")
 		if *addrs == "" || len(targets) == 0 {
@@ -147,6 +183,10 @@ func main() {
 		rep.AttachServerStats(stats)
 	} else {
 		fmt.Fprintf(os.Stderr, "discoload: stats scrape failed: %v\n", err)
+	}
+	for _, ts := range rep.PerTarget {
+		fmt.Fprintf(os.Stderr, "discoload: target %-24s ok=%-6d shed=%-5d errors=%-5d partials=%-5d p50=%.2fms p99=%.2fms mean=%.2fms\n",
+			ts.Target, ts.OK, ts.Shed, ts.Errors, ts.Partials, ts.P50MS, ts.P99MS, ts.MeanMS)
 	}
 
 	jsonDst := os.Stdout

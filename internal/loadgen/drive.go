@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"net"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -66,6 +67,11 @@ type Report struct {
 	PartialRate float64 `json:"partial_rate"`
 	// WedgedClients carries one error string per wedged client.
 	WedgedClients []string `json:"wedged_clients,omitempty"`
+	// PerTarget breaks the run down by the target that served each
+	// request: the server's self-attribution (Response.Replica — a
+	// replica address, "gossip", or "scatter:<n>" behind a federation
+	// router) when present, else the dialed address. Sorted by target.
+	PerTarget []TargetStats `json:"per_target,omitempty"`
 	// Samples are the oracle-verification records of sampled queries.
 	Samples []Sample `json:"samples,omitempty"`
 	// ServerStats is the raw JSON the server's stats op returned after
@@ -104,6 +110,24 @@ func (r *Report) AttachServerStats(raw json.RawMessage) {
 	}
 }
 
+// TargetStats is one target's slice of a driven run. Against a single
+// discod the only target is the dialed address; against a federation
+// router the breakdown shows how the router spread the work across
+// replicas (plus the synthetic "scatter:<n>" and "gossip" targets).
+type TargetStats struct {
+	Target    string  `json:"target"`
+	OK        int     `json:"ok"`
+	Shed      int     `json:"shed"`
+	Errors    int     `json:"errors"`
+	Partials  int     `json:"partials"`
+	RowsTotal int     `json:"rows_total"`
+	P50MS     float64 `json:"p50_ms"`
+	P99MS     float64 `json:"p99_ms"`
+	MeanMS    float64 `json:"mean_ms"`
+
+	hist Histogram
+}
+
 // clientResult is one client goroutine's contribution.
 type clientResult struct {
 	hist     Histogram
@@ -114,6 +138,20 @@ type clientResult struct {
 	rows     int
 	samples  []Sample
 	wedged   error
+	targets  map[string]*TargetStats
+}
+
+// target returns the accumulator for one attribution key.
+func (cr *clientResult) target(name string) *TargetStats {
+	if cr.targets == nil {
+		cr.targets = make(map[string]*TargetStats)
+	}
+	ts, ok := cr.targets[name]
+	if !ok {
+		ts = &TargetStats{Target: name}
+		cr.targets[name] = ts
+	}
+	return ts
 }
 
 // Drive runs the schedule: one goroutine per client, each over its own
@@ -146,6 +184,7 @@ func Drive(s *Schedule, opts DriveOptions) (*Report, error) {
 	elapsed := time.Since(start)
 
 	rep := &Report{Seed: s.Cfg.Seed, Clients: len(s.Clients)}
+	merged := make(map[string]*TargetStats)
 	for c := range results {
 		r := &results[c]
 		rep.Hist.Merge(&r.hist)
@@ -159,7 +198,27 @@ func Drive(s *Schedule, opts DriveOptions) (*Report, error) {
 			rep.Wedged++
 			rep.WedgedClients = append(rep.WedgedClients, fmt.Sprintf("client %d: %v", c, r.wedged))
 		}
+		for name, ts := range r.targets {
+			m, ok := merged[name]
+			if !ok {
+				m = &TargetStats{Target: name}
+				merged[name] = m
+			}
+			m.OK += ts.OK
+			m.Shed += ts.Shed
+			m.Errors += ts.Errors
+			m.Partials += ts.Partials
+			m.RowsTotal += ts.RowsTotal
+			m.hist.Merge(&ts.hist)
+		}
 	}
+	for _, m := range merged {
+		m.P50MS = m.hist.QuantileMS(0.50)
+		m.P99MS = m.hist.QuantileMS(0.99)
+		m.MeanMS = m.hist.MeanMicros() / 1000
+		rep.PerTarget = append(rep.PerTarget, *m)
+	}
+	sort.Slice(rep.PerTarget, func(a, b int) bool { return rep.PerTarget[a].Target < rep.PerTarget[b].Target })
 	rep.Requests = rep.OK + rep.Shed + rep.Errors
 	rep.P50MS = rep.Hist.QuantileMS(0.50)
 	rep.P90MS = rep.Hist.QuantileMS(0.90)
@@ -206,19 +265,30 @@ func driveClient(reqs []Request, idx int, addr string, opts DriveOptions, out *c
 			return
 		}
 		lat := time.Since(t0)
+		target := resp.Replica
+		if target == "" {
+			target = addr
+		}
+		ts := out.target(target)
 		switch {
 		case resp.Overloaded:
 			out.shed++
+			ts.Shed++
 			continue // shed before execution: not a latency observation
 		case !resp.OK:
 			out.errors++
+			ts.Errors++
 			continue
 		}
 		out.ok++
 		out.hist.RecordMicros(lat.Microseconds())
 		out.rows += len(resp.Rows)
+		ts.OK++
+		ts.hist.RecordMicros(lat.Microseconds())
+		ts.RowsTotal += len(resp.Rows)
 		if resp.Partial {
 			out.partials++
+			ts.Partials++
 		}
 		if req.Sample && req.Op == OpQuery {
 			out.samples = append(out.samples, Sample{

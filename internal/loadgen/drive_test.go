@@ -1,0 +1,84 @@
+package loadgen
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"disco/internal/serving"
+)
+
+// startDemoServer brings one demo federation up on an ephemeral port.
+func startDemoServer(t *testing.T, parts int) string {
+	t.Helper()
+	fed, err := serving.NewDemoFederation(serving.Options{Parts: parts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serving.NewServer(fed, time.Minute)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Shutdown(2 * time.Second) })
+	return ln.Addr().String()
+}
+
+// TestDrivePerTargetBreakdown: driving two servers yields a per-target
+// breakdown whose counters reconcile exactly with the run totals, with
+// each dialed address present.
+func TestDrivePerTargetBreakdown(t *testing.T) {
+	parts := 400
+	a := startDemoServer(t, parts)
+	b := startDemoServer(t, parts)
+
+	s, err := Generate(Config{
+		Seed:      11,
+		Clients:   6,
+		Requests:  12,
+		Templates: DemoTemplates(parts),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Drive(s, DriveOptions{Addrs: []string{a, b}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Wedged != 0 {
+		t.Fatalf("wedged clients: %v", rep.WedgedClients)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d, want 0", rep.Errors)
+	}
+	if len(rep.PerTarget) != 2 {
+		t.Fatalf("per-target entries = %d, want 2: %+v", len(rep.PerTarget), rep.PerTarget)
+	}
+	var ok, shed, errs, rows int
+	seen := make(map[string]bool)
+	for _, ts := range rep.PerTarget {
+		seen[ts.Target] = true
+		ok += ts.OK
+		shed += ts.Shed
+		errs += ts.Errors
+		rows += ts.RowsTotal
+		if ts.OK > 0 && ts.MeanMS <= 0 {
+			t.Errorf("target %s served %d requests with mean latency %.3fms", ts.Target, ts.OK, ts.MeanMS)
+		}
+	}
+	if !seen[a] || !seen[b] {
+		t.Errorf("targets %v missing a dialed address (%s, %s)", rep.PerTarget, a, b)
+	}
+	if ok != rep.OK || shed != rep.Shed || errs != rep.Errors || rows != rep.RowsTotal {
+		t.Errorf("per-target sums (ok=%d shed=%d errors=%d rows=%d) do not reconcile with totals (ok=%d shed=%d errors=%d rows=%d)",
+			ok, shed, errs, rows, rep.OK, rep.Shed, rep.Errors, rep.RowsTotal)
+	}
+	// Round-robin dialing with 6 clients over 2 addrs: both targets
+	// actually served work.
+	for _, ts := range rep.PerTarget {
+		if ts.OK == 0 {
+			t.Errorf("target %s served nothing", ts.Target)
+		}
+	}
+}

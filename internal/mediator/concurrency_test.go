@@ -502,7 +502,7 @@ func TestNormalizeSQL(t *testing.T) {
 		// Literal content is preserved byte-for-byte: embedded runs of
 		// whitespace, leading/trailing spaces, tabs and newlines inside
 		// quotes, and the other quote character as ordinary content (the
-		// lexer has no escape mechanism — see normalizeSQL).
+		// lexer has no escape mechanism — see NormalizeSQL).
 		"SELECT a FROM b WHERE x = 'a  b'":        "SELECT a FROM b WHERE x = 'a  b'",
 		"SELECT  a FROM b  WHERE x = ' a\t b ' ;": "SELECT a FROM b WHERE x = ' a\t b '",
 		`SELECT a FROM b WHERE x = "it's  ok"`:    `SELECT a FROM b WHERE x = "it's  ok"`,
@@ -514,14 +514,14 @@ func TestNormalizeSQL(t *testing.T) {
 		"SELECT a FROM b WHERE x = 'dangling  ;": "SELECT a FROM b WHERE x = 'dangling  ;",
 	}
 	for in, want := range cases {
-		if got := normalizeSQL(in); got != want {
-			t.Errorf("normalizeSQL(%q) = %q, want %q", in, got, want)
+		if got := NormalizeSQL(in); got != want {
+			t.Errorf("NormalizeSQL(%q) = %q, want %q", in, got, want)
 		}
 	}
-	if normalizeSQL("SELECT 'a' FROM b") == normalizeSQL("SELECT 'A' FROM b") {
+	if NormalizeSQL("SELECT 'a' FROM b") == NormalizeSQL("SELECT 'A' FROM b") {
 		t.Error("case variants must not collide (string constants are case-sensitive)")
 	}
-	if normalizeSQL("SELECT a FROM b WHERE x = 'a  b'") == normalizeSQL("SELECT a FROM b WHERE x = 'a b'") {
+	if NormalizeSQL("SELECT a FROM b WHERE x = 'a  b'") == NormalizeSQL("SELECT a FROM b WHERE x = 'a b'") {
 		t.Error("literals differing only in embedded whitespace must not share a cache key")
 	}
 }

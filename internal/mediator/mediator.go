@@ -458,7 +458,7 @@ func (m *Mediator) Prepare(sql string) (*Prepared, error) {
 // prepareCached serves sql from the plan cache or plans it fresh and
 // caches the result. Callers hold the read lock.
 func (m *Mediator) prepareCached(sql string) (*Prepared, error) {
-	key := normalizeSQL(sql)
+	key := NormalizeSQL(sql)
 	epoch := m.Catalog.Epoch()
 	if p, ok := m.cache.get(key, epoch); ok {
 		return p, nil
@@ -531,6 +531,31 @@ func (m *Mediator) Query(sql string) (*engine.Result, error) {
 		return nil, err
 	}
 	return m.executeAdmitted(p)
+}
+
+// Warm primes the caches for a statement without a client waiting on
+// the answer: it prepares sql (populating the plan cache) and, when the
+// result cache is enabled but holds no live entry for the plan, executes
+// it once to seed the answer. The returned bool reports whether an
+// execution ran (false = the plan alone was warmed, or the result was
+// already cached). Warming goes through admission like any query so a
+// gossip-driven warm storm cannot starve real clients.
+func (m *Mediator) Warm(sql string) (bool, error) {
+	if err := m.adm.acquire(); err != nil {
+		return false, err
+	}
+	defer m.adm.release()
+	p, err := m.Prepare(sql)
+	if err != nil {
+		return false, err
+	}
+	if m.rcache == nil || m.rcache.Peek(p.Hash, p.Epoch) {
+		return false, nil
+	}
+	if _, err := m.executeAdmitted(p); err != nil {
+		return false, err
+	}
+	return true, nil
 }
 
 // ExecutePlan executes a previously prepared plan, feeding the actuals

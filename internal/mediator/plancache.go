@@ -131,7 +131,7 @@ func (c *planCache) counters() (hits, misses, stale int64) {
 	return c.hits, c.misses, c.stale
 }
 
-// normalizeSQL collapses whitespace runs to single spaces and trims the
+// NormalizeSQL collapses whitespace runs to single spaces and trims the
 // statement, so formatting variants of one query share a cache entry.
 // Case is preserved: keywords are case-insensitive but string constants
 // are not, and a cosmetic miss is cheaper than a wrong hit.
@@ -145,7 +145,12 @@ func (c *planCache) counters() (hits, misses, stale int64) {
 // character is ordinary content). An unterminated literal runs to the
 // end of the statement, exactly as the lexer consumes it, so the
 // trailing trim is skipped rather than amputating literal content.
-func normalizeSQL(sql string) string {
+//
+// Exported because the federation router keys its consistent-hash ring
+// on the same plan identity the replica caches use: routing a statement
+// by NormalizeSQL pins each prepared plan (and its cached result) to one
+// replica's caches.
+func NormalizeSQL(sql string) string {
 	var b strings.Builder
 	b.Grow(len(sql))
 	space := false

@@ -1,0 +1,168 @@
+package netsim
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPProxy is a byte-level TCP relay with injectable wall-clock delay
+// and a breakable link. Where the Injector perturbs the *virtual* clock
+// inside a wrapper, the proxy perturbs a real connection: the federation
+// router's cost model learns replica speed from measured wall latency,
+// and the proxy is how tests make one replica measurably slow (or
+// unreachable) without touching the replica itself.
+//
+// Each accepted client connection dials the target and copies bytes both
+// ways; Delay is added before each client→target burst is forwarded, so
+// a request/response exchange pays it once per request. Break severs all
+// live connections and refuses new ones until Resume.
+type TCPProxy struct {
+	target string
+	ln     net.Listener
+
+	mu     sync.Mutex
+	delay  time.Duration
+	broken bool
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewTCPProxy starts a proxy on an ephemeral local port relaying to
+// target. Close releases it.
+func NewTCPProxy(target string) (*TCPProxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &TCPProxy{target: target, ln: ln, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the proxy's listen address; clients dial this in place of the
+// target.
+func (p *TCPProxy) Addr() string { return p.ln.Addr().String() }
+
+// SetDelay sets the per-request artificial latency (0 = passthrough).
+func (p *TCPProxy) SetDelay(d time.Duration) {
+	p.mu.Lock()
+	p.delay = d
+	p.mu.Unlock()
+}
+
+// Break severs every live connection and refuses new ones: the link is
+// down. Resume restores it.
+func (p *TCPProxy) Break() {
+	p.mu.Lock()
+	p.broken = true
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+}
+
+// Resume re-opens a broken link.
+func (p *TCPProxy) Resume() {
+	p.mu.Lock()
+	p.broken = false
+	p.mu.Unlock()
+}
+
+// Close shuts the proxy down, severing all connections.
+func (p *TCPProxy) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.ln.Close()
+	p.wg.Wait()
+}
+
+func (p *TCPProxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.closed || p.broken {
+			p.mu.Unlock()
+			client.Close()
+			continue
+		}
+		p.conns[client] = struct{}{}
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go p.relay(client)
+	}
+}
+
+func (p *TCPProxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *TCPProxy) relay(client net.Conn) {
+	defer p.wg.Done()
+	defer p.untrack(client)
+	defer client.Close()
+	server, err := net.Dial("tcp", p.target)
+	if err != nil {
+		return
+	}
+	p.mu.Lock()
+	if p.closed || p.broken {
+		p.mu.Unlock()
+		server.Close()
+		return
+	}
+	p.conns[server] = struct{}{}
+	p.mu.Unlock()
+	defer p.untrack(server)
+	defer server.Close()
+
+	done := make(chan struct{}, 2)
+	// client → server: delay each read burst before forwarding, so every
+	// request line pays the configured latency once.
+	go func() {
+		buf := make([]byte, 32*1024)
+		for {
+			n, err := client.Read(buf)
+			if n > 0 {
+				p.mu.Lock()
+				d := p.delay
+				p.mu.Unlock()
+				if d > 0 {
+					time.Sleep(d)
+				}
+				if _, werr := server.Write(buf[:n]); werr != nil {
+					break
+				}
+			}
+			if err != nil {
+				break
+			}
+		}
+		done <- struct{}{}
+	}()
+	// server → client: plain copy.
+	go func() {
+		io.Copy(client, server)
+		done <- struct{}{}
+	}()
+	// Either direction ending tears the pair down (the deferred Closes
+	// unblock the other copier).
+	<-done
+}

@@ -1,0 +1,124 @@
+package netsim
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// echoServer answers each line with "echo: <line>".
+func echoServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				sc := bufio.NewScanner(c)
+				for sc.Scan() {
+					fmt.Fprintf(c, "echo: %s\n", sc.Text())
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func roundtripLine(t *testing.T, conn net.Conn, line string) (string, time.Duration) {
+	t.Helper()
+	start := time.Now()
+	if _, err := fmt.Fprintf(conn, "%s\n", line); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(conn)
+	out, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.TrimSpace(out), time.Since(start)
+}
+
+func TestTCPProxyRelayAndDelay(t *testing.T) {
+	p, err := NewTCPProxy(echoServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if got, _ := roundtripLine(t, conn, "hello"); got != "echo: hello" {
+		t.Fatalf("relay: got %q", got)
+	}
+
+	p.SetDelay(60 * time.Millisecond)
+	conn2, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	got, took := roundtripLine(t, conn2, "slow")
+	if got != "echo: slow" {
+		t.Fatalf("delayed relay: got %q", got)
+	}
+	if took < 50*time.Millisecond {
+		t.Errorf("delayed roundtrip took %v, want >= ~60ms", took)
+	}
+}
+
+func TestTCPProxyBreakResume(t *testing.T) {
+	p, err := NewTCPProxy(echoServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if got, _ := roundtripLine(t, conn, "up"); got != "echo: up" {
+		t.Fatalf("pre-break: got %q", got)
+	}
+
+	p.Break()
+	// The live connection is severed: the next read fails.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := bufio.NewReader(conn).ReadString('\n'); err == nil {
+		t.Error("read on a severed connection succeeded")
+	}
+	// New connections are refused (accepted then closed without relay).
+	if c2, err := net.Dial("tcp", p.Addr()); err == nil {
+		c2.SetReadDeadline(time.Now().Add(2 * time.Second))
+		fmt.Fprintf(c2, "down?\n")
+		if _, err := bufio.NewReader(c2).ReadString('\n'); err == nil {
+			t.Error("broken proxy relayed a request")
+		}
+		c2.Close()
+	}
+
+	p.Resume()
+	conn3, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn3.Close()
+	if got, _ := roundtripLine(t, conn3, "back"); got != "echo: back" {
+		t.Fatalf("post-resume: got %q", got)
+	}
+}

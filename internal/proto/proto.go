@@ -17,7 +17,8 @@ import (
 type Request struct {
 	// Op selects the action: "query", "explain", "explain-analyze",
 	// "catalog", "history", "feedback", "stats", "reregister",
-	// "setlink", or "ping".
+	// "setlink", "warm" (prime the plan/result caches for SQL without a
+	// client waiting), or "ping".
 	Op string `json:"op"`
 	// SQL carries the query text for query/explain/explain-analyze.
 	SQL string `json:"sql,omitempty"`
@@ -39,9 +40,17 @@ type Response struct {
 	Rows      [][]any  `json:"rows,omitempty"`
 	ElapsedMS float64  `json:"elapsedMs,omitempty"`
 	// Partial marks an answer missing the contribution of unavailable
-	// wrappers, listed in Excluded.
+	// wrappers, listed in Excluded. A federation router reuses the pair
+	// for scatter-gather degradation: a shard that failed on every
+	// healthy replica marks the merged answer Partial and lists the
+	// replicas tried in Excluded.
 	Partial  bool     `json:"partial,omitempty"`
 	Excluded []string `json:"excluded,omitempty"`
+	// Replica attributes the answer when a router fronted the request:
+	// the replica address that served it, or "scatter:<n>" for an answer
+	// merged from n partitioned shards (Shards then counts them).
+	Replica string `json:"replica,omitempty"`
+	Shards  int    `json:"shards,omitempty"`
 	// Free-form text payload (explain output, catalog dump, ...).
 	Text string `json:"text,omitempty"`
 }

@@ -204,6 +204,31 @@ func (c *Cache) Get(hash algebra.Hash128, epoch uint64) (*Entry, bool) {
 	return e, true
 }
 
+// Peek reports whether a live (right-epoch, unexpired) entry exists for
+// hash without touching the counters, the LRU order, or stale entries.
+// Cache warmers use it to decide whether a statement still needs to be
+// executed; a Peek is invisible to the hit/miss accounting so warming
+// does not distort the measured hit rate.
+func (c *Cache) Peek(hash algebra.Hash128, epoch uint64) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[hash]
+	if !ok {
+		return false
+	}
+	e := el.Value.(*Entry)
+	if e.Epoch != epoch {
+		return false
+	}
+	if c.cfg.TTLMS > 0 && c.now()-e.storedMS > c.cfg.TTLMS {
+		return false
+	}
+	return true
+}
+
 // Put stores a materialized result, evicting least-recently-used entries
 // until both budgets hold. gen must be the value Gen returned before the
 // execution that produced rows started; a mismatch means an invalidation

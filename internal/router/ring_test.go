@@ -1,0 +1,185 @@
+package router
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("SELECT x FROM t WHERE id = %d", i)
+	}
+	return keys
+}
+
+// TestRingDistributionTracksWeights: with weights 1:2:3 the key shares
+// must track the weights within a generous tolerance (consistent
+// hashing is statistical, not exact).
+func TestRingDistributionTracksWeights(t *testing.T) {
+	names := []string{"a:1", "b:1", "c:1"}
+	weights := []float64{1, 2, 3}
+	r := BuildRing(names, weights, 160)
+	counts := make([]int, len(names))
+	keys := ringKeys(30000)
+	for _, k := range keys {
+		idx := r.Lookup(k)
+		if idx < 0 || idx >= len(names) {
+			t.Fatalf("Lookup returned %d", idx)
+		}
+		counts[idx]++
+	}
+	var wsum float64
+	for _, w := range weights {
+		wsum += w
+	}
+	for i, c := range counts {
+		want := weights[i] / wsum
+		got := float64(c) / float64(len(keys))
+		if math.Abs(got-want)/want > 0.30 {
+			t.Errorf("replica %d: share %.3f, want %.3f ±30%%", i, got, want)
+		}
+	}
+	if r.VnodeCount(1) != 2*r.VnodeCount(0) || r.VnodeCount(2) != 3*r.VnodeCount(0) {
+		t.Errorf("vnode counts %d:%d:%d not proportional to 1:2:3",
+			r.VnodeCount(0), r.VnodeCount(1), r.VnodeCount(2))
+	}
+}
+
+// TestRingJoinMovesKeysOnlyToJoiner: adding a replica may only move
+// keys TO the new replica (the consistent-hash property), and moves
+// roughly its fair share.
+func TestRingJoinMovesKeysOnlyToJoiner(t *testing.T) {
+	names3 := []string{"a:1", "b:1", "c:1"}
+	names4 := []string{"a:1", "b:1", "c:1", "d:1"}
+	before := BuildRing(names3, []float64{1, 1, 1}, 128)
+	after := BuildRing(names4, []float64{1, 1, 1, 1}, 128)
+	keys := ringKeys(20000)
+	moved := 0
+	for _, k := range keys {
+		was, now := before.Lookup(k), after.Lookup(k)
+		if was == now {
+			continue
+		}
+		moved++
+		if now != 3 {
+			t.Fatalf("key %q moved from %d to %d, not to the joiner", k, was, now)
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	if frac < 0.10 || frac > 0.45 {
+		t.Errorf("join moved %.1f%% of keys, want roughly 25%%", 100*frac)
+	}
+}
+
+// TestRingLeaveKeepsSurvivorKeys: excluding a replica (weight 0) must
+// not move any key owned by a survivor.
+func TestRingLeaveKeepsSurvivorKeys(t *testing.T) {
+	names := []string{"a:1", "b:1", "c:1"}
+	before := BuildRing(names, []float64{1, 1, 1}, 128)
+	after := BuildRing(names, []float64{1, 0, 1}, 128)
+	keys := ringKeys(20000)
+	reassigned := 0
+	for _, k := range keys {
+		was, now := before.Lookup(k), after.Lookup(k)
+		if now == 1 {
+			t.Fatalf("key %q assigned to the departed replica", k)
+		}
+		if was != 1 && now != was {
+			t.Fatalf("key %q owned by survivor %d moved to %d on an unrelated leave", k, was, now)
+		}
+		if was == 1 {
+			reassigned++
+		}
+	}
+	if reassigned == 0 {
+		t.Fatal("departed replica owned no keys before leaving")
+	}
+}
+
+// TestRingWeightDecreaseIsPrefixStable: lowering one replica's weight
+// may only move keys AWAY from that replica — its vnode list shrinks by
+// a suffix and every other point is untouched.
+func TestRingWeightDecreaseIsPrefixStable(t *testing.T) {
+	names := []string{"a:1", "b:1", "c:1"}
+	before := BuildRing(names, []float64{1, 1, 1}, 128)
+	after := BuildRing(names, []float64{1, 0.5, 1}, 128)
+	for _, k := range ringKeys(20000) {
+		was, now := before.Lookup(k), after.Lookup(k)
+		if was != now && was != 1 {
+			t.Fatalf("key %q moved from %d to %d though only replica 1 shrank", k, was, now)
+		}
+	}
+}
+
+// TestRingSeededWeightProperty: random weight vectors (seeded) must
+// yield weight-proportional shares within a loose factor, zero-weight
+// replicas owning nothing, and every key resolving.
+func TestRingSeededWeightProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	keys := ringKeys(12000)
+	for trial := 0; trial < 8; trial++ {
+		n := 2 + rng.Intn(5)
+		names := make([]string, n)
+		weights := make([]float64, n)
+		var wsum float64
+		for i := range names {
+			names[i] = fmt.Sprintf("replica-%d:%d", trial, i)
+			if rng.Float64() < 0.2 {
+				weights[i] = 0 // excluded
+			} else {
+				weights[i] = 0.5 + 3*rng.Float64()
+				wsum += weights[i]
+			}
+		}
+		if wsum == 0 {
+			weights[0] = 1
+			wsum = 1
+		}
+		r := BuildRing(names, weights, 128)
+		counts := make([]int, n)
+		for _, k := range keys {
+			idx := r.Lookup(k)
+			if idx < 0 {
+				t.Fatalf("trial %d: lookup failed on a populated ring", trial)
+			}
+			counts[idx]++
+		}
+		for i := range names {
+			share := float64(counts[i]) / float64(len(keys))
+			want := weights[i] / wsum
+			switch {
+			case weights[i] == 0 && counts[i] > 0:
+				t.Errorf("trial %d: excluded replica %d owns %d keys", trial, i, counts[i])
+			case weights[i] > 0 && (share < want/2.5 || share > want*2.5):
+				t.Errorf("trial %d: replica %d share %.3f, want ~%.3f (weights %v)",
+					trial, i, share, want, weights)
+			}
+		}
+	}
+}
+
+// TestRingSuccessorsDistinct: the failover order lists each replica at
+// most once, starting with the owner.
+func TestRingSuccessorsDistinct(t *testing.T) {
+	names := []string{"a:1", "b:1", "c:1", "d:1"}
+	r := BuildRing(names, []float64{1, 1, 1, 1}, 64)
+	for _, k := range ringKeys(200) {
+		order := r.Successors(k, len(names))
+		if len(order) != len(names) {
+			t.Fatalf("Successors returned %d replicas, want %d", len(order), len(names))
+		}
+		if order[0] != r.Lookup(k) {
+			t.Fatalf("Successors[0] = %d, Lookup = %d", order[0], r.Lookup(k))
+		}
+		seen := make(map[int]bool)
+		for _, idx := range order {
+			if seen[idx] {
+				t.Fatalf("replica %d repeated in successor order %v", idx, order)
+			}
+			seen[idx] = true
+		}
+	}
+}

@@ -4,164 +4,32 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"net"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"disco/internal/mediator"
 	"disco/internal/proto"
 )
 
-// Server serves the JSON line protocol over TCP for one federation.
-// Connections are handled concurrently — the mediator pipeline is
-// thread-safe — and tracked so Shutdown can drain them gracefully.
+// Server serves the JSON line protocol over TCP for one federation: the
+// mediator Handler mounted on the shared connection layer (ConnServer,
+// which the federation router reuses). The mediator pipeline is
+// thread-safe, so connections are handled concurrently.
 type Server struct {
+	*ConnServer
 	fed *Federation
-	// IdleTimeout drops connections silent longer than this (0 = never);
-	// it also bounds response writes.
-	IdleTimeout time.Duration
-
-	mu     sync.Mutex
-	lns    map[net.Listener]struct{}
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
-
-	accepted atomic.Int64
 }
 
 // NewServer wraps a federation with a connection handler.
 func NewServer(fed *Federation, idleTimeout time.Duration) *Server {
-	return &Server{
-		fed:         fed,
-		IdleTimeout: idleTimeout,
-		lns:         make(map[net.Listener]struct{}),
-		conns:       make(map[net.Conn]struct{}),
-	}
+	s := &Server{fed: fed}
+	// Shutdown's drain hook closes the mediator, flushing the debounced
+	// feedback snapshot.
+	s.ConnServer = NewConnServer(s, idleTimeout, fed.Med.Close)
+	return s
 }
 
 // Federation returns the deployment this server fronts.
 func (s *Server) Federation() *Federation { return s.fed }
-
-// ErrServerClosed is returned by Serve after Shutdown.
-var ErrServerClosed = errors.New("serving: server closed")
-
-// Serve accepts connections on ln until Shutdown; each connection gets
-// its own goroutine. Returns ErrServerClosed after a clean shutdown.
-func (s *Server) Serve(ln net.Listener) error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		ln.Close()
-		return ErrServerClosed
-	}
-	s.lns[ln] = struct{}{}
-	s.mu.Unlock()
-
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			s.mu.Lock()
-			closed := s.closed
-			delete(s.lns, ln)
-			s.mu.Unlock()
-			if closed {
-				return ErrServerClosed
-			}
-			return err
-		}
-		if !s.track(conn) {
-			conn.Close()
-			return ErrServerClosed
-		}
-		s.accepted.Add(1)
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			defer s.untrack(conn)
-			s.ServeConn(conn)
-		}()
-	}
-}
-
-func (s *Server) track(conn net.Conn) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return false
-	}
-	s.conns[conn] = struct{}{}
-	return true
-}
-
-func (s *Server) untrack(conn net.Conn) {
-	s.mu.Lock()
-	delete(s.conns, conn)
-	s.mu.Unlock()
-}
-
-// Shutdown stops accepting, waits up to drain for in-flight connections
-// to finish, force-closes the stragglers, then closes the mediator
-// (flushing the debounced feedback snapshot). Safe to call once.
-func (s *Server) Shutdown(drain time.Duration) error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil
-	}
-	s.closed = true
-	for ln := range s.lns {
-		ln.Close()
-	}
-	s.mu.Unlock()
-
-	done := make(chan struct{})
-	go func() {
-		s.wg.Wait()
-		close(done)
-	}()
-	select {
-	case <-done:
-	case <-time.After(drain):
-		// Drain expired: force-close what is left and wait for the
-		// handler goroutines to observe the closed connections.
-		s.mu.Lock()
-		for conn := range s.conns {
-			conn.Close()
-		}
-		s.mu.Unlock()
-		<-done
-	}
-	return s.fed.Med.Close()
-}
-
-// ServeConn runs the protocol loop for one connection until the peer
-// hangs up, a protocol-level I/O error occurs, or the idle deadline
-// fires. It does not close or track the connection; Serve does both,
-// and tests may drive it directly.
-func (s *Server) ServeConn(conn net.Conn) {
-	r := proto.NewReader(conn)
-	for {
-		// The read deadline covers the idle wait for the next request; a
-		// half-open connection (peer gone without FIN) times out here
-		// instead of pinning the goroutine and its buffers forever.
-		if s.IdleTimeout > 0 {
-			_ = conn.SetReadDeadline(time.Now().Add(s.IdleTimeout))
-		}
-		req, err := r.ReadRequest()
-		if err != nil {
-			return
-		}
-		resp := s.Handle(req)
-		if s.IdleTimeout > 0 {
-			_ = conn.SetWriteDeadline(time.Now().Add(s.IdleTimeout))
-		}
-		if err := proto.Write(conn, resp); err != nil {
-			return
-		}
-	}
-}
 
 // Stats is the server-level snapshot the stats op returns: the
 // mediator's serving counters plus the connection-layer view.
@@ -177,14 +45,11 @@ type Stats struct {
 
 // Stats snapshots the server counters.
 func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	active := len(s.conns)
-	s.mu.Unlock()
 	med := s.fed.Med.Stats()
 	return Stats{
 		Mediator:    med,
-		Accepted:    s.accepted.Load(),
-		ActiveConns: active,
+		Accepted:    s.Accepted(),
+		ActiveConns: s.ActiveConns(),
 		Epoch:       med.Epoch,
 	}
 }
@@ -256,6 +121,16 @@ func (s *Server) Handle(req *proto.Request) *proto.Response {
 			return errorResponse(err)
 		}
 		return &proto.Response{OK: true, Text: string(data)}
+
+	case "warm":
+		executed, err := med.Warm(req.SQL)
+		if err != nil {
+			return errorResponse(err)
+		}
+		if executed {
+			return &proto.Response{OK: true, Text: "warmed (plan+result)"}
+		}
+		return &proto.Response{OK: true, Text: "warmed (plan)"}
 
 	case "reregister":
 		if err := s.fed.Reregister(req.Arg); err != nil {

@@ -13,6 +13,7 @@ import (
 
 	"disco/internal/mediator"
 	"disco/internal/proto"
+	"disco/internal/resultcache"
 )
 
 // testServer builds one small federation for the connection tests.
@@ -341,5 +342,47 @@ func TestSetLinkOp(t *testing.T) {
 		if resp := srv.Handle(&proto.Request{Op: "setlink", Arg: bad}); resp.OK {
 			t.Errorf("setlink %q should fail", bad)
 		}
+	}
+}
+
+// TestWarmOp: the warm op primes the plan cache (always) and the result
+// cache (when enabled and cold), with no client-visible rows; warming is
+// idempotent and a later query is served from the seeded result cache.
+func TestWarmOp(t *testing.T) {
+	srv := testServer(t, Options{ResultCache: resultcache.Config{Enabled: true}}, 0)
+	sql := `SELECT sname FROM Suppliers WHERE region = 3`
+
+	resp := srv.Handle(&proto.Request{Op: "warm", SQL: sql})
+	if !resp.OK || resp.Text != "warmed (plan+result)" {
+		t.Fatalf("cold warm: ok=%v text=%q err=%s", resp.OK, resp.Text, resp.Error)
+	}
+	if len(resp.Rows) != 0 {
+		t.Errorf("warm leaked %d result rows to the client", len(resp.Rows))
+	}
+	if resp := srv.Handle(&proto.Request{Op: "warm", SQL: sql}); !resp.OK || resp.Text != "warmed (plan)" {
+		t.Fatalf("re-warm: ok=%v text=%q err=%s", resp.OK, resp.Text, resp.Error)
+	}
+
+	before := srv.Stats().Mediator
+	q := srv.Handle(&proto.Request{Op: "query", SQL: sql})
+	if !q.OK || len(q.Rows) != 42 {
+		t.Fatalf("warmed query: ok=%v rows=%d %s", q.OK, len(q.Rows), q.Error)
+	}
+	after := srv.Stats().Mediator
+	if after.ResultCacheHits != before.ResultCacheHits+1 {
+		t.Errorf("warmed query missed the result cache: hits %d → %d",
+			before.ResultCacheHits, after.ResultCacheHits)
+	}
+
+	// With the result cache disabled, warming still primes the plan cache.
+	plain := testServer(t, Options{}, 0)
+	if resp := plain.Handle(&proto.Request{Op: "warm", SQL: sql}); !resp.OK || resp.Text != "warmed (plan)" {
+		t.Fatalf("plan-only warm: ok=%v text=%q err=%s", resp.OK, resp.Text, resp.Error)
+	}
+	if st := plain.Stats().Mediator; st.PlanCacheEntries == 0 {
+		t.Error("warm did not populate the plan cache")
+	}
+	if resp := plain.Handle(&proto.Request{Op: "warm", SQL: "SELECT nonsense FROM"}); resp.OK {
+		t.Error("warming an invalid statement must fail")
 	}
 }

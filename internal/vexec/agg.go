@@ -93,9 +93,17 @@ func (o *aggOp) build() error {
 		return nil
 	}
 
+	// No budget to enforce: the morsel workers can consume the child
+	// incrementally instead of waiting for a full materialization.
+	if budget <= 0 {
+		return o.parallelAgg(startFeeder(o.child, o.size))
+	}
+
 	// Materialize the input, tracking bytes against the budget; the
 	// moment it exceeds, redistribute everything into spill partitions
-	// keyed by group hash and keep draining straight to disk.
+	// keyed by group hash and keep draining straight to disk. (A budget
+	// precludes streaming into the workers: whether this input spills is
+	// only known once it has been seen in full.)
 	var rows []types.Row
 	var bytes int64
 	var sset *spillSet
@@ -138,7 +146,7 @@ func (o *aggOp) build() error {
 		return o.spillAgg(sset)
 	}
 	if w > 1 {
-		return o.parallelAgg(rows)
+		return o.parallelAgg(preloadedFeeder(rows))
 	}
 	for _, r := range rows {
 		fold.add(r, 0)
@@ -147,18 +155,36 @@ func (o *aggOp) build() error {
 	return nil
 }
 
-// parallelAgg: partition-owner folding over the materialized input.
-func (o *aggOp) parallelAgg(rows []types.Row) error {
+// parallelAgg: partition-owner folding over the feeder's input stream
+// (live when no spill budget constrains the build, preloaded otherwise).
+func (o *aggOp) parallelAgg(in *streamFeeder) error {
 	w := o.opts.workers()
 	folds := make([]*foldState, w)
+	errs := make([]error, w)
 	runWorkers(w, func(p int) {
 		f, _ := newFoldState(o.inSchema, o.groupBy, o.aggs)
 		f.owner, f.ownerOf = p, w
-		for i, r := range rows {
-			f.add(r, i)
+		i := 0
+		for {
+			rows, err := in.waitFor(i + 1)
+			if err != nil {
+				errs[p] = err
+				return
+			}
+			if i >= len(rows) {
+				break
+			}
+			for ; i < len(rows); i++ {
+				f.add(rows[i], i)
+			}
 		}
 		folds[p] = f
 	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
 	var all []*foldGroup
 	for _, f := range folds {
 		all = append(all, f.order...)

@@ -196,34 +196,53 @@ func (d *dupElimOp) Next(b *Batch) (bool, error) {
 }
 
 func (d *dupElimOp) buildParallel() error {
-	rows, err := drainChild(d.child, d.size)
-	if err != nil {
-		return err
-	}
+	// Workers consume the child's rows as the feeder publishes them —
+	// the breaker no longer waits for the full input before scanning.
+	// Each worker still encodes every row in global input order, so the
+	// partition-owner determinism argument is unchanged.
+	f := startFeeder(d.child, d.size)
 	w := d.opts.workers()
 	type survivor struct {
 		row types.Row
 		idx int
 	}
 	parts := make([][]survivor, w)
+	errs := make([]error, w)
 	runWorkers(w, func(p int) {
 		var enc rowops.KeyEncoder
 		seen := make(map[string]struct{})
 		var mine []survivor
-		for i, r := range rows {
-			enc.Reset()
-			enc.Row(r)
-			if int(fnvBytes(enc.Bytes())%uint64(w)) != p {
-				continue
+		i := 0
+		for {
+			rows, err := f.waitFor(i + 1)
+			if err != nil {
+				errs[p] = err
+				return
 			}
-			if _, dup := seen[string(enc.Bytes())]; dup {
-				continue
+			if i >= len(rows) {
+				break
 			}
-			seen[string(enc.Bytes())] = struct{}{}
-			mine = append(mine, survivor{row: r, idx: i})
+			for ; i < len(rows); i++ {
+				r := rows[i]
+				enc.Reset()
+				enc.Row(r)
+				if int(fnvBytes(enc.Bytes())%uint64(w)) != p {
+					continue
+				}
+				if _, dup := seen[string(enc.Bytes())]; dup {
+					continue
+				}
+				seen[string(enc.Bytes())] = struct{}{}
+				mine = append(mine, survivor{row: r, idx: i})
+			}
 		}
 		parts[p] = mine
 	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
 	var all []survivor
 	for _, p := range parts {
 		all = append(all, p...)

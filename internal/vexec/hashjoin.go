@@ -1,6 +1,9 @@
 package vexec
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"disco/internal/rowops"
 	"disco/internal/types"
 )
@@ -230,21 +233,34 @@ func (o *hashJoinOp) parallelJoin(buildRows []types.Row) error {
 		}
 		tables[p] = t
 	})
-	probeRows, err := drainChild(o.left, o.size)
-	if err != nil {
-		return err
-	}
-	// Morsel-driven probe: dynamic claiming, deterministic merge by
-	// morsel ordinal.
-	pq := newMorselQueue(len(probeRows))
-	outs := make([][]types.Row, pq.count())
+	// Morsel-driven probe over the probe side as it streams in: workers
+	// claim fixed-width morsel ordinals off an atomic cursor and wait for
+	// the feeder to publish each morsel's row range, so probing overlaps
+	// the probe child's own execution. Output slots still concatenate in
+	// morsel order — the merge stays deterministic even though the total
+	// morsel count is unknown until the stream ends.
+	f := startFeeder(o.left, o.size)
+	var next atomic.Int64
+	var outsMu sync.Mutex
+	var outs [][]types.Row
+	errs := make([]error, w)
 	arenas := make([]arena, w)
 	runWorkers(w, func(wk int) {
 		a := &arenas[wk]
 		for {
-			lo, hi, idx, ok := pq.claim()
-			if !ok {
+			idx := int(next.Add(1)) - 1
+			lo := idx * morselRows
+			probeRows, err := f.waitFor(lo + morselRows)
+			if err != nil {
+				errs[wk] = err
 				return
+			}
+			if lo >= len(probeRows) {
+				return
+			}
+			hi := lo + morselRows
+			if hi > len(probeRows) {
+				hi = len(probeRows)
 			}
 			var slot []types.Row
 			for i := lo; i < hi; i++ {
@@ -256,9 +272,19 @@ func (o *hashJoinOp) parallelJoin(buildRows []types.Row) error {
 					}
 				}
 			}
+			outsMu.Lock()
+			for len(outs) <= idx {
+				outs = append(outs, nil)
+			}
 			outs[idx] = slot
+			outsMu.Unlock()
 		}
 	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
 	total := 0
 	for _, s := range outs {
 		total += len(s)
