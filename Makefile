@@ -8,7 +8,7 @@ GO ?= go
 RACE_PKGS = ./internal/optimizer ./internal/mediator ./internal/wrapper ./internal/netsim
 
 .PHONY: all build test race bench experiments fmt vet clean \
-	ci ci-build ci-test ci-vet ci-fmt ci-lint ci-race ci-alloc ci-faultmatrix ci-feedback ci-fuzz ci-concurrency ci-bench ci-exec ci-soak ci-resultcache ci-router
+	ci ci-build ci-test ci-vet ci-fmt ci-lint ci-race ci-alloc ci-faultmatrix ci-feedback ci-fuzz ci-concurrency ci-bench ci-exec ci-soak ci-resultcache ci-router ci-adaptive
 
 all: build test
 
@@ -47,13 +47,13 @@ vet:
 
 clean:
 	$(GO) clean ./...
-	rm -f bench.out exec.out soak.out soakexec.out rcoff.out rcon.out router1.out router2.out router4.out BENCH_pr.json BENCH_pr.json.tmp
+	rm -f bench.out exec.out soak.out soakexec.out rcoff.out rcon.out router1.out router2.out router4.out adaptoff.out adapton.out BENCH_pr.json BENCH_pr.json.tmp
 	rm -rf .tools
 
 # `make ci` runs exactly what .github/workflows/ci.yml runs; the workflow
 # invokes these ci-* targets so the two cannot drift. Run it before
 # pushing.
-ci: ci-build ci-test ci-vet ci-fmt ci-lint ci-race ci-alloc ci-faultmatrix ci-feedback ci-fuzz ci-concurrency ci-bench ci-exec ci-soak ci-resultcache ci-router
+ci: ci-build ci-test ci-vet ci-fmt ci-lint ci-race ci-alloc ci-faultmatrix ci-feedback ci-fuzz ci-concurrency ci-bench ci-exec ci-soak ci-resultcache ci-router ci-adaptive
 
 ci-build:
 	$(GO) build ./...
@@ -242,3 +242,29 @@ ci-router:
 		echo "ci-router: <4 CPUs — scale-out ratio recorded, not gated (EXPERIMENTS.md E14)"; \
 	fi
 	rm -f router1.out router2.out router4.out
+
+# The adaptive re-optimization gate (DESIGN.md §14, EXPERIMENTS.md E15):
+# the Adaptive=false bit-identity regression under the race detector at
+# serial and morsel-parallel execution, the E15 convergence gate (a
+# mis-registered federation must switch to the truth plan inside the
+# first query and beat the static run), then paired adaptive-off/on
+# discoload runs merged into BENCH_pr.json. The qps comparison gates at
+# a 10% tolerance: on a well-registered federation the divergence checks
+# never fire, so turning them on must not make serving slower.
+ci-adaptive:
+	$(GO) test -race -count=1 -run 'Adaptive' ./internal/mediator ./internal/engine ./internal/optimizer
+	$(GO) test -run 'TestAdaptiveConvergence' -count=1 -v ./internal/experiments
+	$(GO) run ./cmd/discoload -demo -parts 2000 -clients 64 -requests 40 -seed 7 \
+		-bench DiscoloadDemoSoakAdaptiveOff > adaptoff.out
+	$(GO) run ./cmd/discoload -demo -parts 2000 -clients 64 -requests 40 -seed 7 \
+		-adaptive -bench DiscoloadDemoSoakAdaptiveOn > adapton.out
+	$(GO) run ./cmd/benchjson -merge BENCH_pr.json < adaptoff.out > BENCH_pr.json.tmp
+	mv BENCH_pr.json.tmp BENCH_pr.json
+	$(GO) run ./cmd/benchjson -merge BENCH_pr.json < adapton.out > BENCH_pr.json.tmp
+	mv BENCH_pr.json.tmp BENCH_pr.json
+	@off=$$(awk '{for(i=1;i<NF;i++) if ($$(i+1)=="qps") print $$i}' adaptoff.out); \
+	on=$$(awk '{for(i=1;i<NF;i++) if ($$(i+1)=="qps") print $$i}' adapton.out); \
+	echo "ci-adaptive: qps adaptive-off=$$off adaptive-on=$$on"; \
+	awk -v on="$$on" -v off="$$off" 'BEGIN { \
+		if (on + 0 < off * 0.9) { print "ci-adaptive: adaptive-on qps regressed vs off"; exit 1 } }'
+	rm -f adaptoff.out adapton.out

@@ -13,6 +13,7 @@
 //	       [-drain-timeout 5s] [-result-cache] [-result-cache-entries 1024]
 //	       [-result-cache-bytes 67108864] [-result-cache-ttl-ms 0]
 //	       [-exec-workers 4] [-exec-mem-bytes 0] [-exec-spill-dir dir]
+//	       [-adaptive]
 //
 // With -feedback (the default) every executed query is profiled and fed
 // back into the cost model; -feedback-snapshot names a JSON file that
@@ -37,6 +38,13 @@
 // elimination); answers stay bit-identical to sequential runs.
 // -exec-mem-bytes bounds the memory those breakers may hold before
 // Grace-style spilling to -exec-spill-dir (0 = never spill).
+//
+// -adaptive turns on mid-flight adaptive re-optimization: execution
+// pauses at materialization boundaries, compares observed cardinalities
+// against the optimizer's predictions, and when they diverge badly
+// re-costs the remaining plan with the finished subtrees pinned as exact
+// leaves, switching plans mid-query when the re-cost wins. Replan and
+// switch counters appear in the `stats` admin op.
 //
 // The serving machinery (federation assembly, protocol loop, graceful
 // shutdown, stats/reregister/setlink admin ops) lives in
@@ -74,6 +82,7 @@ func main() {
 	execWorkers := flag.Int("exec-workers", 0, "morsel-parallel workers for mediator pipeline breakers (<2 = sequential)")
 	execMem := flag.Int64("exec-mem-bytes", 0, "spill budget for mediator hash joins/aggregations (0 = never spill)")
 	execSpillDir := flag.String("exec-spill-dir", "", "directory for spill partitions (default: OS temp dir)")
+	adaptive := flag.Bool("adaptive", false, "re-optimize running queries mid-flight when observed cardinalities diverge from estimates")
 	flag.Parse()
 
 	fed, err := serving.NewDemoFederation(serving.Options{
@@ -91,6 +100,7 @@ func main() {
 		ExecWorkers:  *execWorkers,
 		ExecMemBytes: *execMem,
 		ExecSpillDir: *execSpillDir,
+		Adaptive:     *adaptive,
 	})
 	if err != nil {
 		log.Fatal(err)

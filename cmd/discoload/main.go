@@ -17,7 +17,8 @@
 // from the semantic result cache; the scraped hit rate lands in the
 // report as result_cache_hit_rate and on the -bench line. -exec-workers
 // and -exec-mem-bytes switch the mediator's vectorized engine into
-// morsel-parallel and spill-bounded modes respectively. -replicas N
+// morsel-parallel and spill-bounded modes respectively; -adaptive turns
+// on mid-flight adaptive re-optimization. -replicas N
 // (N > 1) brings up N identical demo replicas fronted by an in-process
 // federation router (internal/router) with scatter-gather partitions
 // declared — the scale-out soak mode; the report's per_target section
@@ -67,6 +68,7 @@ func main() {
 		rcTTL    = flag.Float64("result-cache-ttl-ms", 0, "demo mode: result cache TTL in virtual ms (0 = none)")
 		execW    = flag.Int("exec-workers", 0, "demo mode: morsel-parallel breaker workers (<2 = sequential)")
 		execMem  = flag.Int64("exec-mem-bytes", 0, "demo mode: breaker spill budget in bytes (0 = never spill)")
+		adaptive = flag.Bool("adaptive", false, "demo mode: re-optimize running queries mid-flight on cardinality divergence")
 		replicas = flag.Int("replicas", 1, "demo mode: identical replicas fronted by an in-process federation router (1 = single server)")
 
 		clients  = flag.Int("clients", 64, "concurrent client connections")
@@ -112,6 +114,7 @@ func main() {
 				},
 				ExecWorkers:  *execW,
 				ExecMemBytes: *execMem,
+				Adaptive:     *adaptive,
 			})
 			if err != nil {
 				log.Fatal("discoload: ", err)
@@ -185,8 +188,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "discoload: stats scrape failed: %v\n", err)
 	}
 	for _, ts := range rep.PerTarget {
-		fmt.Fprintf(os.Stderr, "discoload: target %-24s ok=%-6d shed=%-5d errors=%-5d partials=%-5d p50=%.2fms p99=%.2fms mean=%.2fms\n",
+		fmt.Fprintf(os.Stderr, "discoload: target %-24s ok=%-6d shed=%-5d errors=%-5d partials=%-5d p50=%.2fms p99=%.2fms mean=%.2fms",
 			ts.Target, ts.OK, ts.Shed, ts.Errors, ts.Partials, ts.P50MS, ts.P99MS, ts.MeanMS)
+		if ts.ShardsServed > 0 {
+			fmt.Fprintf(os.Stderr, " shards=%d shard-rows=%d shard-mean=%.2fms",
+				ts.ShardsServed, ts.ShardRows, ts.ShardMeanMS)
+		}
+		fmt.Fprintln(os.Stderr)
 	}
 
 	jsonDst := os.Stdout

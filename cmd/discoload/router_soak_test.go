@@ -2,6 +2,7 @@ package main
 
 import (
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -140,8 +141,8 @@ func TestSoakRouter(t *testing.T) {
 		rep.OK, rep.Shed, rep.Errors, rep.Partials, rep.P50MS, rep.P99MS, rep.QPS,
 		st.Routed, st.Scattered, st.Failovers, st.ShedRetries, st.Gossips, st.Warms)
 	for _, ts := range rep.PerTarget {
-		t.Logf("router soak: target %-24s ok=%-6d shed=%-5d errors=%-5d p99=%.1fms",
-			ts.Target, ts.OK, ts.Shed, ts.Errors, ts.P99MS)
+		t.Logf("router soak: target %-24s ok=%-6d shed=%-5d errors=%-5d p99=%.1fms shards=%d shard-rows=%d",
+			ts.Target, ts.OK, ts.Shed, ts.Errors, ts.P99MS, ts.ShardsServed, ts.ShardRows)
 	}
 
 	if rep.Wedged != 0 {
@@ -167,6 +168,22 @@ func TestSoakRouter(t *testing.T) {
 	}
 	if st.Scattered == 0 {
 		t.Error("no statement took the scatter-gather path")
+	}
+	// Shard attribution: the scan work behind every scatter-gather merge
+	// is credited to real replica addresses, never to the synthetic
+	// rollup targets.
+	shardCredits := 0
+	for _, ts := range rep.PerTarget {
+		if ts.ShardsServed == 0 {
+			continue
+		}
+		if strings.HasPrefix(ts.Target, "scatter:") || ts.Target == "gossip" {
+			t.Errorf("shard work credited to synthetic target %q", ts.Target)
+		}
+		shardCredits += ts.ShardsServed
+	}
+	if shardCredits == 0 {
+		t.Error("scatter-gather ran but no shard work was attributed to any replica")
 	}
 
 	// Oracle pass: every sampled answer — single-replica, scattered, or

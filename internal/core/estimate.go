@@ -150,6 +150,11 @@ type Estimator struct {
 	// globals shadow them.
 	Globals map[string]types.Constant
 	Options Options
+	// Pinned fixes nodes' result statistics to observed actuals (adaptive
+	// re-optimization pins already-materialized subtrees). Nil — the
+	// normal case — changes nothing. Shared read-only across Clone, like
+	// Globals.
+	Pinned map[*algebra.Node]PinnedVars
 
 	// scr is the reusable per-estimator scratch arena; lazily initialized
 	// so zero-value and literal-constructed estimators work.
@@ -468,6 +473,12 @@ func (e *Estimator) buildCtx(sc *scratch, n *algebra.Node, wrapper string) *node
 // the formulas bottom-up.
 func (e *Estimator) estimateNode(sc *scratch, ctx *nodeCtx, need VarSet) error {
 	sc.nodesVisited++
+	// Pinned nodes are facts, not estimates: their recorded actuals are
+	// the answer and the subtree below them is never visited.
+	if pv, ok := e.Pinned[ctx.node]; ok {
+		pinCtx(ctx, pv)
+		return nil
+	}
 	// Step 1: associate cost formulas with node (most specific rules).
 	e.associate(sc, ctx)
 

@@ -1,0 +1,54 @@
+package core
+
+import "disco/internal/algebra"
+
+// PinnedVars fixes one plan node's result statistics to observed actuals.
+// The adaptive re-optimizer pins the subtrees it has already executed and
+// materialized: their cardinality and volume are no longer estimates but
+// facts, and re-reading a materialized row set costs no source time — so
+// the time variables are pinned to zero and only the *remaining* work
+// differentiates candidate plans.
+type PinnedVars struct {
+	// Rows is the observed output cardinality (CountObject).
+	Rows float64
+	// Bytes is the observed output volume (TotalSize).
+	Bytes float64
+}
+
+// Pin registers pinned actuals for a node, lazily allocating the map.
+// The estimator must not be mid-estimation. Like Globals, the Pinned map
+// is shared read-only across Clone — populate it before cloning, or pin
+// on each clone independently.
+func (e *Estimator) Pin(n *algebra.Node, pv PinnedVars) {
+	if e.Pinned == nil {
+		e.Pinned = make(map[*algebra.Node]PinnedVars)
+	}
+	e.Pinned[n] = pv
+}
+
+// pinned short-circuits estimation for a pinned node: every result
+// variable is set from the recorded actuals and the subtree below it is
+// not visited at all (its work is already done; its statistics could only
+// disagree with the measured truth).
+func pinCtx(ctx *nodeCtx, pv PinnedVars) {
+	rows := pv.Rows
+	if rows < 0 {
+		rows = 0
+	}
+	bytes := pv.Bytes
+	if bytes < 0 {
+		bytes = 0
+	}
+	perObj := bytes
+	if rows >= 1 {
+		perObj = bytes / rows
+	}
+	ctx.vars[idxCountObject] = rows
+	ctx.vars[idxObjectSize] = perObj
+	ctx.vars[idxTotalSize] = bytes
+	ctx.vars[idxTimeFirst] = 0
+	ctx.vars[idxTotalTime] = 0
+	ctx.vars[idxTimeNext] = 0
+	ctx.varsSet = allVarSet
+	ctx.need = allVarSet
+}

@@ -1,0 +1,243 @@
+package engine
+
+import (
+	"sort"
+
+	"disco/internal/algebra"
+	"disco/internal/feedback"
+	"disco/internal/netsim"
+	"disco/internal/rowops"
+	"disco/internal/types"
+	"disco/internal/vexec"
+)
+
+// Defaults of the adaptive executor's knobs, applied when the
+// corresponding AdaptiveOptions field is left zero.
+const (
+	// DefaultAdaptiveThreshold is the cardinality q-error past which a
+	// materialized boundary triggers a re-cost of the remaining plan.
+	// 3x is well past estimation noise but well before the 10x errors a
+	// stale registration produces.
+	DefaultAdaptiveThreshold = 3.0
+	// DefaultAdaptiveMargin is the hysteresis fraction: the re-costed
+	// plan must beat the current remainder by this much before the
+	// engine switches, so near-ties never cause churn.
+	DefaultAdaptiveMargin = 0.2
+	// DefaultAdaptiveMaxSwitches bounds switches per query: each switch
+	// re-enumerates the suffix, and past a couple the remaining plan is
+	// dominated by pinned facts anyway.
+	DefaultAdaptiveMaxSwitches = 2
+)
+
+// AdaptiveOptions configure mid-flight adaptive re-optimization. The
+// zero value disables it entirely: Execute is used unmodified and the
+// engine behaves bit-identically to a build without this file.
+type AdaptiveOptions struct {
+	Enabled bool
+	// Threshold is the observed-vs-predicted cardinality q-error that
+	// triggers a re-cost (0 = DefaultAdaptiveThreshold).
+	Threshold float64
+	// Margin is the hysteresis fraction a candidate must win by
+	// (0 = DefaultAdaptiveMargin).
+	Margin float64
+	// MaxSwitches bounds plan switches per query
+	// (0 = DefaultAdaptiveMaxSwitches).
+	MaxSwitches int
+}
+
+// PinnedActual is the observed output of one fully materialized subtree,
+// handed to the re-optimizer as an exact, zero-cost leaf.
+type PinnedActual struct {
+	Rows  int64
+	Bytes int64
+}
+
+// ReplanRequest asks the planner to re-cost the un-executed remainder of
+// a running query. Remaining is the currently executing plan; every node
+// in Pinned is already materialized, its subtree must be treated as an
+// atomic leaf with the recorded actuals, and re-reading it costs
+// nothing.
+type ReplanRequest struct {
+	Remaining *algebra.Node
+	Pinned    map[*algebra.Node]PinnedActual
+}
+
+// ReplanResult is the planner's answer: the best remaining plan it
+// found, the estimated cost of that plan and of the current remainder
+// (both priced with the pins, so they are directly comparable), and the
+// per-node predicted cardinalities of the new plan for later divergence
+// checks.
+type ReplanResult struct {
+	Plan      *algebra.Node
+	NewCost   float64
+	OldCost   float64
+	Predicted map[*algebra.Node]float64
+}
+
+// ExecuteAdaptive runs a plan in stages, pausing at every materialization
+// boundary — submit leaves and pipeline breakers — to compare the
+// observed cardinality against the optimizer's prediction. Past the
+// q-error threshold it asks the Replan callback to re-cost the remaining
+// plan with the materialized subtrees pinned as exact zero-cost leaves,
+// and switches to the candidate when it wins by the hysteresis margin.
+// With the feature disabled (or no Replan wired) it falls through to
+// Execute, bit-identically.
+//
+// predicted maps plan nodes to the optimizer's estimated output
+// cardinality (CountObject); nodes without an entry are never checked.
+func (e *Engine) ExecuteAdaptive(plan *algebra.Node, predicted map[*algebra.Node]float64) (*Result, error) {
+	if !e.Adaptive.Enabled || e.Replan == nil {
+		return e.Execute(plan)
+	}
+	thresh := e.Adaptive.Threshold
+	if thresh <= 1 {
+		thresh = DefaultAdaptiveThreshold
+	}
+	margin := e.Adaptive.Margin
+	if margin <= 0 {
+		margin = DefaultAdaptiveMargin
+	}
+	maxSwitches := e.Adaptive.MaxSwitches
+	if maxSwitches <= 0 {
+		maxSwitches = DefaultAdaptiveMaxSwitches
+	}
+
+	watch := netsim.StartWatch(e.clock)
+	st := execState{prof: feedback.NewProfile(), submits: make(map[*algebra.Node]*submitFacts)}
+	if e.Results != nil {
+		st.cacheGen = e.Results.Begin()
+	}
+	// mat holds the materialized output of every completed stage, keyed by
+	// the stage's root node. A switched plan reuses the same leaf-unit
+	// node pointers, so entries stay valid across switches.
+	mat := make(map[*algebra.Node][]types.Row)
+	leaf := func(n *algebra.Node) ([]types.Row, bool, error) {
+		if rows, ok := mat[n]; ok {
+			return rows, true, nil
+		}
+		return e.leaf(n, &st)
+	}
+	runStage := func(root *algebra.Node) ([]types.Row, error) {
+		counts := vexec.Counts{}
+		rows, err := vexec.Run(root, &vexec.Env{Opts: e.Exec, Counts: counts, Leaf: leaf})
+		if err != nil {
+			return nil, err
+		}
+		e.chargeStaged(root, counts, &st)
+		return rows, nil
+	}
+
+	res := &Result{}
+	cur := plan
+	for {
+		stage := nextStage(cur, mat)
+		if stage == nil || stage == cur {
+			break
+		}
+		rows, err := runStage(stage)
+		if err != nil {
+			return nil, err
+		}
+		mat[stage] = rows
+
+		est, ok := predicted[stage]
+		if !ok || res.PlanSwitches >= maxSwitches {
+			continue
+		}
+		if feedback.QError(est, float64(len(rows)), 1) < thresh {
+			continue
+		}
+		// The estimate is proven wrong at this boundary: re-cost the
+		// remainder with every materialized subtree pinned to its facts.
+		res.Replans++
+		req := &ReplanRequest{Remaining: cur, Pinned: make(map[*algebra.Node]PinnedActual, len(mat))}
+		for n, rs := range mat {
+			req.Pinned[n] = PinnedActual{Rows: int64(len(rs)), Bytes: rowops.RowBytes(rs)}
+		}
+		rr, err := e.Replan(req)
+		if err != nil || rr == nil || rr.Plan == nil {
+			continue // replanning is best-effort; estimation failure keeps the current plan
+		}
+		if rr.Plan != cur && rr.NewCost < rr.OldCost*(1-margin) {
+			cur = rr.Plan
+			res.PlanSwitches++
+			if rr.Predicted != nil {
+				predicted = rr.Predicted
+			}
+		}
+	}
+
+	// Final stage: whatever remains of the (possibly switched) plan, with
+	// every earlier stage served from its materialization.
+	rows, err := runStage(cur)
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = rows
+	res.Schema = cur.OutSchema
+	res.ElapsedMS = watch.ElapsedMS()
+	res.Profile = st.prof
+	if len(st.excluded) > 0 {
+		res.Partial = true
+		res.Excluded = make([]string, 0, len(st.excluded))
+		for n := range st.excluded {
+			res.Excluded = append(res.Excluded, n)
+		}
+		sort.Strings(res.Excluded)
+	}
+	st.prof.ElapsedMS = res.ElapsedMS
+	st.prof.Partial = res.Partial
+	if res.PlanSwitches > 0 {
+		res.ExecutedPlan = cur
+	}
+	return res, nil
+}
+
+// nextStage returns the deepest un-materialized staging boundary of the
+// plan in post-order: a submit leaf or a pipeline breaker all of whose
+// inner boundaries are already materialized. Returning the root (or nil)
+// means the rest of the plan is one final stage. Submit subtrees are
+// opaque — the wrapper executes them whole.
+func nextStage(n *algebra.Node, mat map[*algebra.Node][]types.Row) *algebra.Node {
+	if _, done := mat[n]; done {
+		return nil
+	}
+	if n.Kind == algebra.OpSubmit {
+		return n
+	}
+	for _, c := range n.Children {
+		if s := nextStage(c, mat); s != nil {
+			return s
+		}
+	}
+	if vexec.IsBreaker(n) {
+		return n
+	}
+	return nil
+}
+
+// chargeStaged is charge() for staged execution: nodes charged in an
+// earlier stage return their recorded actuals without advancing the
+// clock again — re-reading a materialized row set is free — while newly
+// executed nodes are charged exactly as the one-shot path charges them.
+func (e *Engine) chargeStaged(n *algebra.Node, counts vexec.Counts, st *execState) *feedback.OpActual {
+	if a, ok := st.prof.ByNode[n]; ok {
+		return a
+	}
+	if n.Kind == algebra.OpSubmit {
+		return e.charge(n, counts, st)
+	}
+	var kidsMS float64
+	var in int64
+	for _, c := range n.Children {
+		ca := e.chargeStaged(c, counts, st)
+		kidsMS += ca.SubtreeMS
+		in += ca.RowsOut
+	}
+	out := counts.Out(n)
+	own := e.ownCharge(n, counts, in, out)
+	e.clock.Advance(own)
+	a := &feedback.OpActual{RowsIn: in, RowsOut: out, OwnMS: own, SubtreeMS: own + kidsMS}
+	st.prof.ByNode[n] = a
+	return a
+}

@@ -125,6 +125,13 @@ type Engine struct {
 	// breakers, the spill memory budget, spill directory and batch size.
 	// The zero value (sequential, no spill) is the bit-identical mode.
 	Exec vexec.Options
+	// Adaptive configures mid-flight re-optimization (ExecuteAdaptive);
+	// the zero value disables it and nothing below changes.
+	Adaptive AdaptiveOptions
+	// Replan, set by the mediator when Adaptive is on, re-costs the
+	// remaining plan of a paused query with materialized subtrees pinned
+	// as exact leaves. Nil disables adaptive switching even when enabled.
+	Replan func(*ReplanRequest) (*ReplanResult, error)
 }
 
 // New builds an engine over the registered wrappers. All wrappers must
@@ -203,6 +210,15 @@ type Result struct {
 	// are recorded too — a degraded run's profile is never silently
 	// empty.
 	Profile *feedback.Profile
+	// Replans counts mid-flight re-cost attempts by the adaptive
+	// executor; PlanSwitches counts the ones that actually switched the
+	// running plan. Both are zero on the non-adaptive path.
+	Replans      int
+	PlanSwitches int
+	// ExecutedPlan is the plan that finished the query when it differs
+	// from the submitted one (PlanSwitches > 0); nil otherwise. Profile
+	// entries are keyed by this plan's nodes for the switched suffix.
+	ExecutedPlan *algebra.Node
 }
 
 // submitFacts are the transport facts of one executed submit boundary,

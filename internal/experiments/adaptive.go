@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"disco/internal/engine"
+	"disco/internal/mediator"
+	"disco/internal/types"
+)
+
+// adaptiveProbe is E15's query. Unlike E10's probe it restricts Dept —
+// the relation the mis-costed plan joins last — so the join orders are
+// genuinely asymmetric: the truth plan reduces Employee to one
+// department before touching Notes, while the mis-costed plan builds the
+// full Notes-Employee join first and filters at the very end.
+const adaptiveProbe = "SELECT name, dname, text FROM Employee, Dept, Notes " +
+	"WHERE dept = dno AND Employee.id = Notes.emp AND dno < 1"
+
+// adaptiveCostScale puts E15's mediator in the compute-bound regime: the
+// per-row operator coefficients — engine charges and the matching
+// estimator globals, scaled together so predictions stay aligned with
+// the clock — are orders of magnitude up from the demo defaults, making
+// join-order mistakes cost virtual time that source access does not
+// dominate.
+const adaptiveCostScale = 300
+
+// adaptiveConfig is the E15 mediator configuration: history and feedback
+// off, so mid-flight switching is the only estimate-repair channel in
+// play, and mediator-side costs scaled into the compute-bound regime.
+func adaptiveConfig(on bool) mediator.Config {
+	cfg := mediator.DefaultConfig()
+	cfg.RecordHistory = false
+	cfg.Adaptive = on
+	costs := engine.DefaultCosts()
+	costs.PerObj *= adaptiveCostScale
+	costs.PerPred *= adaptiveCostScale
+	costs.ProjPerObj *= adaptiveCostScale
+	costs.SortPerObj *= adaptiveCostScale
+	costs.HashPerObj *= adaptiveCostScale
+	costs.JoinPerPair *= adaptiveCostScale
+	cfg.EngineCosts = costs
+	// The file source exports no statistics, so its cardinality is the
+	// estimator's default guess — only 2x off here. A threshold under
+	// that lets the very first materialization (the Notes submit) arm
+	// the replan; the narrower margin still rejects near-ties.
+	cfg.AdaptiveThreshold = 1.8
+	cfg.AdaptiveMargin = 0.1
+	return cfg
+}
+
+// buildAdaptiveFederation assembles the E10 federation and, when asked,
+// mis-registers it the E15 way: Dept's extent inflated 10x, Employee
+// left truthful. The file source cannot be mis-registered at all — it
+// exports no statistics, so the estimator runs on a default guess for
+// Notes — which is exactly the heterogeneity under study: the probe's
+// first materialization (the Notes submit) pins the file source's true
+// cardinality, and the replan of the un-executed remainder then sees
+// the Dept-first order's smaller intermediates. The estimator's
+// mediator coefficients are scaled with the engine's (see
+// adaptiveCostScale).
+func buildAdaptiveFederation(cfg mediator.Config, misregister bool) (*mediator.Mediator, error) {
+	m, err := buildFeedbackFederation(cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	for _, g := range []string{"MedPerObj", "MedPerPred", "MedProjPerObj",
+		"MedSortPerObj", "MedHashPerObj", "MedJoinPerPair"} {
+		if v, ok := m.Estimator.Globals[g]; ok {
+			m.Estimator.Globals[g] = types.Float(v.AsFloat() * adaptiveCostScale)
+		}
+	}
+	if misregister {
+		skewExtent(m, "rel1", "Dept", 10)
+	}
+	return m, nil
+}
+
+// adaptiveProbeShape prepares E15's probe and reports its join order.
+func adaptiveProbeShape(m *mediator.Mediator) (string, error) {
+	p, err := m.Prepare(adaptiveProbe)
+	if err != nil {
+		return "", err
+	}
+	return joinShape(p.Plan), nil
+}
+
+// AdaptiveResult holds E15, the mid-flight re-optimization study: a
+// 10x mis-registered federation of the kind E10 repairs over eight
+// feedback rounds, repaired inside the very first execution of the probe
+// by divergence-triggered plan switching.
+type AdaptiveResult struct {
+	// TruthPlan is the probe join order under correct registration.
+	TruthPlan string
+	// StaticPlan is the join order the mis-registered optimizer picks —
+	// what an adaptive-off run is stuck with for its whole first query.
+	StaticPlan string
+	// ExecutedPlan is the join order that actually finished the first
+	// adaptive query (after any mid-flight switches).
+	ExecutedPlan string
+	// Replans counts mid-flight re-cost attempts during the first
+	// adaptive query; Switches the ones that changed the running plan.
+	Replans  int64
+	Switches int64
+	// StaticMS / AdaptiveMS are the virtual elapsed times of the first
+	// probe execution with adaptivity off and on.
+	StaticMS   float64
+	AdaptiveMS float64
+	// ResultsMatch reports the switched execution returned exactly the
+	// rows the static plan returned.
+	ResultsMatch bool
+	// OffStable reports the adaptive-off arm's probe plan and estimates
+	// did not move across the run (the default path is inert).
+	OffStable bool
+}
+
+// Speedup is the first-query virtual-time ratio of the static plan over
+// the adaptive execution.
+func (r *AdaptiveResult) Speedup() float64 {
+	if r.AdaptiveMS == 0 {
+		return 0
+	}
+	return r.StaticMS / r.AdaptiveMS
+}
+
+// Table renders the study.
+func (r *AdaptiveResult) Table() string {
+	var b strings.Builder
+	b.WriteString("Adaptive re-optimization — 10x mis-registered extents, repaired inside the first query\n")
+	fmt.Fprintf(&b, "%-22s %s\n", "truth plan:", r.TruthPlan)
+	fmt.Fprintf(&b, "%-22s %s  (%.3f virtual ms)\n", "static (mis-reg) plan:", r.StaticPlan, r.StaticMS)
+	fmt.Fprintf(&b, "%-22s %s  (%.3f virtual ms)\n", "adaptive executed:", r.ExecutedPlan, r.AdaptiveMS)
+	fmt.Fprintf(&b, "\nreplans: %d   switches: %d   speedup: %.2fx   results match: %v   off-path stable: %v\n",
+		r.Replans, r.Switches, r.Speedup(), r.ResultsMatch, r.OffStable)
+	return b.String()
+}
+
+// Adaptive runs E15: the federation above — Dept claimed 10x bigger,
+// Notes 10x smaller — queried once per arm. The static arm executes the
+// mis-costed plan to completion; the adaptive arm detects the divergence
+// at the first materialization boundaries, re-costs the remainder with
+// the observed actuals pinned, and switches mid-query.
+func Adaptive() (*AdaptiveResult, error) {
+	// Truth arm: correct registration fixes the target join order.
+	truth, err := buildAdaptiveFederation(adaptiveConfig(false), false)
+	if err != nil {
+		return nil, err
+	}
+	out := &AdaptiveResult{}
+	if out.TruthPlan, err = adaptiveProbeShape(truth); err != nil {
+		return nil, err
+	}
+
+	// Static arm: mis-registered, adaptive off.
+	static, err := buildAdaptiveFederation(adaptiveConfig(false), true)
+	if err != nil {
+		return nil, err
+	}
+	if out.StaticPlan, err = adaptiveProbeShape(static); err != nil {
+		return nil, err
+	}
+	planBefore, err := static.Explain(adaptiveProbe)
+	if err != nil {
+		return nil, err
+	}
+	resS, err := static.Query(adaptiveProbe)
+	if err != nil {
+		return nil, err
+	}
+	out.StaticMS = resS.ElapsedMS
+	planAfter, err := static.Explain(adaptiveProbe)
+	if err != nil {
+		return nil, err
+	}
+	out.OffStable = planBefore == planAfter
+
+	// Adaptive arm: identically mis-registered, adaptive on.
+	adap, err := buildAdaptiveFederation(adaptiveConfig(true), true)
+	if err != nil {
+		return nil, err
+	}
+	resA, err := adap.Query(adaptiveProbe)
+	if err != nil {
+		return nil, err
+	}
+	out.AdaptiveMS = resA.ElapsedMS
+	out.Replans = int64(resA.Replans)
+	out.Switches = int64(resA.PlanSwitches)
+	out.ExecutedPlan = out.StaticPlan
+	if resA.ExecutedPlan != nil {
+		out.ExecutedPlan = joinShape(resA.ExecutedPlan)
+	}
+
+	ds := make([]string, 0, len(resS.Rows))
+	for _, r := range resS.Rows {
+		ds = append(ds, fmt.Sprint(r))
+	}
+	da := make([]string, 0, len(resA.Rows))
+	for _, r := range resA.Rows {
+		da = append(da, fmt.Sprint(r))
+	}
+	sort.Strings(ds)
+	sort.Strings(da)
+	out.ResultsMatch = strings.Join(ds, "\n") == strings.Join(da, "\n")
+	return out, nil
+}

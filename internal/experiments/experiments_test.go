@@ -267,6 +267,43 @@ func TestResilienceMatrix(t *testing.T) {
 	}
 }
 
+func TestAdaptiveConvergence(t *testing.T) {
+	r, err := Adaptive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The mis-registered optimizer must actually be fooled — otherwise
+	// there is nothing for the adaptive executor to repair.
+	if r.StaticPlan == r.TruthPlan {
+		t.Fatalf("static arm already picked the truth plan %s", r.TruthPlan)
+	}
+	// The divergence must be detected and repaired inside the FIRST
+	// query: at least one replan, exactly the plan switch that lands on
+	// the truth join order.
+	if r.Replans < 1 {
+		t.Errorf("no replans fired\n%s", r.Table())
+	}
+	if r.Switches < 1 {
+		t.Errorf("no mid-flight plan switch\n%s", r.Table())
+	}
+	if r.ExecutedPlan != r.TruthPlan {
+		t.Errorf("adaptive executed %s, want the truth plan %s", r.ExecutedPlan, r.TruthPlan)
+	}
+	// Switching mid-query must pay off on the virtual clock, with margin.
+	if s := r.Speedup(); s < 1.2 {
+		t.Errorf("speedup = %.2fx, want >= 1.2x\n%s", s, r.Table())
+	}
+	// A switched plan must return exactly the static plan's rows.
+	if !r.ResultsMatch {
+		t.Errorf("switched execution changed the answer\n%s", r.Table())
+	}
+	// With adaptivity off, the identical mis-registered run must leave
+	// its plans and estimates untouched.
+	if !r.OffStable {
+		t.Error("adaptive-off arm saw its probe plan drift")
+	}
+}
+
 func TestFeedbackConvergence(t *testing.T) {
 	r, err := Feedback()
 	if err != nil {

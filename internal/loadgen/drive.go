@@ -124,8 +124,18 @@ type TargetStats struct {
 	P50MS     float64 `json:"p50_ms"`
 	P99MS     float64 `json:"p99_ms"`
 	MeanMS    float64 `json:"mean_ms"`
+	// Shard attribution: when this target served shards of scatter-gather
+	// answers (Response.ShardDetail), the shard counts, rows, and mean
+	// shard latency land here. The scattered request itself still counts
+	// under the synthetic "scatter:<n>" rollup row; these fields show
+	// which replicas actually did the scan work behind it. ShardMeanMS is
+	// on the server's clock (Response.ElapsedMS), not the client's.
+	ShardsServed int     `json:"shards_served,omitempty"`
+	ShardRows    int     `json:"shard_rows,omitempty"`
+	ShardMeanMS  float64 `json:"shard_mean_ms,omitempty"`
 
-	hist Histogram
+	hist       Histogram
+	shardMSSum float64
 }
 
 // clientResult is one client goroutine's contribution.
@@ -209,6 +219,9 @@ func Drive(s *Schedule, opts DriveOptions) (*Report, error) {
 			m.Errors += ts.Errors
 			m.Partials += ts.Partials
 			m.RowsTotal += ts.RowsTotal
+			m.ShardsServed += ts.ShardsServed
+			m.ShardRows += ts.ShardRows
+			m.shardMSSum += ts.shardMSSum
 			m.hist.Merge(&ts.hist)
 		}
 	}
@@ -216,6 +229,9 @@ func Drive(s *Schedule, opts DriveOptions) (*Report, error) {
 		m.P50MS = m.hist.QuantileMS(0.50)
 		m.P99MS = m.hist.QuantileMS(0.99)
 		m.MeanMS = m.hist.MeanMicros() / 1000
+		if m.ShardsServed > 0 {
+			m.ShardMeanMS = m.shardMSSum / float64(m.ShardsServed)
+		}
 		rep.PerTarget = append(rep.PerTarget, *m)
 	}
 	sort.Slice(rep.PerTarget, func(a, b int) bool { return rep.PerTarget[a].Target < rep.PerTarget[b].Target })
@@ -289,6 +305,17 @@ func driveClient(reqs []Request, idx int, addr string, opts DriveOptions, out *c
 		if resp.Partial {
 			out.partials++
 			ts.Partials++
+		}
+		// Credit scatter-gather shard work to the replicas that served
+		// it; the request stays attributed to the rollup target above.
+		for _, sd := range resp.ShardDetail {
+			if sd.Replica == "" {
+				continue
+			}
+			sts := out.target(sd.Replica)
+			sts.ShardsServed++
+			sts.ShardRows += sd.Rows
+			sts.shardMSSum += sd.ElapsedMS
 		}
 		if req.Sample && req.Op == OpQuery {
 			out.samples = append(out.samples, Sample{

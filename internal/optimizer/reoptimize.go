@@ -1,0 +1,315 @@
+package optimizer
+
+import (
+	"math"
+	"strings"
+
+	"disco/internal/algebra"
+	"disco/internal/core"
+	"disco/internal/types"
+)
+
+// sameFieldOrder reports whether two resolved schemas carry the same
+// columns in the same positions.
+func sameFieldOrder(a, b *types.Schema) bool {
+	if a == nil || b == nil || a.Len() != b.Len() {
+		return a == b
+	}
+	for i := 0; i < a.Len(); i++ {
+		fa, fb := a.Field(i), b.Field(i)
+		if !strings.EqualFold(fa.Collection, fb.Collection) || !strings.EqualFold(fa.Name, fb.Name) {
+			return false
+		}
+	}
+	return true
+}
+
+// SuffixResult is the outcome of a mid-flight re-optimization: the best
+// remaining plan found, the objective value of that plan and of the
+// current remainder (both priced with the pins installed, so the two are
+// directly comparable), and a full per-node variable capture of Plan for
+// the executor's later divergence checks. When re-enumeration finds
+// nothing structurally different (or the remainder has no reorderable
+// join), Plan is the input plan itself and NewCost equals OldCost.
+type SuffixResult struct {
+	Plan    *algebra.Node
+	NewCost float64
+	OldCost float64
+	// Cost carries the full-variable estimation of Plan (nil when the
+	// plan is returned unchanged).
+	Cost *core.PlanCost
+}
+
+// ReoptimizeSuffix re-enumerates the un-executed remainder of a running
+// plan. Every node in pins is already materialized by the executor: its
+// subtree is treated as an atomic leaf whose statistics are the recorded
+// actuals and whose re-read costs nothing. The remaining join tree is
+// decomposed into leaf units — pinned subtrees, submit subtrees, and
+// whatever other non-join subtrees feed the joins — and re-joined by the
+// same dynamic program, candidate pricing, and pruning discipline the
+// initial search uses, now against facts instead of estimates. The
+// post-join shape (aggregate/project/distinct/sort spine) is rebuilt on
+// top of the winning join order.
+//
+// The optimizer's estimator is mutated (pins installed, full-variable
+// capture toggled): callers must pass a private clone, exactly as the
+// parallel search requires per-worker estimators. The result cache view
+// is ignored for the suffix search — a pinned submit is priced by its
+// pins, which are at least as exact as any cache entry.
+func (o *Optimizer) ReoptimizeSuffix(plan *algebra.Node, pins map[*algebra.Node]core.PinnedVars) (*SuffixResult, error) {
+	ro := *o
+	ro.Opt.CacheView = nil
+	for n, pv := range pins {
+		ro.Est.Pin(n, pv)
+	}
+	s := newSearch(&ro)
+
+	unchanged := func() (*SuffixResult, error) {
+		rc, err := s.costRoot(ro.Est, plan, 0)
+		if err != nil {
+			return nil, err
+		}
+		c := ro.Opt.Objective.metricRoot(rc)
+		return &SuffixResult{Plan: plan, NewCost: c, OldCost: c}, nil
+	}
+
+	// Peel the post-join spine: the unary shape operators finalize()
+	// attached above the join tree. A pinned node stops the peel — its
+	// subtree is done, nothing below it can be reordered.
+	var spine []*algebra.Node
+	trunk := plan
+peel:
+	for {
+		if _, ok := pins[trunk]; ok {
+			break
+		}
+		switch trunk.Kind {
+		case algebra.OpProject, algebra.OpSort, algebra.OpDupElim, algebra.OpAggregate, algebra.OpSelect:
+			spine = append(spine, trunk)
+			trunk = trunk.Children[0]
+		default:
+			break peel
+		}
+	}
+	if trunk.Kind != algebra.OpJoin {
+		return unchanged()
+	}
+
+	// Decompose the join tree into leaf units and collect the join
+	// conjuncts of the joins being dissolved. Pinned subtrees are atomic
+	// even when join-rooted; their internal predicates are already
+	// applied facts, not reorderable edges.
+	var units []*algebra.Node
+	var conjs []algebra.Comparison
+	var decompose func(n *algebra.Node)
+	decompose = func(n *algebra.Node) {
+		if _, ok := pins[n]; ok {
+			units = append(units, n)
+			return
+		}
+		if n.Kind != algebra.OpJoin {
+			units = append(units, n)
+			return
+		}
+		if n.Pred != nil {
+			for _, c := range n.Pred.Conjuncts {
+				conjs = append(conjs, c.Clone())
+			}
+		}
+		decompose(n.Children[0])
+		decompose(n.Children[1])
+	}
+	decompose(trunk)
+
+	n := len(units)
+	maxDP := ro.Opt.MaxDPRelations
+	if maxDP <= 0 {
+		maxDP = 10
+	}
+	if n < 2 || n > maxDP || n > 63 {
+		return unchanged()
+	}
+
+	// Map every conjunct to the pair of units it connects, by the base
+	// collections each unit's subtree scans. Conjuncts internal to one
+	// unit (both relations inside a pinned join) are already applied.
+	unitColls := make([]map[string]bool, n)
+	for i, u := range units {
+		m := make(map[string]bool)
+		for _, sc := range u.Scans() {
+			m[strings.ToLower(sc.Collection)] = true
+		}
+		unitColls[i] = m
+	}
+	unitOf := func(r algebra.Ref) int {
+		for i, m := range unitColls {
+			if m[strings.ToLower(r.Collection)] {
+				return i
+			}
+		}
+		return -1
+	}
+	type edge struct {
+		c      algebra.Comparison
+		li, ri int
+	}
+	var edges []edge
+	for _, c := range conjs {
+		if c.RightAttr == nil {
+			continue
+		}
+		li, ri := unitOf(c.Left), unitOf(*c.RightAttr)
+		if li < 0 || ri < 0 || li == ri {
+			continue
+		}
+		edges = append(edges, edge{c: c, li: li, ri: ri})
+	}
+	connecting := func(a, b uint64) *algebra.Predicate {
+		var cs []algebra.Comparison
+		for _, e := range edges {
+			lb, rb := uint64(1)<<uint(e.li), uint64(1)<<uint(e.ri)
+			if (a&lb != 0 && b&rb != 0) || (a&rb != 0 && b&lb != 0) {
+				cs = append(cs, e.c.Clone())
+			}
+		}
+		if len(cs) == 0 {
+			return nil
+		}
+		return &algebra.Predicate{Conjuncts: cs}
+	}
+
+	// The dynamic program of dpJoin over leaf units instead of base
+	// relations. Units are mediator-side (site "") — pinned subtrees and
+	// shipped submits alike — so joinCandidates yields mediator joins;
+	// both build orders are enumerated because pinned inputs make the
+	// sides genuinely asymmetric (a pinned build side costs nothing to
+	// re-read). Candidates share the unit subtrees rather than cloning
+	// them, keeping the executor's materialization map and the
+	// estimator's pins — both keyed by node pointer — valid across the
+	// switch.
+	tunits := make([]*tagged, n)
+	best := make(map[uint64]*entry, 1<<uint(n))
+	for i, u := range units {
+		tunits[i] = &tagged{plan: u, site: ""}
+		c, err := s.costTagged(ro.Est, tunits[i], 0)
+		if err != nil {
+			return nil, err
+		}
+		best[1<<uint(i)] = &entry{t: tunits[i], cost: c}
+	}
+	full := uint64(1)<<uint(n) - 1
+	prune := ro.pruneEnabled()
+	for size := 2; size <= n; size++ {
+		for set := uint64(1); set <= full; set++ {
+			if popcount(set) != size {
+				continue
+			}
+			var bestEntry *entry
+			var cands []*tagged
+			for i := 0; i < n; i++ {
+				bit := uint64(1) << uint(i)
+				if set&bit == 0 {
+					continue
+				}
+				left, ok := best[set&^bit]
+				if !ok {
+					continue
+				}
+				pred := connecting(set&^bit, bit)
+				if pred == nil && size < n {
+					continue
+				}
+				cands = append(cands, ro.joinCandidates(left.t, tunits[i], pred)...)
+				cands = append(cands, ro.joinCandidates(tunits[i], left.t, flipPred(pred))...)
+			}
+			for _, cand := range cands {
+				budget := math.Inf(1)
+				if prune && bestEntry != nil {
+					budget = bestEntry.cost
+				}
+				c, err := s.costTagged(ro.Est, cand, budget)
+				if err == core.ErrOverBudget {
+					s.pruned.Add(1)
+					continue
+				}
+				if err != nil {
+					return nil, err
+				}
+				if bestEntry == nil || c < bestEntry.cost {
+					bestEntry = &entry{t: cand, cost: c}
+				}
+			}
+			if bestEntry != nil {
+				best[set] = bestEntry
+			}
+		}
+	}
+	e, ok := best[full]
+	if !ok {
+		return unchanged()
+	}
+
+	// Rebuild the peeled shape over the winning join tree, innermost
+	// spine operator first.
+	rebuilt := e.t.plan
+	for i := len(spine) - 1; i >= 0; i-- {
+		sp := spine[i]
+		switch sp.Kind {
+		case algebra.OpSelect:
+			rebuilt = algebra.Select(rebuilt, sp.Pred.Clone())
+		case algebra.OpProject:
+			rebuilt = algebra.Project(rebuilt, sp.Cols...)
+		case algebra.OpSort:
+			rebuilt = algebra.Sort(rebuilt, sp.Keys...)
+		case algebra.OpDupElim:
+			rebuilt = algebra.DupElim(rebuilt)
+		case algebra.OpAggregate:
+			rebuilt = algebra.Aggregate(rebuilt, sp.GroupBy, sp.Aggs)
+		}
+	}
+	// A reordered join tree permutes the concatenated output columns;
+	// when no projection in the spine re-fixes the order, restore the
+	// original column order explicitly so a switched plan returns exactly
+	// the rows the submitted plan would have.
+	if err := algebra.Resolve(rebuilt, ro.Cat); err != nil {
+		return nil, err
+	}
+	if !sameFieldOrder(rebuilt.OutSchema, plan.OutSchema) {
+		cols := make([]string, 0, plan.OutSchema.Len())
+		for i := 0; i < plan.OutSchema.Len(); i++ {
+			f := plan.OutSchema.Field(i)
+			cols = append(cols, f.Collection+"."+f.Name)
+		}
+		rebuilt = algebra.Project(rebuilt, cols...)
+	}
+	if planHash(rebuilt) == planHash(plan) {
+		return unchanged()
+	}
+
+	// Price both complete remainders — spine included — on the pinned
+	// estimator so the executor's hysteresis compares like with like.
+	oldRC, err := s.costRoot(ro.Est, plan, 0)
+	if err != nil {
+		return nil, err
+	}
+	// Full-variable pass on the winner: the executor keys its next
+	// divergence checks on this capture, so it needs cardinalities at
+	// every node, not just the objective at the root. Pinned nodes
+	// predict their own actuals (q-error 1) and can never re-trigger.
+	savedRequired := ro.Est.Options.RequiredVarsOnly
+	savedRoot := ro.Est.Options.RootVars
+	ro.Est.Options.RequiredVarsOnly = false
+	ro.Est.Options.RootVars = nil
+	pc, err := s.costPlan(ro.Est, rebuilt, 0)
+	ro.Est.Options.RequiredVarsOnly = savedRequired
+	ro.Est.Options.RootVars = savedRoot
+	if err != nil {
+		return nil, err
+	}
+	return &SuffixResult{
+		Plan:    rebuilt,
+		NewCost: ro.Opt.Objective.metric(pc),
+		OldCost: ro.Opt.Objective.metricRoot(oldRC),
+		Cost:    pc,
+	}, nil
+}

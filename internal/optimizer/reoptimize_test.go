@@ -1,0 +1,113 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+
+	"disco/internal/algebra"
+	"disco/internal/core"
+	"disco/internal/stats"
+	"disco/internal/types"
+)
+
+// reoptimizePlan optimizes the three-way join-and-aggregate block (the
+// same shape TestThreeWayJoinAndAggregation checks) and returns its plan:
+// two mediator joins under an aggregate/sort spine — exactly the
+// remainder shape the adaptive executor hands back mid-flight.
+func reoptimizePlan(t *testing.T, f *fixture) *algebra.Node {
+	t.Helper()
+	qb := &QueryBlock{
+		Relations: []Rel{
+			{Wrapper: "obj1", Collection: "Employee",
+				Pred: algebra.NewSelPred(algebra.Ref{Collection: "Employee", Attr: "id"}, stats.CmpLT, types.Int(500))},
+			{Wrapper: "rel1", Collection: "Dept"},
+			{Wrapper: "obj1", Collection: "Manager"},
+		},
+		JoinPreds: []algebra.Comparison{
+			{Left: algebra.Ref{Collection: "Employee", Attr: "dept"}, Op: stats.CmpEQ,
+				RightAttr: &algebra.Ref{Collection: "Dept", Attr: "dno"}},
+			{Left: algebra.Ref{Collection: "Dept", Attr: "dno"}, Op: stats.CmpEQ,
+				RightAttr: &algebra.Ref{Collection: "Manager", Attr: "mdept"}},
+		},
+		GroupBy: []algebra.Ref{{Collection: "Dept", Attr: "dname"}},
+		Aggs:    []algebra.AggSpec{{Func: algebra.AggCount, Star: true, As: "n"}},
+		Sort:    []algebra.SortKey{{Attr: algebra.Ref{Attr: "n"}, Desc: true}},
+	}
+	res, err := f.opt.Optimize(qb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Plan
+}
+
+// submitScanning finds the submit subtree that ships the named
+// collection — the unit the adaptive executor materializes and pins.
+func submitScanning(plan *algebra.Node, collection string) *algebra.Node {
+	var found *algebra.Node
+	plan.Walk(func(n *algebra.Node) bool {
+		if found != nil || n.Kind != algebra.OpSubmit {
+			return true
+		}
+		for _, sc := range n.Scans() {
+			if strings.EqualFold(sc.Collection, collection) {
+				found = n
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// TestReoptimizeSuffixAdaptiveInvariants pins the contract the adaptive
+// executor depends on: suffix re-enumeration with pins installed never
+// returns a remainder costed worse than the running plan (the running
+// order is among the candidates), a structurally different winner comes
+// with a full variable capture and an output schema identical to the
+// original — a switch must never change the answer's column order.
+func TestReoptimizeSuffixAdaptiveInvariants(t *testing.T) {
+	f := buildFixture(t)
+	plan := reoptimizePlan(t, f)
+	dept := submitScanning(plan, "Dept")
+	if dept == nil {
+		t.Fatalf("no submit ships Dept:\n%s", plan)
+	}
+
+	// The executor measured 100x the estimated Dept rows: the pinned unit
+	// is now a fact and re-reading it is free.
+	est := f.est.Clone()
+	est.Reset()
+	sr, err := New(f.cat, est, DefaultOptions()).ReoptimizeSuffix(plan,
+		map[*algebra.Node]core.PinnedVars{dept: {Rows: 5000, Bytes: 5000 * 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.NewCost > sr.OldCost {
+		t.Errorf("suffix search returned a worse remainder: new=%.3f old=%.3f", sr.NewCost, sr.OldCost)
+	}
+	if sr.Plan != plan {
+		if sr.Cost == nil {
+			t.Error("switched plan carries no variable capture for future divergence checks")
+		}
+		if !sameFieldOrder(sr.Plan.OutSchema, plan.OutSchema) {
+			t.Errorf("switched plan permutes the output columns:\nwant %v\ngot  %v", plan.OutSchema, sr.Plan.OutSchema)
+		}
+	} else if sr.NewCost != sr.OldCost {
+		t.Errorf("unchanged plan with diverging costs: new=%.3f old=%.3f", sr.NewCost, sr.OldCost)
+	}
+
+	// Pinning the whole remainder leaves nothing to reorder: the plan
+	// comes back untouched at equal cost.
+	est2 := f.est.Clone()
+	est2.Reset()
+	sr2, err := New(f.cat, est2, DefaultOptions()).ReoptimizeSuffix(plan,
+		map[*algebra.Node]core.PinnedVars{plan: {Rows: 10, Bytes: 160}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr2.Plan != plan {
+		t.Errorf("fully pinned remainder was rewritten:\n%s", sr2.Plan)
+	}
+	if sr2.NewCost != sr2.OldCost {
+		t.Errorf("fully pinned remainder re-costed asymmetrically: new=%.3f old=%.3f", sr2.NewCost, sr2.OldCost)
+	}
+}

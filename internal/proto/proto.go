@@ -51,8 +51,22 @@ type Response struct {
 	// merged from n partitioned shards (Shards then counts them).
 	Replica string `json:"replica,omitempty"`
 	Shards  int    `json:"shards,omitempty"`
+	// ShardDetail attributes a scatter-gather answer to the replicas
+	// that actually served its shards, one entry per successful shard.
+	// Load reports use it to credit shard work to real replicas instead
+	// of burying everything under the synthetic "scatter:<n>" target.
+	ShardDetail []ShardServed `json:"shardDetail,omitempty"`
 	// Free-form text payload (explain output, catalog dump, ...).
 	Text string `json:"text,omitempty"`
+}
+
+// ShardServed records one shard of a scatter-gather answer: the replica
+// that served it, the shard's own elapsed time, and how many rows it
+// contributed to the merged result.
+type ShardServed struct {
+	Replica   string  `json:"replica"`
+	ElapsedMS float64 `json:"elapsedMs,omitempty"`
+	Rows      int     `json:"rows,omitempty"`
 }
 
 // EncodeRow converts a result row into JSON-safe values.

@@ -80,6 +80,12 @@ type Config struct {
 	WarmLimit int
 	// PoolSize bounds pooled connections per replica (0 = 4).
 	PoolSize int
+	// Now supplies the timestamps the router uses to measure replica
+	// request latency (nil = time.Now). The rest of the system bills
+	// I/O to the netsim virtual clock; the router fronts real TCP
+	// replicas, so its clock is injected rather than shared — tests
+	// substitute a deterministic source and production uses wall time.
+	Now func() time.Time
 }
 
 // hotCap bounds the tracked hot-statement LRU.
@@ -132,6 +138,9 @@ func New(cfg Config) (*Router, error) {
 	}
 	if cfg.WarmLimit <= 0 {
 		cfg.WarmLimit = 32
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
 	}
 	rt := &Router{cfg: cfg, stop: make(chan struct{})}
 	rt.hot.cap = hotCap
@@ -279,12 +288,13 @@ func (rt *Router) forward(req *proto.Request, key string) *proto.Response {
 }
 
 // exchange performs one priced request on a replica: in-flight tracking,
-// wall-latency observation into the EWMA, liveness marking.
+// latency observation (on the injected clock) into the EWMA, liveness
+// marking.
 func (rt *Router) exchange(r *replicaState, req *proto.Request) (*proto.Response, error) {
 	rt.routedTotal.Add(1)
 	r.routed.Add(1)
 	r.inflight.Add(1)
-	start := time.Now()
+	start := rt.cfg.Now()
 	resp, err := r.send(req, rt.cfg.DialTimeout, rt.cfg.RequestTimeout)
 	r.inflight.Add(-1)
 	if err != nil {
@@ -292,7 +302,7 @@ func (rt *Router) exchange(r *replicaState, req *proto.Request) (*proto.Response
 		return nil, err
 	}
 	r.markSuccess()
-	r.observe(float64(time.Since(start).Microseconds()) / 1000)
+	r.observe(float64(rt.cfg.Now().Sub(start).Microseconds()) / 1000)
 	if resp.Overloaded {
 		r.shedSeen.Add(1)
 	}

@@ -4,12 +4,11 @@ import (
 	"fmt"
 	"net"
 	"strings"
-	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"disco/internal/loadgen"
-	"disco/internal/netsim"
 	"disco/internal/proto"
 	"disco/internal/resultcache"
 	"disco/internal/serving"
@@ -69,9 +68,19 @@ func TestRouterAffinityAndFailover(t *testing.T) {
 	for i := range addrs {
 		addrs[i], srvs[i] = startReplica(t, serving.Options{})
 	}
+	// A stepping virtual clock (see TestRouterCostBiasAgainstSlowReplica)
+	// keeps every replica's measured EWMA identical, so the two-choices
+	// load escape never overrides ring affinity: the killed replica's
+	// statement must reach it, fail, and take the counted failover path —
+	// under the wall clock, scheduler noise could inflate the home
+	// replica's EWMA past 2x the cheapest and dodge the dead replica
+	// without a failover.
+	var tick atomic.Int64
+	now := func() time.Time { return time.Unix(0, tick.Add(500_000)) }
 	rt := startRouter(t, Config{
 		Replicas:     []ReplicaConfig{{Addr: addrs[0]}, {Addr: addrs[1]}, {Addr: addrs[2]}},
 		PollInterval: -1,
+		Now:          now,
 	})
 
 	const hotSQL = `SELECT sname FROM Suppliers WHERE region = 3`
@@ -121,40 +130,43 @@ func TestRouterAffinityAndFailover(t *testing.T) {
 }
 
 // TestRouterCostBiasAgainstSlowReplica is the pinned weight test: a
-// replica behind an injected 25ms link must end up with a weight well
-// below its peers after a poll, and receive a disproportionately small
-// share of subsequent distinct statements.
+// replica the router has measured at 25ms must end up with a weight
+// well below its peers after a poll, and receive a disproportionately
+// small share of subsequent distinct statements. The latency picture is
+// injected through Config.Now — a stepping virtual clock makes every
+// real exchange observe exactly the step, and the slow replica's EWMA
+// is fed directly — so the test is deterministic on any CI load, unlike
+// its earlier incarnation that slept 25ms of wall time behind a TCP
+// proxy and raced the scheduler.
 func TestRouterCostBiasAgainstSlowReplica(t *testing.T) {
 	addrs := make([]string, 3)
 	for i := range addrs {
 		addrs[i], _ = startReplica(t, serving.Options{})
 	}
-	proxy, err := netsim.NewTCPProxy(addrs[1])
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer proxy.Close()
-	proxy.SetDelay(25 * time.Millisecond)
+
+	// Every Now() call advances half a millisecond, and exchange calls
+	// Now exactly twice per request — so with sequential driving every
+	// replica measures a uniform, deterministic 0.5ms.
+	var tick atomic.Int64
+	now := func() time.Time { return time.Unix(0, tick.Add(500_000)) }
 
 	rt := startRouter(t, Config{
-		Replicas:     []ReplicaConfig{{Addr: addrs[0]}, {Addr: proxy.Addr()}, {Addr: addrs[2]}},
+		Replicas:     []ReplicaConfig{{Addr: addrs[0]}, {Addr: addrs[1]}, {Addr: addrs[2]}},
 		PollInterval: -1,
+		Now:          now,
 	})
 
 	// Warm-up: enough distinct statements that every replica's EWMA has
-	// data, then fold the measurements into the weights.
-	var wg sync.WaitGroup
-	for g := 0; g < 16; g++ {
-		wg.Add(1)
-		go func(g int) {
-			defer wg.Done()
-			for i := 0; i < 20; i++ {
-				rt.Handle(&proto.Request{Op: "query",
-					SQL: fmt.Sprintf(`SELECT docId FROM AtomicParts WHERE AtomicParts.id = %d`, g*20+i)})
-			}
-		}(g)
+	// data, then make replica 1 look 25ms slow — the picture a congested
+	// link would have painted — and fold the measurements into the
+	// weights.
+	for i := 0; i < 60; i++ {
+		rt.Handle(&proto.Request{Op: "query",
+			SQL: fmt.Sprintf(`SELECT docId FROM AtomicParts WHERE AtomicParts.id = %d`, i)})
 	}
-	wg.Wait()
+	for i := 0; i < 40; i++ {
+		rt.replicas[1].observe(25)
+	}
 	rt.PollNow()
 
 	st := rt.Stats()
@@ -174,19 +186,14 @@ func TestRouterCostBiasAgainstSlowReplica(t *testing.T) {
 		t.Errorf("slow replica EWMA %.2fms did not register the injected 25ms", slow.EwmaMS)
 	}
 
-	// Measurement phase: fresh distinct statements; the slowed replica
-	// must receive proportionally less work than a fair third.
-	for g := 0; g < 16; g++ {
-		wg.Add(1)
-		go func(g int) {
-			defer wg.Done()
-			for i := 0; i < 25; i++ {
-				rt.Handle(&proto.Request{Op: "query",
-					SQL: fmt.Sprintf(`SELECT docId FROM AtomicParts WHERE AtomicParts.id = %d`, 1000+g*25+i)})
-			}
-		}(g)
+	// Measurement phase: fresh distinct statements; the slow replica
+	// must receive proportionally less work than a fair third — partly
+	// its shrunken ring share, partly the two-choices escape hatch
+	// re-routing statements it still owns.
+	for i := 0; i < 400; i++ {
+		rt.Handle(&proto.Request{Op: "query",
+			SQL: fmt.Sprintf(`SELECT docId FROM AtomicParts WHERE AtomicParts.id = %d`, 1000+i)})
 	}
-	wg.Wait()
 	after := rt.Stats()
 	var total, slowRouted int64
 	for i, rs := range after.Replicas {
@@ -302,6 +309,27 @@ func TestScatterGatherMatchesOracle(t *testing.T) {
 		if got.Shards != 3 {
 			t.Errorf("%q: shards = %d, want 3", sql, got.Shards)
 		}
+		// Every shard is attributed to the real replica that served it,
+		// and the attributed rows add up to the merged answer.
+		if len(got.ShardDetail) != 3 {
+			t.Errorf("%q: %d shard details, want 3", sql, len(got.ShardDetail))
+		}
+		shardRows := 0
+		for _, sd := range got.ShardDetail {
+			shardRows += sd.Rows
+			found := false
+			for _, a := range addrs {
+				if sd.Replica == a {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("%q: shard attributed to unknown replica %q", sql, sd.Replica)
+			}
+		}
+		if shardRows != len(got.Rows) {
+			t.Errorf("%q: shard details account for %d rows, merged answer has %d", sql, shardRows, len(got.Rows))
+		}
 		if got.Partial {
 			t.Errorf("%q: partial answer with all replicas up", sql)
 		}
@@ -339,6 +367,26 @@ func TestScatterGatherMatchesOracle(t *testing.T) {
 	}
 	if st := rt.Stats(); st.Failovers == 0 {
 		t.Error("shard failover did not count")
+	}
+}
+
+// TestScatterExcludedCanonical pins the degraded-answer contract: the
+// exclusion list a scatter merge reports is deduped and sorted, however
+// many shards named the same replica and in whatever order the shard
+// goroutines completed.
+func TestScatterExcludedCanonical(t *testing.T) {
+	got := canonExcluded([]string{"rep:9002", "rep:9000", "rep:9002", "rep:9001", "rep:9000", "rep:9002"})
+	want := "rep:9000,rep:9001,rep:9002"
+	if strings.Join(got, ",") != want {
+		t.Errorf("canonExcluded = %q, want %q", strings.Join(got, ","), want)
+	}
+	if canonExcluded(nil) != nil {
+		t.Error("canonExcluded(nil) != nil")
+	}
+	// Already-canonical input is a fixed point.
+	again := canonExcluded(got)
+	if strings.Join(again, ",") != want {
+		t.Errorf("canonExcluded not idempotent: %q", strings.Join(again, ","))
 	}
 }
 

@@ -1,6 +1,7 @@
 package router
 
 import (
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -105,6 +106,7 @@ func shardSQL(q *sqlparser.Query, p Partition, k, n int) string {
 // shardResult is one shard's outcome.
 type shardResult struct {
 	resp  *proto.Response // nil if the shard failed everywhere
+	addr  string          // replica addr that served the shard
 	tried []string        // replica addrs that failed the shard
 }
 
@@ -143,6 +145,7 @@ func (rt *Router) scatter(q *sqlparser.Query, part Partition, healthy []int) *pr
 				// A semantic failure (parse/bind error) is identical on
 				// every replica: report it, don't fail over.
 				results[k].resp = resp
+				results[k].addr = r.addr
 				return
 			}
 		}(k)
@@ -162,6 +165,11 @@ func (rt *Router) scatter(q *sqlparser.Query, part Partition, healthy []int) *pr
 			return res.resp // semantic error, same answer everywhere
 		}
 		succeeded++
+		merged.ShardDetail = append(merged.ShardDetail, proto.ShardServed{
+			Replica:   res.addr,
+			ElapsedMS: res.resp.ElapsedMS,
+			Rows:      len(res.resp.Rows),
+		})
 		if merged.Columns == nil {
 			merged.Columns = res.resp.Columns
 		}
@@ -196,13 +204,29 @@ func (rt *Router) scatter(q *sqlparser.Query, part Partition, healthy []int) *pr
 	}
 	if len(excluded) > 0 {
 		merged.Partial = true
-		merged.Excluded = append(merged.Excluded, dedupe(excluded)...)
+		merged.Excluded = append(merged.Excluded, excluded...)
 	}
+	merged.Excluded = canonExcluded(merged.Excluded)
 	if merged.Partial {
 		rt.partials.Add(1)
 	}
 	merged.Replica = "scatter:" + strconv.Itoa(succeeded)
 	return merged
+}
+
+// canonExcluded canonicalizes a merged exclusion list. It merges two
+// sources — the Excluded lists of partial shard answers and the tried
+// lists of shards that failed everywhere — so the same name can show up
+// several times, in whatever order the shard goroutines completed.
+// Collapsing duplicates and sorting makes the degraded-answer contract
+// deterministic: equal failures yield equal responses.
+func canonExcluded(in []string) []string {
+	if len(in) == 0 {
+		return nil
+	}
+	out := dedupe(in)
+	sort.Strings(out)
+	return out
 }
 
 func dedupe(in []string) []string {

@@ -53,6 +53,9 @@ type Options struct {
 	ExecMemBytes int64
 	// ExecSpillDir overrides where spill partitions are written.
 	ExecSpillDir string
+	// Adaptive enables mid-flight adaptive re-optimization (see
+	// mediator.Config.Adaptive; off by default).
+	Adaptive bool
 }
 
 // Federation is one assembled demo deployment: the mediator plus the
@@ -85,6 +88,7 @@ func NewDemoFederation(opts Options) (*Federation, error) {
 	cfg.ExecWorkers = opts.ExecWorkers
 	cfg.ExecMemBytes = opts.ExecMemBytes
 	cfg.ExecSpillDir = opts.ExecSpillDir
+	cfg.Adaptive = opts.Adaptive
 	m, err := mediator.New(cfg)
 	if err != nil {
 		return nil, err
